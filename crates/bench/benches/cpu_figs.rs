@@ -1,0 +1,41 @@
+//! Figures 7, 8, 9 and 13: the CPU evaluation campaign.
+//!
+//! Prints each figure's series at a reduced instruction budget (the shapes
+//! match the full runs recorded in EXPERIMENTS.md), then times single
+//! design-point simulations so simulator-performance regressions surface.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hetcore::config::CpuDesign;
+use hetcore::experiment::run_cpu;
+use hetcore::suite::Suite;
+use hetsim_bench::{BENCH_INSTS, BENCH_SEED};
+use hetsim_trace::apps;
+
+fn print_artifacts() {
+    let suite = Suite { insts_per_app: BENCH_INSTS, seed: BENCH_SEED };
+    let campaign = suite.cpu_campaign();
+    println!("{}", suite.fig7(&campaign));
+    println!("{}", suite.fig8(&campaign));
+    println!("{}", suite.fig8_breakdown(&campaign));
+    println!("{}", suite.fig9(&campaign));
+    println!("{}", suite.fig13(&campaign));
+}
+
+fn bench_cpu(c: &mut Criterion) {
+    print_artifacts();
+
+    let lu = apps::profile("lu").expect("known app");
+    let mut g = c.benchmark_group("cpu_design_points");
+    g.sample_size(10);
+    for design in [CpuDesign::BaseCmos, CpuDesign::BaseHet, CpuDesign::AdvHet] {
+        g.bench_function(design.name(), |b| {
+            b.iter(|| black_box(run_cpu(design, &lu, BENCH_SEED, 20_000)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cpu);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Table I and Figures 1-3: the device-model artifacts.
+//!
+//! Prints each artifact once (the reproduction output), then times the
+//! underlying device-model computations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hetcore::suite::Suite;
+use hetsim_device::dvfs::DvfsController;
+use hetsim_device::iv::IvCurve;
+use hetsim_device::tech::Technology;
+use hetsim_device::vf::VfCurve;
+
+fn print_artifacts() {
+    let suite = Suite::default();
+    println!("{}", suite.table1());
+    println!("{}", suite.fig1());
+    println!("{}", suite.fig2());
+    println!("{}", suite.fig3());
+}
+
+fn bench_device(c: &mut Criterion) {
+    print_artifacts();
+
+    c.bench_function("table1_device_params", |b| {
+        b.iter(|| {
+            for t in Technology::ALL {
+                black_box(t.params());
+            }
+        })
+    });
+
+    let tfet = IvCurve::n_hetjtfet();
+    c.bench_function("fig1_iv_curve_sample", |b| {
+        b.iter(|| black_box(tfet.sample(0.8, 64)))
+    });
+
+    c.bench_function("fig2_activity_series", |b| {
+        b.iter(|| black_box(hetsim_device::activity::figure2_series(1e-4, 32)))
+    });
+
+    let cmos = VfCurve::for_technology(Technology::SiCmos);
+    c.bench_function("fig3_vf_interpolation", |b| {
+        b.iter(|| {
+            let mut sum = 0.0;
+            let mut v = 0.45;
+            while v < 1.0 {
+                sum += cmos.frequency_at(v);
+                v += 0.001;
+            }
+            black_box(sum)
+        })
+    });
+
+    c.bench_function("fig3_dvfs_operating_points", |b| {
+        let d = DvfsController::new();
+        b.iter(|| {
+            for f in [1.5e9, 2.0e9, 2.5e9] {
+                black_box(d.operating_point(f));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_device);
+criterion_main!(benches);

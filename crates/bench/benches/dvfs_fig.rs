@@ -1,0 +1,34 @@
+//! Figure 14: DVFS operating points and process-variation guardbands.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hetcore::suite::Suite;
+use hetsim_bench::{BENCH_INSTS, BENCH_SEED};
+use hetsim_device::dvfs::DvfsController;
+use hetsim_device::variation::apply_guardbands;
+
+fn bench_dvfs(c: &mut Criterion) {
+    let suite = Suite { insts_per_app: BENCH_INSTS, seed: BENCH_SEED };
+    println!("{}", suite.fig14());
+
+    c.bench_function("fig14_dvfs_pairing", |b| {
+        let d = DvfsController::new();
+        b.iter(|| {
+            let mut f = 1.2e9;
+            while f < 2.6e9 {
+                black_box(d.operating_point(f));
+                f += 0.05e9;
+            }
+        })
+    });
+
+    c.bench_function("fig14_guardbands", |b| {
+        let d = DvfsController::new();
+        let nominal = d.nominal();
+        b.iter(|| black_box(apply_guardbands(&nominal)))
+    });
+}
+
+criterion_group!(benches, bench_dvfs);
+criterion_main!(benches);

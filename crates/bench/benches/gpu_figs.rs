@@ -1,0 +1,36 @@
+//! Figures 10, 11 and 12: the GPU evaluation campaign.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hetcore::config::GpuDesign;
+use hetcore::experiment::run_gpu;
+use hetcore::suite::Suite;
+use hetsim_bench::BENCH_SEED;
+use hetsim_gpu::kernels;
+
+fn print_artifacts() {
+    let suite = Suite { insts_per_app: 0, seed: BENCH_SEED };
+    let campaign = suite.gpu_campaign();
+    println!("{}", suite.fig10(&campaign));
+    println!("{}", suite.fig11(&campaign));
+    println!("{}", suite.fig12(&campaign));
+}
+
+fn bench_gpu(c: &mut Criterion) {
+    print_artifacts();
+
+    let matmul = kernels::profile("matmul").expect("known kernel");
+    let mut g = c.benchmark_group("gpu_design_points");
+    g.sample_size(10);
+    for design in [GpuDesign::BaseCmos, GpuDesign::BaseHet, GpuDesign::AdvHet, GpuDesign::AdvHet2x]
+    {
+        g.bench_function(design.name(), |b| {
+            b.iter(|| black_box(run_gpu(design, &matmul, BENCH_SEED)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gpu);
+criterion_main!(benches);

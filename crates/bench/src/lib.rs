@@ -1,0 +1,26 @@
+//! Benchmark harness for the HetCore reproduction.
+//!
+//! Each Criterion bench regenerates one (or a group of) paper artifacts —
+//! printing the same series the paper's table/figure reports — and then
+//! times a representative slice of the underlying computation so
+//! performance regressions in the simulators are caught:
+//!
+//! * `device_figs` — Table I and Figures 1-3 (device models).
+//! * `cpu_figs` — Figures 7, 8, 9 and 13 (CPU campaign, reduced size).
+//! * `gpu_figs` — Figures 10, 11 and 12 (GPU campaign).
+//! * `dvfs_fig` — Figure 14 (DVFS + process variation).
+//! * `ablations` — design-choice sweeps DESIGN.md calls out: asymmetric
+//!   DL1 fast-way size, steering window, GPU RF-cache size, and the
+//!   conservative-vs-measured-vs-ideal TFET power factor.
+//!
+//! Run with `cargo bench --workspace`.
+
+#![warn(missing_docs)]
+
+/// The reduced per-application instruction budget used by the benches so
+/// a full `cargo bench` stays in minutes. The shapes at this budget match
+/// the full runs; EXPERIMENTS.md records full-budget numbers.
+pub const BENCH_INSTS: u64 = 40_000;
+
+/// Benchmark seed (fixed: benches must be deterministic).
+pub const BENCH_SEED: u64 = 42;

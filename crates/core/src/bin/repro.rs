@@ -1,0 +1,123 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] [--json] [table1|fig1..fig14|all|ext|ext-migration|ext-partrf|ext-sched]...
+//! ```
+//!
+//! With no experiment arguments, runs `all`. `--quick` shrinks the
+//! instruction budget for fast smoke runs (CI); full runs use the default
+//! budget of `Suite::default()`. `--json` emits machine-readable reports
+//! (one JSON array of report objects) instead of text tables.
+
+use std::process::ExitCode;
+
+use hetcore::suite::{Experiment, Extension, Suite};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut suite = Suite::default();
+    let mut requested: Vec<Experiment> = Vec::new();
+    let mut extensions: Vec<Extension> = Vec::new();
+    let mut run_all = false;
+    let mut json = false;
+
+    for arg in &args {
+        match arg.as_str() {
+            "--quick" => suite.insts_per_app = 60_000,
+            "--json" => json = true,
+            "all" => run_all = true,
+            "ext" => extensions.extend(Extension::ALL),
+            other => match Experiment::from_cli_name(other) {
+                Some(e) => requested.push(e),
+                None if Extension::from_cli_name(other).is_some() => {
+                    extensions.push(Extension::from_cli_name(other).expect("checked"));
+                }
+                None => {
+                    eprintln!("unknown experiment '{other}'");
+                    eprintln!(
+                        "expected: --quick, all, or one of {}",
+                        Experiment::ALL
+                            .iter()
+                            .map(|e| e.cli_name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
+    if (requested.is_empty() && extensions.is_empty()) || run_all {
+        requested = Experiment::ALL.to_vec();
+    }
+
+    // Share campaigns across the figures that need them.
+    let needs_cpu = requested.iter().any(|e| {
+        matches!(e, Experiment::Fig7 | Experiment::Fig8 | Experiment::Fig9 | Experiment::Fig13)
+    });
+    let needs_gpu = requested
+        .iter()
+        .any(|e| matches!(e, Experiment::Fig10 | Experiment::Fig11 | Experiment::Fig12));
+
+    let cpu = needs_cpu.then(|| {
+        eprintln!("running CPU campaign (11 chips x 14 applications)...");
+        suite.cpu_campaign()
+    });
+    let gpu = needs_gpu.then(|| {
+        eprintln!("running GPU campaign (5 designs x 20 kernels)...");
+        suite.gpu_campaign()
+    });
+
+    let mut reports = Vec::new();
+    for e in requested {
+        let report = match e {
+            Experiment::Table1 => suite.table1(),
+            Experiment::Fig1 => suite.fig1(),
+            Experiment::Fig2 => suite.fig2(),
+            Experiment::Fig3 => suite.fig3(),
+            Experiment::Fig7 => suite.fig7(cpu.as_ref().expect("campaign ran")),
+            Experiment::Fig8 => suite.fig8(cpu.as_ref().expect("campaign ran")),
+            Experiment::Fig9 => suite.fig9(cpu.as_ref().expect("campaign ran")),
+            Experiment::Fig10 => suite.fig10(gpu.as_ref().expect("campaign ran")),
+            Experiment::Fig11 => suite.fig11(gpu.as_ref().expect("campaign ran")),
+            Experiment::Fig12 => suite.fig12(gpu.as_ref().expect("campaign ran")),
+            Experiment::Fig13 => suite.fig13(cpu.as_ref().expect("campaign ran")),
+            Experiment::Fig14 => suite.fig14(),
+        };
+        if !json {
+            println!("{report}");
+        }
+        reports.push(report);
+        if e == Experiment::Fig8 {
+            // The stacked-bar detail of Figure 8.
+            let detail = suite.fig8_breakdown(cpu.as_ref().expect("campaign ran"));
+            if !json {
+                println!("{detail}");
+            }
+            reports.push(detail);
+        }
+    }
+    for e in extensions {
+        let report = match e {
+            Extension::Migration => suite.ext_migration(),
+            Extension::PartitionedRf => suite.ext_partitioned_rf(),
+            Extension::Scheduling => suite.ext_scheduling(),
+        };
+        if !json {
+            println!("{report}");
+        }
+        reports.push(report);
+    }
+    if json {
+        match serde_json::to_string_pretty(&reports) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("failed to serialize reports: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,317 @@
+//! Running a design point on a workload: time + energy.
+//!
+//! CPU experiments run the paper's 4-core chip (the baseline) or the
+//! 8-core AdvHet-2X chip: the workload's instructions split across cores
+//! Amdahl-style (see `hetsim_cpu::multicore`), idle cores leak during the
+//! serial phase, and all cores leak for the full duration of the parallel
+//! phase. GPU experiments launch one synthetic kernel over the configured
+//! compute units.
+
+use hetsim_cpu::core::Core;
+use hetsim_cpu::multicore::{run_multicore, MulticoreResult};
+use hetsim_gpu::gpu::Gpu;
+use hetsim_power::account::{EnergyBreakdown, GpuActivity, GpuEnergy, GpuEnergyModel};
+use hetsim_trace::stream::TraceGenerator;
+use hetsim_trace::WorkloadProfile;
+
+use crate::config::{CpuDesign, GpuDesign};
+
+/// Outcome of one CPU experiment (single- or multi-core).
+#[derive(Debug, Clone)]
+pub struct CpuOutcome {
+    /// The design that ran.
+    pub design: CpuDesign,
+    /// Application name.
+    pub app: String,
+    /// End-to-end execution time (s).
+    pub seconds: f64,
+    /// Chip energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Number of cores on the chip.
+    pub cores: u32,
+    /// Instructions committed across all cores/phases.
+    pub committed: u64,
+}
+
+impl CpuOutcome {
+    /// Energy-delay product (J.s).
+    pub fn ed(&self) -> f64 {
+        self.energy.ed(self.seconds)
+    }
+
+    /// Energy-delay-squared product (J.s^2).
+    pub fn ed2(&self) -> f64 {
+        self.energy.ed2(self.seconds)
+    }
+
+    /// Average chip power (W).
+    pub fn power_w(&self) -> f64 {
+        self.energy.total_j() / self.seconds
+    }
+}
+
+/// Runs `design` on a single core (used by unit tests and the quickstart;
+/// the paper's figures use [`run_cpu_multicore`] with 4 cores).
+pub fn run_cpu(design: CpuDesign, app: &WorkloadProfile, seed: u64, insts: u64) -> CpuOutcome {
+    let cfg = design.core_config();
+    let mut core = Core::new(cfg, 0);
+    core.prewarm(0, app.memory.working_set_bytes);
+    let warmup = (insts / 4).min(25_000);
+    let result = core.run_warmed(TraceGenerator::new(app, seed), warmup, insts);
+    let seconds = result.seconds();
+    let energy = design.energy_model().energy(&result.stats, &result.mem, seconds);
+    CpuOutcome {
+        design,
+        app: app.name.to_string(),
+        seconds,
+        energy,
+        cores: 1,
+        committed: result.stats.committed,
+    }
+}
+
+/// Runs `design` as a `cores`-core chip on `app` (the paper's chip-level
+/// experiment). `total_insts` is split across cores per the profile's
+/// parallel fraction.
+pub fn run_cpu_multicore(
+    design: CpuDesign,
+    cores: u32,
+    app: &WorkloadProfile,
+    seed: u64,
+    total_insts: u64,
+) -> CpuOutcome {
+    let cfg = design.core_config();
+    let mc: MulticoreResult = run_multicore(&cfg, cores, app, seed, total_insts);
+    let model = design.energy_model();
+
+    let mut energy = EnergyBreakdown::default();
+    // Serial phase: core 0 active, the rest leaking.
+    let t_serial = mc.serial_seconds();
+    if let Some(serial) = &mc.serial {
+        energy.merge(&model.energy(&serial.stats, &serial.mem, t_serial));
+        for _ in 1..cores {
+            energy.merge(&model.idle_energy(t_serial));
+        }
+    }
+    // Parallel phase: every core is powered until the slowest finishes.
+    let t_parallel = mc.parallel_seconds();
+    for r in &mc.parallel {
+        energy.merge(&model.energy(&r.stats, &r.mem, t_parallel));
+    }
+
+    CpuOutcome {
+        design,
+        app: app.name.to_string(),
+        seconds: mc.total_seconds(),
+        energy,
+        cores,
+        committed: mc.total_committed(),
+    }
+}
+
+/// Outcome of one GPU experiment.
+#[derive(Debug, Clone)]
+pub struct GpuOutcome {
+    /// The design that ran.
+    pub design: GpuDesign,
+    /// Kernel name.
+    pub kernel: String,
+    /// Execution time (s).
+    pub seconds: f64,
+    /// Energy result.
+    pub energy: GpuEnergy,
+    /// Compute units powered.
+    pub compute_units: u32,
+}
+
+impl GpuOutcome {
+    /// Energy-delay-squared product (J.s^2).
+    pub fn ed2(&self) -> f64 {
+        self.energy.ed2(self.seconds)
+    }
+
+    /// Average power (W).
+    pub fn power_w(&self) -> f64 {
+        self.energy.total_j() / self.seconds
+    }
+}
+
+/// Runs a GPU design on one kernel.
+pub fn run_gpu(design: GpuDesign, kernel: &hetsim_gpu::KernelProfile, seed: u64) -> GpuOutcome {
+    let gpu = Gpu::new(design.gpu_config());
+    let result = gpu.run(kernel, seed);
+    price_gpu_run(design, kernel, result)
+}
+
+/// Runs a GPU design on one kernel *after* the latency-hiding compiler
+/// pass (the paper's future-work optimization; `window` is the scheduler
+/// lookahead).
+pub fn run_gpu_scheduled(
+    design: GpuDesign,
+    kernel: &hetsim_gpu::KernelProfile,
+    seed: u64,
+    window: usize,
+) -> GpuOutcome {
+    let gpu = Gpu::new(design.gpu_config());
+    let result = gpu.run_scheduled(kernel, seed, window);
+    price_gpu_run(design, kernel, result)
+}
+
+fn price_gpu_run(
+    design: GpuDesign,
+    kernel: &hetsim_gpu::KernelProfile,
+    result: hetsim_gpu::GpuRunResult,
+) -> GpuOutcome {
+    let seconds = result.seconds();
+    let s = &result.stats;
+    let activity = GpuActivity {
+        wavefront_insts: s.wavefront_insts,
+        thread_fma_ops: s.thread_fma_ops,
+        vector_rf_accesses: s.vector_rf_accesses,
+        rf_cache_accesses: s.rf_cache_accesses,
+        rf_fast_accesses: s.rf_fast_accesses,
+        lds_accesses: s.lds_accesses,
+        mem_insts: s.mem_insts,
+        dram_accesses: s.dram_accesses,
+        compute_units: result.compute_units,
+        seconds,
+    };
+    let energy = GpuEnergyModel::new(design.assignment()).energy(&activity);
+    GpuOutcome {
+        design,
+        kernel: kernel.name.to_string(),
+        seconds,
+        energy,
+        compute_units: result.compute_units,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim_gpu::kernels;
+    use hetsim_trace::apps;
+
+    const N: u64 = 20_000;
+
+    #[test]
+    fn cpu_design_time_ordering_holds() {
+        // Paper Figure 7 ordering: BaseCMOS < AdvHet < BaseHet < BaseTFET.
+        let app = apps::profile("lu").expect("known");
+        let t = |d| run_cpu(d, &app, 3, N).seconds;
+        let base = t(CpuDesign::BaseCmos);
+        let adv = t(CpuDesign::AdvHet);
+        let het = t(CpuDesign::BaseHet);
+        let tfet = t(CpuDesign::BaseTfet);
+        assert!(base < adv, "BaseCMOS {base} < AdvHet {adv}");
+        assert!(adv < het, "AdvHet {adv} < BaseHet {het}");
+        assert!(het < tfet, "BaseHet {het} < BaseTFET {tfet}");
+    }
+
+    #[test]
+    fn cpu_design_energy_ordering_holds() {
+        // Paper Figure 8 ordering: BaseTFET < AdvHet < BaseHet < BaseCMOS.
+        let app = apps::profile("fft").expect("known");
+        let e = |d| run_cpu(d, &app, 3, N).energy.total_j();
+        let base = e(CpuDesign::BaseCmos);
+        let adv = e(CpuDesign::AdvHet);
+        let het = e(CpuDesign::BaseHet);
+        let tfet = e(CpuDesign::BaseTfet);
+        assert!(tfet < adv, "BaseTFET {tfet} < AdvHet {adv}");
+        assert!(adv < het, "AdvHet {adv} < BaseHet {het}");
+        assert!(het < base, "BaseHet {het} < BaseCMOS {base}");
+    }
+
+    #[test]
+    fn advhet_2x_beats_basecmos_on_parallel_work() {
+        let app = apps::profile("fft").expect("known");
+        let base = run_cpu_multicore(CpuDesign::BaseCmos, 4, &app, 5, 4 * N);
+        let twox = run_cpu_multicore(CpuDesign::AdvHet, 8, &app, 5, 4 * N);
+        assert!(
+            twox.seconds < base.seconds,
+            "8 AdvHet cores {} should beat 4 BaseCMOS cores {}",
+            twox.seconds,
+            base.seconds
+        );
+        assert!(twox.energy.total_j() < base.energy.total_j());
+    }
+
+    #[test]
+    fn advhet_power_is_about_half_of_basecmos() {
+        // The premise of the 2X experiment (Section VII-A1).
+        let app = apps::profile("water-nsq").expect("known");
+        let base = run_cpu_multicore(CpuDesign::BaseCmos, 4, &app, 7, 4 * N);
+        let adv = run_cpu_multicore(CpuDesign::AdvHet, 4, &app, 7, 4 * N);
+        let ratio = adv.power_w() / base.power_w();
+        assert!((0.35..0.75).contains(&ratio), "AdvHet/BaseCMOS power ratio {ratio}");
+    }
+
+    #[test]
+    fn gpu_orderings_hold() {
+        let kernel = kernels::profile("matmul").expect("known");
+        let base = run_gpu(GpuDesign::BaseCmos, &kernel, 3);
+        let het = run_gpu(GpuDesign::BaseHet, &kernel, 3);
+        let adv = run_gpu(GpuDesign::AdvHet, &kernel, 3);
+        let tfet = run_gpu(GpuDesign::BaseTfet, &kernel, 3);
+        // Figure 10: BaseCMOS < AdvHet <= BaseHet < BaseTFET.
+        assert!(base.seconds < adv.seconds);
+        assert!(adv.seconds <= het.seconds);
+        assert!(het.seconds < tfet.seconds);
+        // Figure 11: BaseTFET < AdvHet/BaseHet < BaseCMOS.
+        assert!(tfet.energy.total_j() < adv.energy.total_j());
+        assert!(adv.energy.total_j() < base.energy.total_j());
+    }
+
+    #[test]
+    fn gpu_2x_wins_under_power_budget() {
+        let kernel = kernels::profile("floydwarshall").expect("known");
+        let base = run_gpu(GpuDesign::BaseCmos, &kernel, 4);
+        let twox = run_gpu(GpuDesign::AdvHet2x, &kernel, 4);
+        assert!(twox.seconds < base.seconds, "{} vs {}", twox.seconds, base.seconds);
+        assert!(twox.ed2() < base.ed2());
+    }
+
+    #[test]
+    fn partitioned_rf_is_competitive_with_the_rf_cache() {
+        // The Section VIII note: the partitioned RF "can readily be
+        // adapted to AdvHet". It should land in the same band as the RF
+        // cache — much better than bare BaseHet on time.
+        let kernel = kernels::profile("binomialoption").expect("known");
+        let het = run_gpu(GpuDesign::BaseHet, &kernel, 3);
+        let adv = run_gpu(GpuDesign::AdvHet, &kernel, 3);
+        let part = run_gpu(GpuDesign::AdvHetPartitionedRf, &kernel, 3);
+        assert!(part.seconds < het.seconds, "partitioned RF must recover time");
+        assert!(
+            part.seconds < adv.seconds * 1.10,
+            "and stay within ~10% of the RF cache: {} vs {}",
+            part.seconds,
+            adv.seconds
+        );
+        assert!(part.energy.total_j() < het.energy.total_j() * 1.05);
+    }
+
+    #[test]
+    fn compiler_scheduling_recovers_gpu_time() {
+        // The future-work claim of Section IV-C4.
+        let kernel = kernels::profile("binomialoption").expect("known");
+        let raw = run_gpu(GpuDesign::BaseHet, &kernel, 3);
+        let tuned = run_gpu_scheduled(GpuDesign::BaseHet, &kernel, 3, 6);
+        assert!(
+            tuned.seconds < raw.seconds,
+            "scheduling should help: {} vs {}",
+            tuned.seconds,
+            raw.seconds
+        );
+    }
+
+    #[test]
+    fn multicore_energy_includes_idle_leakage() {
+        let mut app = apps::profile("lu").expect("known");
+        app.parallel_fraction = 0.5; // long serial phase
+        let one = run_cpu_multicore(CpuDesign::BaseCmos, 1, &app, 9, N);
+        let four = run_cpu_multicore(CpuDesign::BaseCmos, 4, &app, 9, N);
+        // Four cores burn more energy than one on the same work (idle
+        // leakage during the serial phase + parallel-phase overheads).
+        assert!(four.energy.total_j() > one.energy.total_j());
+    }
+}

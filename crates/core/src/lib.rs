@@ -1,0 +1,56 @@
+//! # HetCore: TFET-CMOS hetero-device CPUs and GPUs
+//!
+//! A reproduction of *HetCore: TFET-CMOS Hetero-Device Architecture for
+//! CPUs and GPUs* (Gopireddy, Skarlatos, Zhu, Torrellas — ISCA 2018).
+//!
+//! HetCore integrates Tunneling-FET (TFET) units and CMOS units inside a
+//! single core: TFET devices switch ~2x slower but consume ~4-8x less
+//! power at their optimal voltage, so HetCore builds the high-power,
+//! pipelinable, latency-tolerant units (FPUs, ALUs, DL1/L2/L3 caches; on a
+//! GPU the SIMD FMAs and the vector register file) in TFET, keeps the rest
+//! in CMOS, powers the two groups from separate rails, and clocks
+//! everything at one frequency by pipelining TFET units twice as deep.
+//! *AdvHet* then recovers most of the lost performance with an asymmetric
+//! DL1 (one CMOS way in front of the TFET ways), a dual-speed ALU cluster
+//! with consumer-aware steering, a larger ROB/FP-RF, and (GPU) a register
+//! file cache.
+//!
+//! This crate is the top of the reproduction stack: it defines every
+//! configuration of the paper's Table IV, runs them on the synthetic
+//! SPLASH-2/PARSEC and AMD-APP-SDK workloads, applies the McPAT/GPUWattch-
+//! like energy model, and regenerates every table and figure of the
+//! paper's evaluation (Tables I-IV, Figures 1-3 and 7-14).
+//!
+//! * [`config`] — named CPU/GPU design points (Table IV).
+//! * [`experiment`] — running a design on a workload; time + energy.
+//! * [`report`] — plain-text tables in the shape of the paper's figures.
+//! * [`suite`] — one entry point per paper table/figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hetcore::config::CpuDesign;
+//! use hetcore::experiment::run_cpu;
+//! use hetsim_trace::apps;
+//!
+//! let app = apps::profile("lu").expect("known app");
+//! let base = run_cpu(CpuDesign::BaseCmos, &app, 42, 20_000);
+//! let adv = run_cpu(CpuDesign::AdvHet, &app, 42, 20_000);
+//! // AdvHet trades a little time for a lot of energy.
+//! assert!(adv.seconds >= base.seconds);
+//! assert!(adv.energy.total_j() < base.energy.total_j());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiment;
+pub mod migration;
+pub mod report;
+pub mod suite;
+
+pub use config::{CpuDesign, GpuDesign};
+pub use experiment::{run_cpu, run_cpu_multicore, run_gpu, run_gpu_scheduled, CpuOutcome, GpuOutcome};
+pub use migration::{iso_area_comparison, run_migration_cmp, MigrationConfig};
+pub use report::Report;
+pub use suite::Experiment;

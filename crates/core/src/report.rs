@@ -1,0 +1,141 @@
+//! Plain-text reports in the shape of the paper's figures.
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// A table: one row per application/kernel (plus a mean row), one column
+/// per design/series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Title, e.g. `"Figure 7: CPU execution time (normalized to BaseCMOS)"`.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// `(row label, values)` — `values.len() == columns.len()`.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Report { title: title.into(), columns, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Appends a `mean` row: the arithmetic mean of every existing row
+    /// (the paper reports averages of normalized values).
+    pub fn push_mean(&mut self) {
+        let n = self.rows.len();
+        if n == 0 {
+            return;
+        }
+        let cols = self.columns.len();
+        let mut mean = vec![0.0; cols];
+        for (_, vals) in &self.rows {
+            for (m, v) in mean.iter_mut().zip(vals) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        self.rows.push(("mean".to_string(), mean));
+    }
+
+    /// The values of the mean row, if present.
+    pub fn mean_row(&self) -> Option<&[f64]> {
+        self.rows.iter().find(|(l, _)| l == "mean").map(|(_, v)| v.as_slice())
+    }
+
+    /// The mean value of a named column, if both exist.
+    pub fn mean_of(&self, column: &str) -> Option<f64> {
+        let idx = self.columns.iter().position(|c| c == column)?;
+        self.mean_row().map(|r| r[idx])
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(4))
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let col_w = self.columns.iter().map(|c| c.len().max(7)).collect::<Vec<_>>();
+        write!(f, "{:<label_w$}", "")?;
+        for (c, w) in self.columns.iter().zip(&col_w) {
+            write!(f, "  {c:>w$}")?;
+        }
+        writeln!(f)?;
+        for (label, vals) in &self.rows {
+            write!(f, "{label:<label_w$}")?;
+            for (v, w) in vals.iter().zip(&col_w) {
+                write!(f, "  {v:>w$.3}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Normalizes `values` to the entry at `baseline_idx`.
+///
+/// # Panics
+///
+/// Panics if the baseline value is zero.
+pub fn normalize(values: &[f64], baseline_idx: usize) -> Vec<f64> {
+    let base = values[baseline_idx];
+    assert!(base != 0.0, "baseline value must be non-zero");
+    values.iter().map(|v| v / base).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_row_is_arithmetic_mean() {
+        let mut r = Report::new("t", vec!["a".into(), "b".into()]);
+        r.push_row("x", vec![1.0, 2.0]);
+        r.push_row("y", vec![3.0, 4.0]);
+        r.push_mean();
+        assert_eq!(r.mean_row().expect("mean exists"), &[2.0, 3.0]);
+        assert_eq!(r.mean_of("b"), Some(3.0));
+    }
+
+    #[test]
+    fn normalize_divides_by_baseline() {
+        assert_eq!(normalize(&[2.0, 4.0, 1.0], 0), vec![1.0, 2.0, 0.5]);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let mut r = Report::new("Title", vec!["c1".into()]);
+        r.push_row("row1", vec![1.5]);
+        let s = r.to_string();
+        assert!(s.contains("Title"));
+        assert!(s.contains("row1"));
+        assert!(s.contains("1.500"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_checked() {
+        let mut r = Report::new("t", vec!["a".into()]);
+        r.push_row("x", vec![1.0, 2.0]);
+    }
+}

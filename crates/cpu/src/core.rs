@@ -1,0 +1,683 @@
+//! The cycle-level out-of-order core.
+//!
+//! A trace-driven model of a 4-wide OoO pipeline: instructions are pulled
+//! from the synthetic trace (always the correct path, as in standard
+//! trace-driven simulation), dispatched into a ROB/IQ/LSQ subject to every
+//! Table III capacity, issued oldest-first when their producers complete
+//! and a functional unit is free, and committed in order. Branch
+//! mispredictions block dispatch from the mispredicted branch until it
+//! resolves, then charge the front-end refill delay — wrong-path *work* is
+//! not simulated, but its *timing* cost is.
+//!
+//! The TFET-specific behaviours all emerge from configuration:
+//! deeper-pipelined TFET units lengthen producer-consumer chains and branch
+//! resolution; the TFET DL1/L2/L3 latencies stretch the memory path; the
+//! dual-speed ALU cluster steers consumer-soon instructions to the CMOS ALU
+//! (Section IV-C2); and the asymmetric DL1 shortens the common case back to
+//! one cycle (Section IV-C1).
+
+use std::collections::VecDeque;
+
+use hetsim_mem::hierarchy::Hierarchy;
+use hetsim_mem::stats::MemStats;
+use hetsim_trace::isa::{BranchInfo, Inst, OpClass};
+
+use crate::config::{CoreConfig, SteeringPolicy};
+use crate::fu::FuPool;
+use crate::predictor::TournamentPredictor;
+use crate::stats::CoreStats;
+
+/// Synthetic code region for instruction-fetch energy accounting.
+const CODE_BASE: u64 = 0x4000_0000;
+/// Modeled code footprint (fits IL1 after warm-up; IL1 stays CMOS in every
+/// design, so its timing is identical across configurations).
+const CODE_FOOTPRINT: u64 = 16 * 1024;
+
+/// An instruction in flight.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    seq: u64,
+    op: OpClass,
+    /// Absolute producer sequence numbers.
+    src1: Option<u64>,
+    src2: Option<u64>,
+    addr: Option<u64>,
+    mispredicted: bool,
+    prefer_fast: bool,
+    issued: bool,
+    done: u64,
+}
+
+/// Result of running a trace on a core.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Pipeline event counters.
+    pub stats: CoreStats,
+    /// Memory-system event counters.
+    pub mem: MemStats,
+    /// The clock the core ran at (Hz).
+    pub clock_hz: f64,
+}
+
+impl RunResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+
+    /// Wall-clock seconds of the simulated execution.
+    pub fn seconds(&self) -> f64 {
+        self.stats.cycles as f64 / self.clock_hz
+    }
+}
+
+/// One out-of-order core.
+#[derive(Debug)]
+pub struct Core {
+    cfg: CoreConfig,
+    pool: FuPool,
+    predictor: TournamentPredictor,
+    hierarchy: Hierarchy,
+    stats: CoreStats,
+    fetch_pc: u64,
+}
+
+impl Core {
+    /// Builds a core from `cfg`. `core_id` selects the L3 slice/identity in
+    /// multicore runs (it does not change single-core behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new(cfg: CoreConfig, core_id: u32) -> Self {
+        cfg.validate().expect("valid core config");
+        let hierarchy = Hierarchy::new(cfg.memory.to_hierarchy(cfg.clock_hz));
+        Core {
+            pool: FuPool::new(cfg.fus.clone()),
+            predictor: TournamentPredictor::new(cfg.predictor),
+            hierarchy,
+            stats: CoreStats::default(),
+            fetch_pc: CODE_BASE + u64::from(core_id) * CODE_FOOTPRINT,
+            cfg,
+        }
+    }
+
+    /// The configuration this core was built with.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Pre-warms the caches with the leading portion of a working set at
+    /// `base` (see `hetsim_mem::Hierarchy::prewarm`).
+    pub fn prewarm(&mut self, base: u64, working_set_bytes: u64) {
+        self.hierarchy.prewarm(base, working_set_bytes);
+    }
+
+    /// Runs `n` instructions from `trace` to completion (dispatch `n`, then
+    /// drain), returning the collected statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace ends before `n` instructions (plus steering
+    /// lookahead) are available, or if the pipeline fails to make forward
+    /// progress (an internal invariant violation).
+    pub fn run<T: Iterator<Item = Inst>>(&mut self, trace: T, n: u64) -> RunResult {
+        self.run_warmed(trace, 0, n)
+    }
+
+    /// Like [`Core::run`], but first executes `warmup` instructions to warm
+    /// the caches and predictors, then measures the next `n` instructions
+    /// (standard sampled-simulation methodology; cold-start misses would
+    /// otherwise dominate short runs).
+    ///
+    /// # Panics
+    ///
+    /// As for [`Core::run`].
+    pub fn run_warmed<T: Iterator<Item = Inst>>(
+        &mut self,
+        trace: T,
+        warmup: u64,
+        n: u64,
+    ) -> RunResult {
+        let window = match self.cfg.steering {
+            SteeringPolicy::None => 0,
+            SteeringPolicy::DualSpeed { window } => window,
+        };
+        let mut trace = trace.fuse();
+        let mut lookahead: VecDeque<Inst> = VecDeque::with_capacity(window as usize + 1);
+
+        let mut rob: VecDeque<InFlight> = VecDeque::with_capacity(self.cfg.rob_entries as usize);
+        // Sequence numbers of dispatched-but-unissued instructions (the IQ).
+        let mut iq: Vec<u64> = Vec::with_capacity(self.cfg.iq_entries as usize);
+
+        let mut cycle: u64 = u64::from(self.cfg.frontend_delay); // pipeline fill
+        let mut dispatched: u64 = 0;
+        let mut committed: u64 = 0;
+        let mut next_seq: u64 = 0;
+        let mut lsq_occ: u32 = 0;
+        let mut int_inflight: u32 = 0;
+        let mut fp_inflight: u32 = 0;
+        // Misprediction redirect: dispatch is blocked until `redirect_at`.
+        // `u64::MAX` means the branch has not resolved yet.
+        let mut redirect_at: Option<u64> = None;
+        let mut last_progress_cycle = cycle;
+        let total = warmup + n;
+        // Snapshot taken when the warmup region retires.
+        let mut snapshot: Option<(u64, CoreStats, MemStats)> = if warmup == 0 {
+            Some((cycle, self.stats, self.hierarchy.stats()))
+        } else {
+            None
+        };
+
+        while committed < total || !rob.is_empty() {
+            // ---- Commit (in order, up to issue_width) ----
+            let mut committed_now = 0;
+            while committed_now < self.cfg.issue_width {
+                let Some(head) = rob.front() else { break };
+                if !head.issued || head.done > cycle {
+                    break;
+                }
+                let inst = rob.pop_front().expect("checked front");
+                self.commit(&inst, &mut lsq_occ, &mut int_inflight, &mut fp_inflight);
+                committed += 1;
+                committed_now += 1;
+            }
+            if committed_now > 0 {
+                last_progress_cycle = cycle;
+                if snapshot.is_none() && committed >= warmup {
+                    snapshot = Some((cycle, self.stats, self.hierarchy.stats()));
+                }
+            }
+
+            // ---- Issue (oldest-first from the IQ, up to issue_width) ----
+            let rob_first_seq = rob.front().map(|i| i.seq);
+            let mut issued_now = 0u32;
+            let mut issued_seqs: Vec<u64> = Vec::new();
+            for &seq in iq.iter() {
+                if issued_now == self.cfg.issue_width {
+                    break;
+                }
+                let first = rob_first_seq.expect("IQ nonempty implies ROB nonempty");
+                let idx = (seq - first) as usize;
+                let ready = {
+                    let inst = &rob[idx];
+                    Self::source_ready(&rob, first, inst.src1, cycle)
+                        && Self::source_ready(&rob, first, inst.src2, cycle)
+                };
+                if !ready {
+                    continue;
+                }
+                let (op, prefer_fast, addr) = {
+                    let inst = &rob[idx];
+                    (inst.op, inst.prefer_fast, inst.addr)
+                };
+                let Some(issued) = self.pool.try_issue(op, cycle, prefer_fast) else {
+                    continue;
+                };
+                // Compute completion time and record energy events.
+                let done = match op {
+                    OpClass::Load => {
+                        let mem = self.hierarchy.load(addr.expect("loads carry addresses"));
+                        cycle + u64::from(issued.latency) + u64::from(mem.latency)
+                    }
+                    OpClass::Store => cycle + u64::from(issued.latency),
+                    _ => cycle + u64::from(issued.latency),
+                };
+                {
+                    let inst = &mut rob[idx];
+                    inst.issued = true;
+                    inst.done = done;
+                }
+                self.count_issue(&rob[idx], issued.on_fast_alu);
+                if rob[idx].mispredicted {
+                    // The branch resolves at `done`; dispatch resumes after
+                    // the front-end refill. Until resolution the front end
+                    // fetched down the wrong path — charge those fetch
+                    // groups as energy events (the work is discarded, the
+                    // switching is not).
+                    redirect_at = Some(done + u64::from(self.cfg.frontend_delay));
+                    self.stats.wrong_path_fetch_groups += done.saturating_sub(cycle).min(32);
+                }
+                issued_seqs.push(seq);
+                issued_now += 1;
+            }
+            if !issued_seqs.is_empty() {
+                iq.retain(|s| !issued_seqs.contains(s));
+                last_progress_cycle = cycle;
+            }
+
+            // ---- Dispatch (front end, up to issue_width) ----
+            let dispatch_open = match redirect_at {
+                Some(at) => {
+                    if cycle >= at && at != u64::MAX {
+                        redirect_at = None;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => true,
+            };
+            if dispatch_open && dispatched < total {
+                let mut dispatched_now = 0;
+                while dispatched_now < self.cfg.fetch_width && dispatched < total {
+                    // Structural hazards.
+                    if rob.len() as u32 == self.cfg.rob_entries {
+                        self.stats.rob_full_stalls += 1;
+                        break;
+                    }
+                    if iq.len() as u32 == self.cfg.iq_entries {
+                        self.stats.iq_full_stalls += 1;
+                        break;
+                    }
+                    // Refill the lookahead so steering can peek.
+                    while lookahead.len() <= window as usize {
+                        match trace.next() {
+                            Some(i) => lookahead.push_back(i),
+                            None => break,
+                        }
+                    }
+                    let Some(inst) = lookahead.pop_front() else {
+                        panic!("trace ended after {dispatched} of {total} instructions")
+                    };
+                    if inst.op.is_mem() && lsq_occ == self.cfg.lsq_entries {
+                        self.stats.lsq_full_stalls += 1;
+                        lookahead.push_front(inst);
+                        break;
+                    }
+                    if inst.op.produces_value() {
+                        if inst.op.is_fp() {
+                            if fp_inflight == self.cfg.fp_regs {
+                                self.stats.reg_full_stalls += 1;
+                                lookahead.push_front(inst);
+                                break;
+                            }
+                        } else if int_inflight == self.cfg.int_regs {
+                            self.stats.reg_full_stalls += 1;
+                            lookahead.push_front(inst);
+                            break;
+                        }
+                    }
+
+                    // Steering decision (Section IV-C2): consumer within
+                    // the next `window` instructions -> fast ALU, subject
+                    // to the utilization-balancing objective (the single
+                    // CMOS ALU must not saturate; the majority of ops keep
+                    // flowing to the TFET ALUs).
+                    let balance_ok =
+                        self.stats.alu_fast_ops * 9 <= (self.stats.alu_ops() + 16) * 4;
+                    let prefer_fast = window > 0
+                        && inst.op == OpClass::IntAlu
+                        && balance_ok
+                        && Self::consumer_in_window(&lookahead, window);
+
+                    // Branch prediction at dispatch.
+                    let mut mispredicted = false;
+                    if let Some(b) = inst.branch {
+                        mispredicted = self.predict_branch(&b);
+                    }
+
+                    let seq = next_seq;
+                    next_seq += 1;
+                    if inst.op.is_mem() {
+                        lsq_occ += 1;
+                    }
+                    if inst.op.produces_value() {
+                        if inst.op.is_fp() {
+                            fp_inflight += 1;
+                        } else {
+                            int_inflight += 1;
+                        }
+                    }
+                    let to_src = |d: Option<u32>| {
+                        d.and_then(|dist| seq.checked_sub(u64::from(dist)))
+                    };
+                    rob.push_back(InFlight {
+                        seq,
+                        op: inst.op,
+                        src1: to_src(inst.src1_dist),
+                        src2: to_src(inst.src2_dist),
+                        addr: inst.addr,
+                        mispredicted,
+                        prefer_fast,
+                        issued: false,
+                        done: 0,
+                    });
+                    iq.push(seq);
+                    dispatched += 1;
+                    self.stats.dispatched += 1;
+                    dispatched_now += 1;
+
+                    if mispredicted {
+                        // Block dispatch until this branch resolves.
+                        redirect_at = Some(u64::MAX);
+                        break;
+                    }
+                }
+                if dispatched_now > 0 {
+                    // One fetch group reached dispatch: IL1 energy event.
+                    self.stats.fetch_groups += 1;
+                    let pc = CODE_BASE + (self.fetch_pc % CODE_FOOTPRINT);
+                    self.fetch_pc = self.fetch_pc.wrapping_add(64);
+                    let _ = self.hierarchy.fetch(pc);
+                    last_progress_cycle = cycle;
+                }
+            }
+
+            cycle += 1;
+            assert!(
+                cycle - last_progress_cycle < 1_000_000,
+                "pipeline deadlock at cycle {cycle} (committed {committed}/{total})"
+            );
+        }
+
+        let (snap_cycle, snap_stats, snap_mem) =
+            snapshot.expect("warmup <= total instructions, so the snapshot was taken");
+        self.stats.cycles = cycle;
+        self.stats.committed = committed;
+        let mut stats = self.stats.minus(&snap_stats);
+        stats.cycles = cycle - snap_cycle;
+        stats.committed = committed - warmup.min(committed);
+        RunResult {
+            stats,
+            mem: self.hierarchy.stats().minus(&snap_mem),
+            clock_hz: self.cfg.clock_hz,
+        }
+    }
+
+    /// Whether `src` (an absolute producer seq) has produced its value by
+    /// `cycle`. Producers no longer in the ROB have committed.
+    fn source_ready(rob: &VecDeque<InFlight>, first_seq: u64, src: Option<u64>, cycle: u64) -> bool {
+        let Some(seq) = src else { return true };
+        if seq < first_seq {
+            return true; // committed
+        }
+        let idx = (seq - first_seq) as usize;
+        match rob.get(idx) {
+            Some(p) => p.issued && p.done <= cycle,
+            None => true, // beyond ROB tail cannot happen for a producer
+        }
+    }
+
+    /// Steering lookahead: does any of the next `window` instructions
+    /// consume the value produced by the instruction just popped?
+    fn consumer_in_window(lookahead: &VecDeque<Inst>, window: u32) -> bool {
+        for k in 1..=window {
+            let Some(next) = lookahead.get((k - 1) as usize) else { break };
+            if next.src1_dist == Some(k) || next.src2_dist == Some(k) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Predicts a branch at dispatch and trains the predictor; returns
+    /// whether the prediction was wrong (direction, BTB target, or RAS).
+    fn predict_branch(&mut self, b: &BranchInfo) -> bool {
+        if b.is_call {
+            self.predictor.push_call();
+            // Calls are unconditional with known targets.
+            self.predictor.update(b.pc, true);
+            return false;
+        }
+        if b.is_return {
+            let ras_ok = self.predictor.pop_return();
+            return !ras_ok;
+        }
+        let pred = self.predictor.predict(b.pc);
+        self.predictor.update(b.pc, b.taken);
+        let direction_wrong = pred.taken != b.taken;
+        let target_missing = b.taken && pred.taken && !pred.target_known;
+        direction_wrong || target_missing
+    }
+
+    /// Per-class counters at issue (each instruction issues exactly once).
+    fn count_issue(&mut self, inst: &InFlight, on_fast_alu: bool) {
+        self.stats.issues += 1;
+        // Register-file reads.
+        let reads = u64::from(inst.src1.is_some()) + u64::from(inst.src2.is_some());
+        if inst.op.is_fp() {
+            self.stats.fp_rf_reads += reads;
+        } else {
+            self.stats.int_rf_reads += reads;
+        }
+        match inst.op {
+            OpClass::IntAlu => {
+                if on_fast_alu {
+                    self.stats.alu_fast_ops += 1;
+                } else {
+                    self.stats.alu_slow_ops += 1;
+                }
+            }
+            OpClass::IntMul => self.stats.int_mul_ops += 1,
+            OpClass::IntDiv => self.stats.int_div_ops += 1,
+            OpClass::FpAdd => self.stats.fp_add_ops += 1,
+            OpClass::FpMul => self.stats.fp_mul_ops += 1,
+            OpClass::FpDiv => self.stats.fp_div_ops += 1,
+            OpClass::Load => self.stats.loads += 1,
+            OpClass::Store => self.stats.stores += 1,
+            OpClass::Branch => {
+                self.stats.branches += 1;
+                if inst.mispredicted {
+                    self.stats.mispredicts += 1;
+                }
+            }
+        }
+    }
+
+    /// Commit bookkeeping: RF writes, store write-through, occupancies.
+    fn commit(
+        &mut self,
+        inst: &InFlight,
+        lsq_occ: &mut u32,
+        int_inflight: &mut u32,
+        fp_inflight: &mut u32,
+    ) {
+        if inst.op == OpClass::Store {
+            let _ = self.hierarchy.store(inst.addr.expect("stores carry addresses"));
+        }
+        if inst.op.is_mem() {
+            *lsq_occ -= 1;
+        }
+        if inst.op.produces_value() {
+            if inst.op.is_fp() {
+                *fp_inflight -= 1;
+                self.stats.fp_rf_writes += 1;
+            } else {
+                *int_inflight -= 1;
+                self.stats.int_rf_writes += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use crate::config::{Dl1Config, MemoryConfig};
+    use crate::fu::FuPoolConfig;
+    use hetsim_trace::apps;
+    use hetsim_trace::stream::TraceGenerator;
+
+    const N: u64 = 20_000;
+
+    fn run_app(app: &str, cfg: CoreConfig, seed: u64) -> RunResult {
+        let profile = apps::profile(app).expect("known app");
+        let mut core = Core::new(cfg, 0);
+        core.run(TraceGenerator::new(&profile, seed), N)
+    }
+
+    #[test]
+    fn commits_exactly_n() {
+        let r = run_app("lu", CoreConfig::default(), 1);
+        assert_eq!(r.stats.committed, N);
+        assert_eq!(r.stats.dispatched, N);
+    }
+
+    #[test]
+    fn ipc_is_plausible_for_a_4_wide_core() {
+        let r = run_app("lu", CoreConfig::default(), 1);
+        let ipc = r.ipc();
+        assert!(ipc > 0.8, "LU on BaseCMOS should exceed IPC 0.8, got {ipc}");
+        assert!(ipc <= 4.0, "cannot exceed machine width, got {ipc}");
+    }
+
+    #[test]
+    fn tfet_fus_and_caches_slow_the_core_down() {
+        let base = run_app("lu", CoreConfig::default(), 1);
+        let mut het = CoreConfig::default();
+        het.fus = FuPoolConfig::tfet();
+        het.memory = MemoryConfig::tfet();
+        let slow = run_app("lu", het, 1);
+        assert!(
+            slow.stats.cycles > base.stats.cycles,
+            "BaseHet-style core must be slower: {} vs {}",
+            slow.stats.cycles,
+            base.stats.cycles
+        );
+    }
+
+    #[test]
+    fn asymmetric_dl1_recovers_performance() {
+        let mut het = CoreConfig::default();
+        het.fus = FuPoolConfig::tfet();
+        het.memory = MemoryConfig::tfet();
+        let basehet = run_app("lu", het.clone(), 1);
+
+        let mut adv = het;
+        adv.memory.dl1 = Dl1Config::Asymmetric { slow_extra: 4 };
+        let advhet = run_app("lu", adv, 1);
+        assert!(
+            advhet.stats.cycles < basehet.stats.cycles,
+            "asymmetric DL1 should win on a DL1-resident app: {} vs {}",
+            advhet.stats.cycles,
+            basehet.stats.cycles
+        );
+    }
+
+    #[test]
+    fn dual_speed_steering_uses_both_clusters() {
+        let mut cfg = CoreConfig::default();
+        cfg.fus = FuPoolConfig::dual_speed();
+        cfg.steering = SteeringPolicy::DualSpeed { window: 4 };
+        let r = run_app("radix", cfg, 2);
+        assert!(r.stats.alu_fast_ops > 0, "some ops steered fast");
+        assert!(r.stats.alu_slow_ops > 0, "some ops steered slow");
+        assert!(
+            r.stats.alu_slow_ops > r.stats.alu_fast_ops,
+            "majority should go to the TFET cluster: fast={} slow={}",
+            r.stats.alu_fast_ops,
+            r.stats.alu_slow_ops
+        );
+    }
+
+    #[test]
+    fn mispredictions_occur_at_plausible_rates() {
+        let r = run_app("raytrace", CoreConfig::default(), 3);
+        let rate = r.stats.mispredict_rate();
+        assert!(rate > 0.005, "raytrace must mispredict sometimes: {rate}");
+        assert!(rate < 0.25, "and not pathologically: {rate}");
+    }
+
+    #[test]
+    fn predictable_apps_mispredict_less_than_branchy_ones() {
+        let bs = run_app("blackscholes", CoreConfig::default(), 4);
+        let rt = run_app("raytrace", CoreConfig::default(), 4);
+        assert!(
+            bs.stats.mispredict_rate() < rt.stats.mispredict_rate(),
+            "blackscholes {} vs raytrace {}",
+            bs.stats.mispredict_rate(),
+            rt.stats.mispredict_rate()
+        );
+    }
+
+    #[test]
+    fn event_counts_are_consistent() {
+        let r = run_app("fft", CoreConfig::default(), 5);
+        let s = &r.stats;
+        let by_class = s.alu_ops()
+            + s.int_mul_ops
+            + s.int_div_ops
+            + s.fpu_ops()
+            + s.loads
+            + s.stores
+            + s.branches;
+        assert_eq!(by_class, s.committed);
+        assert_eq!(s.issues, s.committed);
+        assert_eq!(s.loads + s.stores, r.mem.dl1_accesses());
+    }
+
+    #[test]
+    fn small_working_set_hits_dl1() {
+        let r = run_app("blackscholes", CoreConfig::default(), 6);
+        assert!(r.mem.dl1_hit_rate() > 0.8, "hit rate {}", r.mem.dl1_hit_rate());
+        let c = run_app("canneal", CoreConfig::default(), 6);
+        assert!(r.mem.dl1_hit_rate() > c.mem.dl1_hit_rate() + 0.3, "blackscholes must be far more cache-friendly than canneal");
+    }
+
+    #[test]
+    fn canneal_misses_everywhere() {
+        let r = run_app("canneal", CoreConfig::default(), 7);
+        assert!(r.mem.dram_accesses > 100, "canneal should reach DRAM");
+        let lu = run_app("lu", CoreConfig::default(), 7);
+        assert!(r.ipc() < lu.ipc(), "memory-bound canneal slower than LU");
+    }
+
+    #[test]
+    fn larger_rob_never_hurts() {
+        let mut big = CoreConfig::default();
+        big.rob_entries = 192;
+        big.fp_regs = 128;
+        let base = run_app("fft", CoreConfig::default(), 8);
+        let enh = run_app("fft", big, 8);
+        assert!(enh.stats.cycles <= base.stats.cycles + base.stats.cycles / 50);
+    }
+
+    #[test]
+    fn wrong_path_fetch_tracks_mispredictions() {
+        let r = run_app("raytrace", CoreConfig::default(), 3);
+        assert!(r.stats.mispredicts > 0);
+        assert!(
+            r.stats.wrong_path_fetch_groups > 0,
+            "mispredicts must burn wrong-path fetches"
+        );
+        // Bounded: at most the clamp (32) per misprediction.
+        assert!(r.stats.wrong_path_fetch_groups <= 32 * r.stats.mispredicts);
+
+        let bs = run_app("blackscholes", CoreConfig::default(), 3);
+        let per_miss = |s: &crate::stats::CoreStats| {
+            s.wrong_path_fetch_groups as f64 / s.mispredicts.max(1) as f64
+        };
+        assert!(per_miss(&bs.stats) < 33.0);
+    }
+
+    #[test]
+    fn mispredict_penalty_scales_with_frontend_depth() {
+        // A deeper front end pays a larger redirect penalty on a branchy
+        // app; cycle counts must increase monotonically.
+        let cycles = |depth: u32| {
+            let mut cfg = CoreConfig::default();
+            cfg.frontend_delay = depth;
+            run_app("raytrace", cfg, 5).stats.cycles
+        };
+        let shallow = cycles(4);
+        let nominal = cycles(10);
+        let deep = cycles(20);
+        assert!(shallow < nominal, "{shallow} < {nominal}");
+        assert!(nominal < deep, "{nominal} < {deep}");
+    }
+
+    #[test]
+    fn half_clock_doubles_runtime_in_seconds() {
+        let base = run_app("lu", CoreConfig::default(), 9);
+        let mut slow = CoreConfig::default();
+        slow.clock_hz = 1.0e9;
+        let tfet = run_app("lu", slow, 9);
+        // Core-bound work doubles in seconds; memory-bound portions cost
+        // fewer *cycles* at the lower clock (DRAM nanoseconds are fixed),
+        // so the overall ratio lands between 1.3x and 2x.
+        let ratio = tfet.seconds() / base.seconds();
+        assert!((1.3..2.2).contains(&ratio), "seconds ratio {ratio}");
+    }
+}

@@ -1,0 +1,359 @@
+//! Functional-unit pool with device-dependent timing.
+//!
+//! Table III gives per-class latencies for the CMOS and TFET
+//! implementations:
+//!
+//! | unit          | CMOS          | TFET           |
+//! |---------------|---------------|----------------|
+//! | 4x ALU        | 1 cycle       | 2 cycles       |
+//! | 2x Int Mul/Div| 2 / 4 cycles  | 4 / 8 cycles   |
+//! | 2x LSU        | 1 cycle       | 1 cycle        |
+//! | 2x FPU A/M/D  | 2 / 4 / 8     | 4 / 8 / 16     |
+//!
+//! Adds and multiplies are fully pipelined (issue every cycle); divides
+//! issue every `latency` cycles (int) or every 8/16 cycles (FP). The
+//! dual-speed ALU cluster of AdvHet is expressed by giving individual ALUs
+//! individual timings (one 1-cycle CMOS ALU plus three 2-cycle TFET ALUs).
+
+use hetsim_trace::OpClass;
+
+/// Timing of one operation class on one unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuTiming {
+    /// Result latency in cycles.
+    pub latency: u32,
+    /// Minimum cycles between issues to the same unit (1 = pipelined).
+    pub issue_interval: u32,
+}
+
+impl FuTiming {
+    /// Fully pipelined unit with the given latency.
+    pub const fn pipelined(latency: u32) -> Self {
+        FuTiming { latency, issue_interval: 1 }
+    }
+
+    /// Unpipelined unit: next issue waits out the full latency.
+    pub const fn unpipelined(latency: u32) -> Self {
+        FuTiming { latency, issue_interval: latency }
+    }
+}
+
+/// Configuration of the whole pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuPoolConfig {
+    /// Per-ALU timing (one entry per ALU instance; heterogeneity expresses
+    /// the dual-speed cluster).
+    pub alus: Vec<FuTiming>,
+    /// Integer multiply timing (2 shared mul/div units).
+    pub int_mul: FuTiming,
+    /// Integer divide timing.
+    pub int_div: FuTiming,
+    /// Number of integer mul/div units.
+    pub int_muldiv_units: u32,
+    /// FP add timing (2 shared FPU units).
+    pub fp_add: FuTiming,
+    /// FP multiply timing.
+    pub fp_mul: FuTiming,
+    /// FP divide timing.
+    pub fp_div: FuTiming,
+    /// Number of FPU units.
+    pub fpu_units: u32,
+    /// Number of load/store units (1-cycle address generation).
+    pub lsu_units: u32,
+}
+
+impl FuPoolConfig {
+    /// The all-CMOS pool of BaseCMOS (Table III, CMOS column).
+    pub fn cmos() -> Self {
+        FuPoolConfig {
+            alus: vec![FuTiming::pipelined(1); 4],
+            int_mul: FuTiming::pipelined(2),
+            int_div: FuTiming::unpipelined(4),
+            int_muldiv_units: 2,
+            fp_add: FuTiming::pipelined(2),
+            fp_mul: FuTiming::pipelined(4),
+            fp_div: FuTiming { latency: 8, issue_interval: 8 },
+            fpu_units: 2,
+            lsu_units: 2,
+        }
+    }
+
+    /// The all-TFET pool of BaseHet (Table III, TFET column).
+    pub fn tfet() -> Self {
+        FuPoolConfig {
+            alus: vec![FuTiming::pipelined(2); 4],
+            int_mul: FuTiming::pipelined(4),
+            int_div: FuTiming::unpipelined(8),
+            int_muldiv_units: 2,
+            fp_add: FuTiming::pipelined(4),
+            fp_mul: FuTiming::pipelined(8),
+            fp_div: FuTiming { latency: 16, issue_interval: 16 },
+            fpu_units: 2,
+            lsu_units: 2,
+        }
+    }
+
+    /// The dual-speed ALU cluster of AdvHet: 1 CMOS ALU + 3 TFET ALUs, with
+    /// TFET everything-else (Table IV, AdvHet row).
+    pub fn dual_speed() -> Self {
+        let mut cfg = FuPoolConfig::tfet();
+        cfg.alus = vec![
+            FuTiming::pipelined(1), // the CMOS ALU
+            FuTiming::pipelined(2),
+            FuTiming::pipelined(2),
+            FuTiming::pipelined(2),
+        ];
+        cfg
+    }
+
+    /// BaseHet-FastALU: TFET FPUs but all-CMOS ALUs (Table IV).
+    pub fn tfet_fast_alu() -> Self {
+        let mut cfg = FuPoolConfig::tfet();
+        cfg.alus = vec![FuTiming::pipelined(1); 4];
+        cfg
+    }
+
+    /// BaseHighVt: FPUs and ALUs built from high-V_t CMOS only; Table IV
+    /// gives Int Add/Mul/Div = 2/3/6 and FP Add/Mul/Div = 3/6/12.
+    pub fn high_vt() -> Self {
+        FuPoolConfig {
+            alus: vec![FuTiming::pipelined(2); 4],
+            int_mul: FuTiming::pipelined(3),
+            int_div: FuTiming::unpipelined(6),
+            int_muldiv_units: 2,
+            fp_add: FuTiming::pipelined(3),
+            fp_mul: FuTiming::pipelined(6),
+            fp_div: FuTiming { latency: 12, issue_interval: 12 },
+            fpu_units: 2,
+            lsu_units: 2,
+        }
+    }
+
+    /// Whether any ALU is strictly faster than another (dual-speed).
+    pub fn has_dual_speed_alus(&self) -> bool {
+        let min = self.alus.iter().map(|t| t.latency).min();
+        let max = self.alus.iter().map(|t| t.latency).max();
+        min != max
+    }
+
+    /// Latency of the fastest ALU.
+    pub fn fast_alu_latency(&self) -> u32 {
+        self.alus.iter().map(|t| t.latency).min().expect("at least one ALU")
+    }
+}
+
+/// A successfully issued operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Issued {
+    /// Result latency of the chosen unit.
+    pub latency: u32,
+    /// Whether the op landed on a fastest-latency ALU (for steering stats;
+    /// `false` for non-ALU classes).
+    pub on_fast_alu: bool,
+}
+
+/// Runtime state of the pool: per-instance next-free cycles.
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    cfg: FuPoolConfig,
+    alu_free: Vec<u64>,
+    muldiv_free: Vec<u64>,
+    fpu_free: Vec<u64>,
+    lsu_free: Vec<u64>,
+}
+
+impl FuPool {
+    /// Creates an idle pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any unit count is zero.
+    pub fn new(cfg: FuPoolConfig) -> Self {
+        assert!(!cfg.alus.is_empty(), "need at least one ALU");
+        assert!(cfg.int_muldiv_units > 0 && cfg.fpu_units > 0 && cfg.lsu_units > 0);
+        FuPool {
+            alu_free: vec![0; cfg.alus.len()],
+            muldiv_free: vec![0; cfg.int_muldiv_units as usize],
+            fpu_free: vec![0; cfg.fpu_units as usize],
+            lsu_free: vec![0; cfg.lsu_units as usize],
+            cfg,
+        }
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> &FuPoolConfig {
+        &self.cfg
+    }
+
+    /// Attempts to issue `op` at `cycle`. For ALU ops, `prefer_fast`
+    /// selects the steering cluster: the fast (lowest-latency) ALUs are
+    /// tried first when `true`, the slow ones first when `false`; either
+    /// way a free unit from the other cluster is used as fallback (the
+    /// mis-steer penalty is only the latency difference, Section IV-C2).
+    pub fn try_issue(&mut self, op: OpClass, cycle: u64, prefer_fast: bool) -> Option<Issued> {
+        match op {
+            OpClass::IntAlu => self.issue_alu(cycle, prefer_fast),
+            OpClass::IntMul => {
+                Self::issue_on(&mut self.muldiv_free, self.cfg.int_mul, cycle).map(|l| Issued {
+                    latency: l,
+                    on_fast_alu: false,
+                })
+            }
+            OpClass::IntDiv => {
+                Self::issue_on(&mut self.muldiv_free, self.cfg.int_div, cycle).map(|l| Issued {
+                    latency: l,
+                    on_fast_alu: false,
+                })
+            }
+            OpClass::FpAdd => Self::issue_on(&mut self.fpu_free, self.cfg.fp_add, cycle)
+                .map(|l| Issued { latency: l, on_fast_alu: false }),
+            OpClass::FpMul => Self::issue_on(&mut self.fpu_free, self.cfg.fp_mul, cycle)
+                .map(|l| Issued { latency: l, on_fast_alu: false }),
+            OpClass::FpDiv => Self::issue_on(&mut self.fpu_free, self.cfg.fp_div, cycle)
+                .map(|l| Issued { latency: l, on_fast_alu: false }),
+            OpClass::Load | OpClass::Store => {
+                Self::issue_on(&mut self.lsu_free, FuTiming::pipelined(1), cycle)
+                    .map(|l| Issued { latency: l, on_fast_alu: false })
+            }
+            // Branches resolve on an ALU.
+            OpClass::Branch => self.issue_alu(cycle, prefer_fast),
+        }
+    }
+
+    fn issue_alu(&mut self, cycle: u64, prefer_fast: bool) -> Option<Issued> {
+        let fast_latency = self.cfg.fast_alu_latency();
+        // Order candidate ALUs by the steering preference.
+        let mut order: Vec<usize> = (0..self.cfg.alus.len()).collect();
+        order.sort_by_key(|&i| {
+            let is_fast = self.cfg.alus[i].latency == fast_latency;
+            if prefer_fast {
+                usize::from(!is_fast)
+            } else {
+                usize::from(is_fast)
+            }
+        });
+        for i in order {
+            if self.alu_free[i] <= cycle {
+                let timing = self.cfg.alus[i];
+                self.alu_free[i] = cycle + u64::from(timing.issue_interval);
+                return Some(Issued {
+                    latency: timing.latency,
+                    on_fast_alu: timing.latency == fast_latency,
+                });
+            }
+        }
+        None
+    }
+
+    fn issue_on(free: &mut [u64], timing: FuTiming, cycle: u64) -> Option<u32> {
+        let slot = free.iter_mut().find(|f| **f <= cycle)?;
+        *slot = cycle + u64::from(timing.issue_interval);
+        Some(timing.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmos_alu_is_single_cycle() {
+        let mut p = FuPool::new(FuPoolConfig::cmos());
+        let i = p.try_issue(OpClass::IntAlu, 0, false).expect("free ALU");
+        assert_eq!(i.latency, 1);
+    }
+
+    #[test]
+    fn four_alus_per_cycle_then_structural_stall() {
+        let mut p = FuPool::new(FuPoolConfig::cmos());
+        for _ in 0..4 {
+            assert!(p.try_issue(OpClass::IntAlu, 5, false).is_some());
+        }
+        assert!(p.try_issue(OpClass::IntAlu, 5, false).is_none(), "only 4 ALUs");
+        assert!(p.try_issue(OpClass::IntAlu, 6, false).is_some(), "pipelined: free next cycle");
+    }
+
+    #[test]
+    fn int_div_is_unpipelined() {
+        let mut p = FuPool::new(FuPoolConfig::cmos());
+        assert!(p.try_issue(OpClass::IntDiv, 0, false).is_some());
+        assert!(p.try_issue(OpClass::IntDiv, 0, false).is_some(), "two units");
+        assert!(p.try_issue(OpClass::IntDiv, 1, false).is_none(), "both busy for 4 cycles");
+        assert!(p.try_issue(OpClass::IntDiv, 4, false).is_some());
+    }
+
+    #[test]
+    fn fp_div_issue_interval_matches_table_iii() {
+        let mut cmos = FuPool::new(FuPoolConfig::cmos());
+        cmos.try_issue(OpClass::FpDiv, 0, false).expect("free");
+        cmos.try_issue(OpClass::FpDiv, 0, false).expect("second unit");
+        assert!(cmos.try_issue(OpClass::FpDiv, 7, false).is_none());
+        assert!(cmos.try_issue(OpClass::FpDiv, 8, false).is_some());
+
+        let mut tfet = FuPool::new(FuPoolConfig::tfet());
+        tfet.try_issue(OpClass::FpDiv, 0, false).expect("free");
+        tfet.try_issue(OpClass::FpDiv, 0, false).expect("second unit");
+        assert!(tfet.try_issue(OpClass::FpDiv, 15, false).is_none());
+        assert!(tfet.try_issue(OpClass::FpDiv, 16, false).is_some());
+    }
+
+    #[test]
+    fn tfet_latencies_double_cmos() {
+        let c = FuPoolConfig::cmos();
+        let t = FuPoolConfig::tfet();
+        assert_eq!(t.alus[0].latency, 2 * c.alus[0].latency);
+        assert_eq!(t.int_mul.latency, 2 * c.int_mul.latency);
+        assert_eq!(t.int_div.latency, 2 * c.int_div.latency);
+        assert_eq!(t.fp_add.latency, 2 * c.fp_add.latency);
+        assert_eq!(t.fp_mul.latency, 2 * c.fp_mul.latency);
+        assert_eq!(t.fp_div.latency, 2 * c.fp_div.latency);
+    }
+
+    #[test]
+    fn dual_speed_steering_prefers_requested_cluster() {
+        let mut p = FuPool::new(FuPoolConfig::dual_speed());
+        let fast = p.try_issue(OpClass::IntAlu, 0, true).expect("free");
+        assert!(fast.on_fast_alu);
+        assert_eq!(fast.latency, 1);
+        let slow = p.try_issue(OpClass::IntAlu, 0, false).expect("free");
+        assert!(!slow.on_fast_alu);
+        assert_eq!(slow.latency, 2);
+    }
+
+    #[test]
+    fn steering_falls_back_when_cluster_busy() {
+        let mut p = FuPool::new(FuPoolConfig::dual_speed());
+        // Occupy the single fast ALU.
+        assert!(p.try_issue(OpClass::IntAlu, 0, true).expect("free").on_fast_alu);
+        // A second fast-preferring op lands on a slow ALU (mis-steer).
+        let second = p.try_issue(OpClass::IntAlu, 0, true).expect("fallback");
+        assert!(!second.on_fast_alu);
+        assert_eq!(second.latency, 2);
+    }
+
+    #[test]
+    fn high_vt_latencies_match_table_iv() {
+        let h = FuPoolConfig::high_vt();
+        assert_eq!(h.alus[0].latency, 2);
+        assert_eq!(h.int_mul.latency, 3);
+        assert_eq!(h.int_div.latency, 6);
+        assert_eq!(h.fp_add.latency, 3);
+        assert_eq!(h.fp_mul.latency, 6);
+        assert_eq!(h.fp_div.latency, 12);
+    }
+
+    #[test]
+    fn dual_speed_detection() {
+        assert!(FuPoolConfig::dual_speed().has_dual_speed_alus());
+        assert!(!FuPoolConfig::cmos().has_dual_speed_alus());
+        assert!(!FuPoolConfig::tfet().has_dual_speed_alus());
+    }
+
+    #[test]
+    fn lsu_capacity() {
+        let mut p = FuPool::new(FuPoolConfig::cmos());
+        assert!(p.try_issue(OpClass::Load, 0, false).is_some());
+        assert!(p.try_issue(OpClass::Store, 0, false).is_some());
+        assert!(p.try_issue(OpClass::Load, 0, false).is_none(), "2 LSUs");
+    }
+}

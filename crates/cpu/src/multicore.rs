@@ -1,0 +1,162 @@
+//! Multicore execution model for the fixed-power-budget comparison.
+//!
+//! The paper's AdvHet-2X study (Section VII-A1) runs 8 AdvHet cores against
+//! 4 BaseCMOS cores at equal chip power. The synthetic workloads model
+//! parallelism Amdahl-style: a profile's `parallel_fraction` of the dynamic
+//! instructions splits evenly across cores (SPLASH-2-style data-parallel
+//! phases, disjoint per-thread working sets), and the remainder runs
+//! serially on core 0 while the other cores idle (leaking but not
+//! switching).
+//!
+//! Total time is therefore `T_serial + max_i T_parallel_i`, and the energy
+//! model charges active energy per phase plus idle leakage for the cores
+//! that sit out the serial phase.
+
+use hetsim_trace::stream::TraceGenerator;
+use hetsim_trace::WorkloadProfile;
+
+use crate::config::CoreConfig;
+use crate::core::{Core, RunResult};
+
+/// Result of a multicore run.
+#[derive(Debug, Clone)]
+pub struct MulticoreResult {
+    /// Number of cores.
+    pub cores: u32,
+    /// The serial phase on core 0 (`None` if the workload is fully
+    /// parallel).
+    pub serial: Option<RunResult>,
+    /// Per-core parallel-phase results.
+    pub parallel: Vec<RunResult>,
+    /// Core clock (Hz).
+    pub clock_hz: f64,
+}
+
+impl MulticoreResult {
+    /// Seconds of the serial phase.
+    pub fn serial_seconds(&self) -> f64 {
+        self.serial.as_ref().map_or(0.0, RunResult::seconds)
+    }
+
+    /// Seconds of the parallel phase (the slowest core).
+    pub fn parallel_seconds(&self) -> f64 {
+        self.parallel.iter().map(RunResult::seconds).fold(0.0, f64::max)
+    }
+
+    /// End-to-end execution time.
+    pub fn total_seconds(&self) -> f64 {
+        self.serial_seconds() + self.parallel_seconds()
+    }
+
+    /// Total committed instructions across phases and cores.
+    pub fn total_committed(&self) -> u64 {
+        self.serial.as_ref().map_or(0, |r| r.stats.committed)
+            + self.parallel.iter().map(|r| r.stats.committed).sum::<u64>()
+    }
+}
+
+/// Runs `total_insts` dynamic instructions of `profile` on `cores` cores.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero or the profile is invalid.
+pub fn run_multicore(
+    core_cfg: &CoreConfig,
+    cores: u32,
+    profile: &WorkloadProfile,
+    seed: u64,
+    total_insts: u64,
+) -> MulticoreResult {
+    assert!(cores >= 1, "need at least one core");
+    profile.validate().expect("valid profile");
+
+    let serial_insts = (total_insts as f64 * (1.0 - profile.parallel_fraction)).round() as u64;
+    let parallel_insts = total_insts - serial_insts;
+    let per_core = parallel_insts / u64::from(cores);
+
+    let warmup = |n: u64| (n / 4).min(25_000);
+    let ws = profile.memory.working_set_bytes;
+    let serial = if serial_insts > 0 {
+        let mut core = Core::new(core_cfg.clone(), 0);
+        core.prewarm(0, ws);
+        Some(core.run_warmed(
+            TraceGenerator::for_thread(profile, seed, 0),
+            warmup(serial_insts),
+            serial_insts,
+        ))
+    } else {
+        None
+    };
+
+    let parallel = (0..cores)
+        .filter(|_| per_core > 0)
+        .map(|t| {
+            let mut core = Core::new(core_cfg.clone(), t);
+            core.prewarm(u64::from(t) * hetsim_trace::stream::THREAD_ADDRESS_STRIDE, ws);
+            core.run_warmed(
+                TraceGenerator::for_thread(profile, seed.wrapping_add(1), t),
+                warmup(per_core),
+                per_core,
+            )
+        })
+        .collect();
+
+    MulticoreResult { cores, serial, parallel, clock_hz: core_cfg.clock_hz }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim_trace::apps;
+
+    const N: u64 = 40_000;
+
+    #[test]
+    fn more_cores_run_faster() {
+        let profile = apps::profile("fft").expect("known");
+        let cfg = CoreConfig::default();
+        let one = run_multicore(&cfg, 1, &profile, 11, N);
+        let four = run_multicore(&cfg, 4, &profile, 11, N);
+        let eight = run_multicore(&cfg, 8, &profile, 11, N);
+        assert!(four.total_seconds() < one.total_seconds());
+        assert!(eight.total_seconds() < four.total_seconds());
+    }
+
+    #[test]
+    fn scaling_respects_amdahl() {
+        let profile = apps::profile("canneal").expect("known"); // f = 0.90
+        let cfg = CoreConfig::default();
+        let one = run_multicore(&cfg, 1, &profile, 12, N);
+        let eight = run_multicore(&cfg, 8, &profile, 12, N);
+        let speedup = one.total_seconds() / eight.total_seconds();
+        let amdahl_limit = 1.0 / (1.0 - profile.parallel_fraction);
+        assert!(
+            speedup < amdahl_limit,
+            "speedup {speedup} cannot beat the Amdahl limit {amdahl_limit}"
+        );
+        assert!(speedup > 2.0, "8 cores at f=0.9 should exceed 2x: {speedup}");
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        let profile = apps::profile("lu").expect("known");
+        let cfg = CoreConfig::default();
+        let r = run_multicore(&cfg, 4, &profile, 13, N);
+        // Committed work equals the requested total up to the per-core
+        // integer division remainder.
+        let total = r.total_committed();
+        assert!(total <= N);
+        assert!(N - total < u64::from(r.cores), "lost more than rounding: {total}/{N}");
+    }
+
+    #[test]
+    fn fully_serial_profile_has_no_parallel_phase() {
+        let mut profile = apps::profile("lu").expect("known");
+        profile.parallel_fraction = 0.0;
+        let cfg = CoreConfig::default();
+        let r = run_multicore(&cfg, 4, &profile, 14, 10_000);
+        assert!(r.serial.is_some());
+        assert!(r.parallel.is_empty());
+        assert!(r.parallel_seconds() == 0.0);
+    }
+}

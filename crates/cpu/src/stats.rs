@@ -1,0 +1,196 @@
+//! Pipeline event counters.
+//!
+//! Every counter here is an energy event for the power model: committed
+//! operations drive functional-unit dynamic energy, register-file
+//! reads/writes drive RF energy, dispatches drive ROB/rename energy, and so
+//! on. Cycle counts drive leakage.
+
+/// Event counters for one core's run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Instructions dispatched into the ROB (equals committed in this
+    /// trace-driven model: wrong-path work is modeled as fetch bubbles).
+    pub dispatched: u64,
+    /// Fetch groups delivered by the front end (IL1 accesses).
+    pub fetch_groups: u64,
+    /// Wrong-path fetch groups: cycles the front end spent fetching down a
+    /// mispredicted path before the redirect. Trace-driven simulation does
+    /// not execute wrong-path work, but the fetch/decode *energy* is real
+    /// and McPAT charges it; so do we.
+    pub wrong_path_fetch_groups: u64,
+    /// Issue-queue issue events.
+    pub issues: u64,
+
+    // Committed operations by class.
+    /// Simple ALU ops executed on the fast (CMOS) ALU cluster.
+    pub alu_fast_ops: u64,
+    /// Simple ALU ops executed on the slow (TFET) ALU cluster. For
+    /// homogeneous designs all ALU ops land here or in `alu_fast_ops`
+    /// depending on the cluster technology.
+    pub alu_slow_ops: u64,
+    /// Integer multiplies.
+    pub int_mul_ops: u64,
+    /// Integer divides.
+    pub int_div_ops: u64,
+    /// FP adds.
+    pub fp_add_ops: u64,
+    /// FP multiplies.
+    pub fp_mul_ops: u64,
+    /// FP divides.
+    pub fp_div_ops: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Branches executed.
+    pub branches: u64,
+    /// Branches mispredicted (direction or target).
+    pub mispredicts: u64,
+
+    // Register-file traffic.
+    /// Integer RF reads.
+    pub int_rf_reads: u64,
+    /// Integer RF writes.
+    pub int_rf_writes: u64,
+    /// FP RF reads.
+    pub fp_rf_reads: u64,
+    /// FP RF writes.
+    pub fp_rf_writes: u64,
+
+    // Backpressure diagnostics (not energy events; used in tests/reports).
+    /// Cycles dispatch stalled because the ROB was full.
+    pub rob_full_stalls: u64,
+    /// Cycles dispatch stalled because the IQ was full.
+    pub iq_full_stalls: u64,
+    /// Cycles dispatch stalled because the LSQ was full.
+    pub lsq_full_stalls: u64,
+    /// Cycles dispatch stalled because rename registers ran out.
+    pub reg_full_stalls: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Total simple-ALU operations across both clusters.
+    pub fn alu_ops(&self) -> u64 {
+        self.alu_fast_ops + self.alu_slow_ops
+    }
+
+    /// Total FPU operations.
+    pub fn fpu_ops(&self) -> u64 {
+        self.fp_add_ops + self.fp_mul_ops + self.fp_div_ops
+    }
+
+    /// Counter-wise difference `self - baseline` (for warmup snapshots);
+    /// `cycles`/`committed` are left to the caller to recompute.
+    pub fn minus(&self, b: &CoreStats) -> CoreStats {
+        CoreStats {
+            cycles: self.cycles,
+            committed: self.committed,
+            dispatched: self.dispatched - b.dispatched,
+            fetch_groups: self.fetch_groups - b.fetch_groups,
+            wrong_path_fetch_groups: self.wrong_path_fetch_groups - b.wrong_path_fetch_groups,
+            issues: self.issues - b.issues,
+            alu_fast_ops: self.alu_fast_ops - b.alu_fast_ops,
+            alu_slow_ops: self.alu_slow_ops - b.alu_slow_ops,
+            int_mul_ops: self.int_mul_ops - b.int_mul_ops,
+            int_div_ops: self.int_div_ops - b.int_div_ops,
+            fp_add_ops: self.fp_add_ops - b.fp_add_ops,
+            fp_mul_ops: self.fp_mul_ops - b.fp_mul_ops,
+            fp_div_ops: self.fp_div_ops - b.fp_div_ops,
+            loads: self.loads - b.loads,
+            stores: self.stores - b.stores,
+            branches: self.branches - b.branches,
+            mispredicts: self.mispredicts - b.mispredicts,
+            int_rf_reads: self.int_rf_reads - b.int_rf_reads,
+            int_rf_writes: self.int_rf_writes - b.int_rf_writes,
+            fp_rf_reads: self.fp_rf_reads - b.fp_rf_reads,
+            fp_rf_writes: self.fp_rf_writes - b.fp_rf_writes,
+            rob_full_stalls: self.rob_full_stalls - b.rob_full_stalls,
+            iq_full_stalls: self.iq_full_stalls - b.iq_full_stalls,
+            lsq_full_stalls: self.lsq_full_stalls - b.lsq_full_stalls,
+            reg_full_stalls: self.reg_full_stalls - b.reg_full_stalls,
+        }
+    }
+
+    /// Accumulates another core's counters.
+    pub fn merge(&mut self, o: &CoreStats) {
+        self.cycles = self.cycles.max(o.cycles);
+        self.committed += o.committed;
+        self.dispatched += o.dispatched;
+        self.fetch_groups += o.fetch_groups;
+        self.wrong_path_fetch_groups += o.wrong_path_fetch_groups;
+        self.issues += o.issues;
+        self.alu_fast_ops += o.alu_fast_ops;
+        self.alu_slow_ops += o.alu_slow_ops;
+        self.int_mul_ops += o.int_mul_ops;
+        self.int_div_ops += o.int_div_ops;
+        self.fp_add_ops += o.fp_add_ops;
+        self.fp_mul_ops += o.fp_mul_ops;
+        self.fp_div_ops += o.fp_div_ops;
+        self.loads += o.loads;
+        self.stores += o.stores;
+        self.branches += o.branches;
+        self.mispredicts += o.mispredicts;
+        self.int_rf_reads += o.int_rf_reads;
+        self.int_rf_writes += o.int_rf_writes;
+        self.fp_rf_reads += o.fp_rf_reads;
+        self.fp_rf_writes += o.fp_rf_writes;
+        self.rob_full_stalls += o.rob_full_stalls;
+        self.iq_full_stalls += o.iq_full_stalls;
+        self.lsq_full_stalls += o.lsq_full_stalls;
+        self.reg_full_stalls += o.reg_full_stalls;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(CoreStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let s = CoreStats {
+            cycles: 100,
+            committed: 250,
+            branches: 50,
+            mispredicts: 5,
+            ..CoreStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_takes_max_cycles_and_sums_events() {
+        let mut a = CoreStats { cycles: 100, committed: 10, ..CoreStats::default() };
+        let b = CoreStats { cycles: 80, committed: 20, ..CoreStats::default() };
+        a.merge(&b);
+        assert_eq!(a.cycles, 100);
+        assert_eq!(a.committed, 30);
+    }
+}

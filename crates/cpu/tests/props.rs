@@ -1,0 +1,95 @@
+//! Property tests for the CPU pipeline components and the whole core.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use proptest::prelude::*;
+
+use hetsim_cpu::config::CoreConfig;
+use hetsim_cpu::core::Core;
+use hetsim_cpu::fu::{FuPool, FuPoolConfig};
+use hetsim_cpu::predictor::{PredictorConfig, TournamentPredictor};
+use hetsim_trace::stream::TraceGenerator;
+use hetsim_trace::{apps, OpClass};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The predictor never issues more structural resources than exist:
+    /// arbitrary outcome streams keep its tables consistent (no panics)
+    /// and accuracy stays a probability.
+    #[test]
+    fn predictor_is_total(outcomes in proptest::collection::vec(any::<bool>(), 1..2000),
+                          pcs in proptest::collection::vec(0u64..64, 2000)) {
+        let mut p = TournamentPredictor::new(PredictorConfig::default());
+        let mut correct = 0u64;
+        let n = outcomes.len();
+        for (taken, pc_idx) in outcomes.into_iter().zip(pcs) {
+            let pc = 0x4000_0000 + pc_idx * 16;
+            if p.predict(pc).taken == taken {
+                correct += 1;
+            }
+            p.update(pc, taken);
+        }
+        let acc = correct as f64 / n as f64;
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+
+    /// The FU pool never exceeds per-cycle structural capacity for any
+    /// request sequence.
+    #[test]
+    fn fu_pool_respects_capacity(ops in proptest::collection::vec(0u8..7, 1..200)) {
+        let mut pool = FuPool::new(FuPoolConfig::cmos());
+        let classes = [
+            OpClass::IntAlu, OpClass::IntMul, OpClass::IntDiv,
+            OpClass::FpAdd, OpClass::FpMul, OpClass::FpDiv, OpClass::Load,
+        ];
+        for cycle in 0..50u64 {
+            let mut alu = 0;
+            let mut lsu = 0;
+            for &o in &ops {
+                let class = classes[o as usize];
+                if pool.try_issue(class, cycle, false).is_some() {
+                    match class {
+                        OpClass::IntAlu => alu += 1,
+                        OpClass::Load => lsu += 1,
+                        _ => {}
+                    }
+                }
+            }
+            prop_assert!(alu <= 4, "at most 4 ALU issues per cycle, got {alu}");
+            prop_assert!(lsu <= 2, "at most 2 LSU issues per cycle, got {lsu}");
+        }
+    }
+
+    /// The core commits exactly what is asked, never exceeds the machine
+    /// width, and produces consistent counters — for any app and seed.
+    #[test]
+    fn core_runs_are_well_formed(seed in any::<u64>(), idx in 0usize..14) {
+        let app = &apps::all()[idx];
+        let n = 8_000u64;
+        let mut core = Core::new(CoreConfig::default(), 0);
+        let r = core.run(TraceGenerator::new(app, seed), n);
+        prop_assert_eq!(r.stats.committed, n);
+        prop_assert!(r.stats.cycles >= n / 4, "cannot beat the 4-wide limit");
+        prop_assert!(r.ipc() <= 4.0);
+        prop_assert!(r.stats.mispredicts <= r.stats.branches);
+        prop_assert_eq!(r.stats.loads + r.stats.stores, r.mem.dl1_accesses());
+    }
+
+    /// Halving the clock never makes the wall-clock time shorter.
+    #[test]
+    fn lower_clock_is_never_faster(seed in any::<u64>()) {
+        let app = apps::profile("fft").expect("known app");
+        let fast = {
+            let mut core = Core::new(CoreConfig::default(), 0);
+            core.run(TraceGenerator::new(&app, seed), 8_000).seconds()
+        };
+        let slow = {
+            let mut cfg = CoreConfig::default();
+            cfg.clock_hz = 1.0e9;
+            let mut core = Core::new(cfg, 0);
+            core.run(TraceGenerator::new(&app, seed), 8_000).seconds()
+        };
+        prop_assert!(slow > fast);
+    }
+}

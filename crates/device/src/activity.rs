@@ -1,0 +1,154 @@
+//! ALU power vs. activity factor (paper Figure 2).
+//!
+//! Because HetJTFETs leak so little, they shine in units with a low activity
+//! factor: when the unit idles, a Si-CMOS implementation keeps burning
+//! leakage power while the TFET one consumes almost nothing. Figure 2 plots
+//! the total power of a 32-bit Si-CMOS ALU (built with 60% high-V_t
+//! transistors in non-critical paths, as commercial processors do) and of a
+//! HetJTFET ALU as the activity factor sweeps from 1 down to ~0, along with
+//! the ratio of the two, which grows toward the ~125x leakage-only limit.
+
+use crate::tech::{dual_vt_leakage_factor, HETJ_TFET, SI_CMOS};
+
+/// Nominal clock used in the Figure 2 comparison (the 2 GHz core clock).
+pub const NOMINAL_CLOCK_HZ: f64 = 2.0e9;
+
+/// Total-power model of a 32-bit ALU in a given implementation.
+///
+/// `activity factor = 1` means one ALU operation completes every core cycle.
+/// The HetJTFET ALU is pipelined twice as deep, so at equal activity factor
+/// both designs retire the same operations per second; only energy per
+/// operation and leakage differ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AluPowerModel {
+    /// Dynamic energy per 32-bit operation (J).
+    pub energy_per_op_j: f64,
+    /// Leakage power (W).
+    pub leakage_w: f64,
+    /// Operation throughput at activity factor 1 (ops/s).
+    pub peak_ops_per_s: f64,
+}
+
+impl AluPowerModel {
+    /// The dual-V_t Si-CMOS ALU of Figure 2: Table I dynamic energy, with
+    /// leakage derated to ~42% by the 60% high-V_t transistor share.
+    pub fn si_cmos_dual_vt() -> Self {
+        AluPowerModel {
+            energy_per_op_j: SI_CMOS.alu32_dynamic_energy_fj * 1.0e-15,
+            leakage_w: SI_CMOS.alu32_leakage_uw * 1.0e-6 * dual_vt_leakage_factor(),
+            peak_ops_per_s: NOMINAL_CLOCK_HZ,
+        }
+    }
+
+    /// The HetJTFET ALU of Figure 2 (Table I values).
+    pub fn hetjtfet() -> Self {
+        AluPowerModel {
+            energy_per_op_j: HETJ_TFET.alu32_dynamic_energy_fj * 1.0e-15,
+            leakage_w: HETJ_TFET.alu32_leakage_uw * 1.0e-6,
+            peak_ops_per_s: NOMINAL_CLOCK_HZ,
+        }
+    }
+
+    /// Total power (W) at activity factor `af` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `af` is outside `[0, 1]`.
+    pub fn total_power(&self, af: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&af), "activity factor must be in [0,1], got {af}");
+        af * self.peak_ops_per_s * self.energy_per_op_j + self.leakage_w
+    }
+}
+
+/// One row of the Figure 2 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivityPoint {
+    /// Activity factor.
+    pub af: f64,
+    /// Si-CMOS (dual-V_t) total ALU power (W).
+    pub cmos_w: f64,
+    /// HetJTFET total ALU power (W).
+    pub tfet_w: f64,
+    /// CMOS/TFET power ratio.
+    pub ratio: f64,
+}
+
+/// Generates the Figure 2 series over logarithmically spaced activity
+/// factors from `af_min` up to 1.
+///
+/// # Panics
+///
+/// Panics unless `0 < af_min < 1` and `points >= 2`.
+pub fn figure2_series(af_min: f64, points: usize) -> Vec<ActivityPoint> {
+    assert!(af_min > 0.0 && af_min < 1.0, "af_min must be in (0,1), got {af_min}");
+    assert!(points >= 2, "need at least two points");
+    let cmos = AluPowerModel::si_cmos_dual_vt();
+    let tfet = AluPowerModel::hetjtfet();
+    let log_min = af_min.log10();
+    (0..points)
+        .map(|i| {
+            let t = i as f64 / (points - 1) as f64;
+            let af = 10f64.powf(log_min * (1.0 - t));
+            let cmos_w = cmos.total_power(af);
+            let tfet_w = tfet.total_power(af);
+            ActivityPoint { af, cmos_w, tfet_w, ratio: cmos_w / tfet_w }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_activity_ratio_is_about_4x() {
+        // At af=1 dynamic dominates; Table I gives ~3.9x dynamic ratio, and
+        // leakage nudges the total ratio slightly above it.
+        let p = figure2_series(1e-4, 2);
+        let full = p.last().expect("non-empty");
+        assert!((3.5..5.0).contains(&full.ratio), "af=1 ratio {}", full.ratio);
+    }
+
+    #[test]
+    fn idle_ratio_approaches_leakage_limit() {
+        // As af -> 0 the ratio approaches dual-Vt leakage ratio (~125x).
+        let cmos = AluPowerModel::si_cmos_dual_vt();
+        let tfet = AluPowerModel::hetjtfet();
+        let r = cmos.total_power(0.0) / tfet.total_power(0.0);
+        assert!((115.0..135.0).contains(&r), "idle ratio {r}");
+    }
+
+    #[test]
+    fn ratio_grows_monotonically_as_activity_falls() {
+        let series = figure2_series(1e-4, 40);
+        for w in series.windows(2) {
+            assert!(
+                w[0].ratio >= w[1].ratio,
+                "ratio must shrink as af grows: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn cmos_power_at_full_activity_is_hundreds_of_microwatts() {
+        let cmos = AluPowerModel::si_cmos_dual_vt();
+        let p = cmos.total_power(1.0);
+        // 170.1 fJ * 2 GHz = 340 uW dynamic + ~38 uW leakage.
+        assert!((3.0e-4..4.5e-4).contains(&p), "CMOS af=1 power {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "activity factor")]
+    fn out_of_range_af_panics() {
+        let _ = AluPowerModel::hetjtfet().total_power(1.5);
+    }
+
+    #[test]
+    fn series_spans_requested_range() {
+        let s = figure2_series(1e-3, 7);
+        assert!((s[0].af - 1e-3).abs() < 1e-9);
+        assert!((s[6].af - 1.0).abs() < 1e-12);
+    }
+}

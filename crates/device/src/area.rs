@@ -1,0 +1,88 @@
+//! Area model (paper Sections III-F and V-B).
+//!
+//! At the 15 nm node, HetJTFET standard cells occupy essentially the same
+//! area as FinFET cells (same transistor dimensions, same contacted gate
+//! pitch, same MP0/MP1 metal pitches — Kim et al., JETC'16), so replacing
+//! a unit's device type does not change its footprint. HetCore's area
+//! costs come from the *substrate*: the dual V_dd rails add ~5% of core
+//! area (Section V-B), and the deeper TFET pipelines add latches (a power
+//! cost, Section V-B, but negligible area).
+//!
+//! This model supports the iso-area comparisons the paper makes: an
+//! AdvHet core ≈ 1.05 CMOS-core-equivalents, a whole TFET core ≈ 1.0, so
+//! a 4-core AdvHet chip and a 2 CMOS + 2 TFET migration CMP occupy ~the
+//! same silicon (Section VIII).
+
+use crate::scaling::DUAL_RAIL_AREA_OVERHEAD;
+
+/// Area of one core, in CMOS-core-equivalents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreArea(pub f64);
+
+/// Area of an all-CMOS core (the unit of measure).
+pub fn cmos_core() -> CoreArea {
+    CoreArea(1.0)
+}
+
+/// Area of an all-TFET core: TFET cells match FinFET cells at 15 nm, and a
+/// single-rail core needs no dual-rail routing.
+pub fn tfet_core() -> CoreArea {
+    CoreArea(1.0)
+}
+
+/// Area of a HetCore (BaseHet or AdvHet) core: same cells, plus the dual
+/// V_dd rail overhead. (AdvHet's asymmetric DL1 and RF-cache structures
+/// re-partition existing arrays rather than adding capacity; the level
+/// converters' area is negligible per Ishihara et al.)
+pub fn hetcore_core() -> CoreArea {
+    CoreArea(1.0 + DUAL_RAIL_AREA_OVERHEAD)
+}
+
+/// Area of a chip with `n` cores of per-core area `core`.
+pub fn chip(n: u32, core: CoreArea) -> f64 {
+    f64::from(n) * core.0
+}
+
+/// How many cores of area `core` fit in the silicon of `reference_chips`
+/// CMOS-core-equivalents (floor).
+pub fn cores_within(budget_cmos_equivalents: f64, core: CoreArea) -> u32 {
+    (budget_cmos_equivalents / core.0).floor() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tfet_cells_cost_no_extra_area_at_15nm() {
+        // Section III-F: "the areas are similar" at 15 nm.
+        assert_eq!(tfet_core().0, cmos_core().0);
+    }
+
+    #[test]
+    fn hetcore_pays_the_dual_rail_overhead() {
+        assert!((hetcore_core().0 - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn section_viii_iso_area_setup_is_consistent() {
+        // 4 AdvHet cores ~ 4.2 CMOS equivalents; 2 CMOS + 2 TFET cores =
+        // 4.0 — the migration CMP gets the (slight) area benefit, which is
+        // the conservative direction for the comparison AdvHet then wins.
+        let advhet_chip = chip(4, hetcore_core());
+        let migration_chip = chip(2, cmos_core()) + chip(2, tfet_core());
+        assert!(advhet_chip >= migration_chip);
+        assert!(advhet_chip <= migration_chip * 1.06);
+    }
+
+    #[test]
+    fn power_budget_argument_is_area_feasible() {
+        // AdvHet-2X puts 8 cores where the power budget allows; area-wise
+        // 8 AdvHet cores cost 8.4 CMOS equivalents — the paper's fixed
+        // budget is *power*, not area, and this quantifies the area cost.
+        let twox = chip(8, hetcore_core());
+        assert!((twox - 8.4).abs() < 1e-12);
+        assert_eq!(cores_within(8.4, hetcore_core()), 8);
+        assert_eq!(cores_within(4.0, hetcore_core()), 3, "strict iso-area would fit 3");
+    }
+}

@@ -1,0 +1,160 @@
+//! Paired-voltage DVFS for a hetero-device core (paper Section III-D).
+//!
+//! HetCore runs its CMOS and TFET units from two supply rails but one clock.
+//! Under DVFS both rails move together: to clock the core at frequency `f`,
+//! the CMOS rail must reach `f` on the CMOS V-f curve while the TFET rail
+//! must reach `f/2` on the TFET curve (TFET stages do half the work, being
+//! pipelined twice as deep). Because the TFET curve is shallower, voltage
+//! deltas on the TFET rail are typically *larger* than on the CMOS rail —
+//! e.g. turbo from 2 GHz to 2.5 GHz takes +75 mV of V_CMOS but +90 mV of
+//! V_TFET.
+
+use crate::tech::Technology;
+use crate::vf::VfCurve;
+
+/// The nominal HetCore operating point: 2 GHz, V_CMOS = 0.73 V,
+/// V_TFET = 0.40 V (Figure 3).
+pub const NOMINAL_FREQUENCY_HZ: f64 = 2.0e9;
+
+/// A joint DVFS operating point for a hetero-device core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Core clock frequency (Hz); every unit runs at this clock.
+    pub frequency_hz: f64,
+    /// Supply voltage of the CMOS units (V).
+    pub v_cmos: f64,
+    /// Supply voltage of the TFET units (V).
+    pub v_tfet: f64,
+}
+
+impl OperatingPoint {
+    /// Dynamic-energy multipliers relative to a reference point, per rail.
+    ///
+    /// CV^2 scaling: energy per operation scales with the square of the
+    /// supply voltage on each rail independently.
+    pub fn energy_factors_vs(&self, reference: &OperatingPoint) -> (f64, f64) {
+        let cmos = (self.v_cmos / reference.v_cmos).powi(2);
+        let tfet = (self.v_tfet / reference.v_tfet).powi(2);
+        (cmos, tfet)
+    }
+}
+
+/// The paired CMOS/TFET DVFS controller.
+#[derive(Debug, Clone)]
+pub struct DvfsController {
+    cmos: VfCurve,
+    tfet: VfCurve,
+}
+
+impl Default for DvfsController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DvfsController {
+    /// Builds a controller from the published Figure 3 curves.
+    pub fn new() -> Self {
+        DvfsController {
+            cmos: VfCurve::for_technology(Technology::SiCmos),
+            tfet: VfCurve::for_technology(Technology::HetJTfet),
+        }
+    }
+
+    /// The nominal 2 GHz operating point (V_CMOS = 0.73, V_TFET = 0.40).
+    pub fn nominal(&self) -> OperatingPoint {
+        self.operating_point(NOMINAL_FREQUENCY_HZ)
+            .expect("nominal frequency is on both curves")
+    }
+
+    /// Computes the joint operating point for core frequency `hz`.
+    ///
+    /// Returns `None` if either rail cannot reach its required frequency
+    /// (`hz` for CMOS, `hz/2` for the deeper-pipelined TFET units).
+    pub fn operating_point(&self, hz: f64) -> Option<OperatingPoint> {
+        let v_cmos = self.cmos.voltage_for(hz)?;
+        let v_tfet = self.tfet.voltage_for(hz / 2.0)?;
+        Some(OperatingPoint { frequency_hz: hz, v_cmos, v_tfet })
+    }
+
+    /// Voltage deltas (V) on each rail to move from `from` to frequency
+    /// `to_hz`: `(delta_v_cmos, delta_v_tfet)`.
+    ///
+    /// Returns `None` when `to_hz` is unreachable.
+    pub fn voltage_deltas(&self, from: &OperatingPoint, to_hz: f64) -> Option<(f64, f64)> {
+        let to = self.operating_point(to_hz)?;
+        Some((to.v_cmos - from.v_cmos, to.v_tfet - from.v_tfet))
+    }
+
+    /// The maximum core frequency both rails can sustain (Hz) — limited by
+    /// the saturating TFET curve.
+    pub fn max_frequency(&self) -> f64 {
+        let cmos_max = self.cmos.frequency_at(self.cmos.max_voltage());
+        let tfet_max = 2.0 * self.tfet.frequency_at(self.tfet.max_voltage());
+        cmos_max.min(tfet_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_point_matches_figure3() {
+        let d = DvfsController::new();
+        let p = d.nominal();
+        assert!((p.v_cmos - 0.73).abs() < 1e-4, "V_CMOS {}", p.v_cmos);
+        assert!((p.v_tfet - 0.40).abs() < 1e-4, "V_TFET {}", p.v_tfet);
+    }
+
+    #[test]
+    fn turbo_deltas_match_paper() {
+        // "to turbo-boost to 2.5 GHz, we need dV_CMOS=75mV and dV_TFET=90mV".
+        let d = DvfsController::new();
+        let (dc, dt) = d.voltage_deltas(&d.nominal(), 2.5e9).expect("turbo reachable");
+        assert!((dc - 0.075).abs() < 2e-3, "dV_CMOS {dc}");
+        assert!((dt - 0.090).abs() < 2e-3, "dV_TFET {dt}");
+    }
+
+    #[test]
+    fn slowdown_deltas_match_paper() {
+        // Section VII-D: 1.5 GHz needs dV_CMOS=-70mV and dV_TFET=-80mV.
+        let d = DvfsController::new();
+        let (dc, dt) = d.voltage_deltas(&d.nominal(), 1.5e9).expect("slow reachable");
+        assert!((dc + 0.070).abs() < 2e-3, "dV_CMOS {dc}");
+        assert!((dt + 0.080).abs() < 2e-3, "dV_TFET {dt}");
+    }
+
+    #[test]
+    fn tfet_deltas_exceed_cmos_deltas() {
+        // The TFET curve is shallower around the operating point.
+        let d = DvfsController::new();
+        let (dc, dt) = d.voltage_deltas(&d.nominal(), 2.5e9).expect("reachable");
+        assert!(dt > dc, "TFET turbo delta {dt} should exceed CMOS {dc}");
+    }
+
+    #[test]
+    fn unreachable_frequency_returns_none() {
+        let d = DvfsController::new();
+        assert!(d.operating_point(10.0e9).is_none());
+    }
+
+    #[test]
+    fn max_frequency_is_tfet_limited_but_above_turbo() {
+        let d = DvfsController::new();
+        let fmax = d.max_frequency();
+        assert!(fmax >= 2.5e9, "turbo must be reachable, fmax={fmax}");
+        assert!(fmax <= 3.5e9, "TFET saturation should cap fmax, fmax={fmax}");
+    }
+
+    #[test]
+    fn energy_factors_square_with_voltage() {
+        let d = DvfsController::new();
+        let nominal = d.nominal();
+        let turbo = d.operating_point(2.5e9).expect("reachable");
+        let (ec, et) = turbo.energy_factors_vs(&nominal);
+        assert!(ec > 1.0 && et > 1.0);
+        assert!((ec - (turbo.v_cmos / 0.73).powi(2)).abs() < 1e-9);
+        assert!((et - (turbo.v_tfet / 0.40).powi(2)).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,49 @@
+//! Device-level models for the HetCore reproduction.
+//!
+//! This crate reproduces the device-technology layer of *HetCore: TFET-CMOS
+//! Hetero-Device Architecture for CPUs and GPUs* (ISCA 2018):
+//!
+//! * [`tech`] — the Table I characterization of Si-CMOS, HetJTFET, InAs-CMOS
+//!   and HomJTFET at the 15 nm node, each at its most cost-effective supply
+//!   voltage.
+//! * [`iv`] — I-V (drain current vs. gate voltage) curve models for
+//!   N-HetJTFET and N-MOSFET devices (paper Figure 1).
+//! * [`activity`] — total ALU power as a function of activity factor for a
+//!   dual-V_t Si-CMOS ALU vs. a HetJTFET ALU (paper Figure 2).
+//! * [`vf`] — supply-voltage/frequency curves for Si-CMOS and HetJTFET
+//!   (paper Figure 3) with exact reproduction of the paper's anchor points.
+//! * [`dvfs`] — paired-voltage DVFS operating points `(V_CMOS, V_TFET)` such
+//!   that the CMOS pipeline stage is always 2x faster than the TFET stage
+//!   (paper Section III-D).
+//! * [`scaling`] — the HetCore multi-V_dd substrate overheads and the
+//!   resulting conservative power-scaling factors (paper Section V-B).
+//! * [`area`] — core/chip area accounting for the iso-area comparisons
+//!   (paper Sections III-F and V-B).
+//! * [`variation`] — process-variation guardbands and their energy impact
+//!   (paper Sections III-E and VII-D).
+//!
+//! # Example
+//!
+//! ```
+//! use hetsim_device::tech::Technology;
+//! use hetsim_device::vf::VfCurve;
+//!
+//! // The paper's nominal operating point: Si-CMOS at 0.73 V runs at 2 GHz.
+//! let cmos = VfCurve::for_technology(Technology::SiCmos);
+//! let f = cmos.frequency_at(0.73);
+//! assert!((f - 2.0e9).abs() < 1.0e6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod area;
+pub mod dvfs;
+pub mod iv;
+pub mod overheads;
+pub mod scaling;
+pub mod tech;
+pub mod variation;
+pub mod vf;
+
+pub use tech::{DeviceParams, Technology};

@@ -1,0 +1,175 @@
+//! HetCore multi-V_dd substrate overheads and power-scaling factors
+//! (paper Sections III-B and V-B).
+//!
+//! Moving a unit from Si-CMOS to HetJTFET ideally saves 8x dynamic power
+//! (4x energy at half the stage speed). The paper then charges a series of
+//! conservative overheads against that ideal:
+//!
+//! * dual V_dd rails: ~5% core area;
+//! * level converters in CMOS-facing latches: ~5% stage delay;
+//! * unequal work partitioning across the deeper TFET pipeline: ~5% delay;
+//! * slow TFET latches: ~10% of stage latency, and ~10% stage power for the
+//!   extra pipeline latches;
+//! * recovering the combined ~15% stage delay by raising V_TFET by 40 mV,
+//!   which costs ~24% TFET power, lowering the dynamic saving from 8x to
+//!   ~6.1x;
+//! * and finally an extra-strict guardband that assumes TFET saves *only 4x*
+//!   dynamic power, the factor actually used throughout the evaluation.
+//!
+//! Leakage is likewise derated: although Table I suggests >100x savings, the
+//! evaluation conservatively assumes TFET leaks only 10x less than CMOS, as
+//! if every CMOS transistor were high-V_t.
+
+/// Ideal dynamic-power ratio of a Si-CMOS unit over its HetJTFET
+/// replacement, before overheads (Section III-B).
+pub const IDEAL_DYNAMIC_POWER_RATIO: f64 = 8.0;
+
+/// Dynamic-power ratio after charging the multi-V_dd overheads
+/// (Section V-B: "HetJTFET still consumes 6.1x lower power").
+pub const MEASURED_DYNAMIC_POWER_RATIO: f64 = 6.1;
+
+/// The conservative dynamic-power ratio the paper actually evaluates with.
+pub const CONSERVATIVE_DYNAMIC_POWER_RATIO: f64 = 4.0;
+
+/// Conservative leakage-power ratio CMOS/TFET used in the evaluation, as if
+/// all CMOS transistors were high-V_t (Section VI).
+pub const CONSERVATIVE_LEAKAGE_POWER_RATIO: f64 = 10.0;
+
+/// Area overhead of the dual V_dd rails, as a fraction of core area.
+pub const DUAL_RAIL_AREA_OVERHEAD: f64 = 0.05;
+
+/// Stage-delay overhead of a level converter in a TFET-to-CMOS latch.
+pub const LEVEL_CONVERTER_DELAY_OVERHEAD: f64 = 0.05;
+
+/// Stage-delay overhead from unequal work partitioning when a CMOS stage is
+/// split into two TFET stages.
+pub const STAGE_IMBALANCE_DELAY_OVERHEAD: f64 = 0.05;
+
+/// Stage-delay overhead from the slower TFET latch (latches are ~10% of a
+/// stage's latency).
+pub const TFET_LATCH_DELAY_OVERHEAD: f64 = 0.10;
+
+/// Power overhead of the extra latches added by deeper pipelining, as a
+/// fraction of stage power.
+pub const EXTRA_LATCH_POWER_OVERHEAD: f64 = 0.10;
+
+/// Worst-case total TFET stage-delay overhead: 5% imbalance plus 10% for a
+/// level converter *or* a slow TFET latch (but not both).
+pub const TOTAL_TFET_STAGE_DELAY_OVERHEAD: f64 = 0.15;
+
+/// Voltage bump applied to V_TFET to recover the 15% stage delay (V).
+pub const VTFET_GUARDBAND_BUMP_V: f64 = 0.040;
+
+/// TFET power increase caused by the 40 mV guardband bump.
+pub const VTFET_BUMP_POWER_INCREASE: f64 = 0.24;
+
+/// The effective V_TFET the evaluation runs at: the Table I 0.40 V optimum
+/// plus the 40 mV guardband (Section VI: "TFET units now operate at 0.440 V").
+pub const EFFECTIVE_VTFET_V: f64 = 0.40 + VTFET_GUARDBAND_BUMP_V;
+
+/// The evaluation's CMOS supply (Table I optimum).
+pub const EFFECTIVE_VCMOS_V: f64 = 0.73;
+
+/// TFET pipeline-depth multiplier: TFET units get at least twice the
+/// pipeline stages of their CMOS equivalents so the whole core keeps a
+/// single clock (Section IV-A).
+pub const TFET_PIPELINE_DEPTH_FACTOR: u32 = 2;
+
+/// How the chosen dynamic-power ratio degrades from ideal to conservative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PowerAssumption {
+    /// 8x: no overheads (Section III-B headline).
+    Ideal,
+    /// 6.1x: after multi-V_dd overheads (Section V-B estimate).
+    Measured,
+    /// 4x: the extra-strict factor the paper evaluates with (default).
+    #[default]
+    Conservative,
+}
+
+impl PowerAssumption {
+    /// Dynamic-power ratio CMOS/TFET under this assumption.
+    pub fn dynamic_power_ratio(self) -> f64 {
+        match self {
+            PowerAssumption::Ideal => IDEAL_DYNAMIC_POWER_RATIO,
+            PowerAssumption::Measured => MEASURED_DYNAMIC_POWER_RATIO,
+            PowerAssumption::Conservative => CONSERVATIVE_DYNAMIC_POWER_RATIO,
+        }
+    }
+
+    /// Dynamic *energy* ratio per operation. The TFET unit is pipelined 2x
+    /// deeper and retires the same work per second, so the energy-per-op
+    /// ratio equals the power ratio at matched throughput.
+    pub fn dynamic_energy_ratio(self) -> f64 {
+        self.dynamic_power_ratio()
+    }
+
+    /// Leakage-power ratio CMOS/TFET (the paper holds this at a
+    /// conservative 10x regardless of the dynamic assumption).
+    pub fn leakage_power_ratio(self) -> f64 {
+        CONSERVATIVE_LEAKAGE_POWER_RATIO
+    }
+}
+
+/// Checks the paper's own arithmetic: the 8x ideal ratio divided by the 24%
+/// guardband power increase lands near the quoted 6.1x.
+pub fn measured_ratio_from_overheads() -> f64 {
+    IDEAL_DYNAMIC_POWER_RATIO / (1.0 + VTFET_BUMP_POWER_INCREASE) / (1.0 + 0.05)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_assumption_is_conservative() {
+        assert_eq!(PowerAssumption::default(), PowerAssumption::Conservative);
+        assert_eq!(PowerAssumption::default().dynamic_power_ratio(), 4.0);
+    }
+
+    #[test]
+    fn overhead_arithmetic_reproduces_6_1x() {
+        let r = measured_ratio_from_overheads();
+        assert!(
+            (5.8..6.5).contains(&r),
+            "8x derated by guardband+latch power should be ~6.1x, got {r}"
+        );
+    }
+
+    #[test]
+    fn total_stage_delay_overhead_is_15_percent() {
+        // 5% imbalance + 10% (level converter or TFET latch, not both).
+        assert!(
+            (TOTAL_TFET_STAGE_DELAY_OVERHEAD
+                - (STAGE_IMBALANCE_DELAY_OVERHEAD + TFET_LATCH_DELAY_OVERHEAD))
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn effective_voltages_match_section_vi() {
+        assert!((EFFECTIVE_VTFET_V - 0.440).abs() < 1e-12);
+        assert!((EFFECTIVE_VCMOS_V - 0.730).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assumptions_are_ordered() {
+        assert!(
+            PowerAssumption::Ideal.dynamic_power_ratio()
+                > PowerAssumption::Measured.dynamic_power_ratio()
+        );
+        assert!(
+            PowerAssumption::Measured.dynamic_power_ratio()
+                > PowerAssumption::Conservative.dynamic_power_ratio()
+        );
+    }
+
+    #[test]
+    fn leakage_ratio_is_10x_for_all_assumptions() {
+        for a in [PowerAssumption::Ideal, PowerAssumption::Measured, PowerAssumption::Conservative]
+        {
+            assert_eq!(a.leakage_power_ratio(), 10.0);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Device technologies and their Table I characterization.
+//!
+//! The paper compares four device technologies at the 15 nm node, each at its
+//! most cost-effective supply voltage (data from Nikonov and Young):
+//! Si-CMOS at 0.73 V, HetJTFET at 0.40 V, InAs-CMOS at 0.30 V and HomJTFET at
+//! 0.20 V. The raw values below are Table I of the paper, embedded verbatim.
+
+use std::fmt;
+
+/// A transistor device technology evaluated by the paper (Table I).
+///
+/// # Example
+///
+/// ```
+/// use hetsim_device::tech::Technology;
+///
+/// let params = Technology::HetJTfet.params();
+/// assert_eq!(params.supply_voltage_v, 0.40);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Technology {
+    /// Conventional silicon FinFET CMOS — the high-performance baseline.
+    SiCmos,
+    /// Heterojunction TFET (GaSb source / InAs drain) — the device HetCore
+    /// mixes into the core. Roughly 2x slower than Si-CMOS but ~8x lower
+    /// power at its optimal voltage.
+    HetJTfet,
+    /// Futuristic InAs MOSFET operating at very low voltage. Too slow (~10x)
+    /// to mix with Si-CMOS inside one core; suited to ultra-low-power parts.
+    InAsCmos,
+    /// Homojunction TFET (InAs source and drain). Lowest power but ~16x
+    /// slower than Si-CMOS; suited to wearables/IoT, not HetCore.
+    HomJTfet,
+}
+
+impl Technology {
+    /// All four technologies, in Table I column order.
+    pub const ALL: [Technology; 4] = [
+        Technology::SiCmos,
+        Technology::HetJTfet,
+        Technology::InAsCmos,
+        Technology::HomJTfet,
+    ];
+
+    /// The Table I characterization of this technology at 15 nm.
+    pub fn params(self) -> DeviceParams {
+        match self {
+            Technology::SiCmos => SI_CMOS,
+            Technology::HetJTfet => HETJ_TFET,
+            Technology::InAsCmos => INAS_CMOS,
+            Technology::HomJTfet => HOMJ_TFET,
+        }
+    }
+
+    /// Switching-delay ratio of this technology relative to Si-CMOS.
+    ///
+    /// The paper reads these off Table I as roughly 2x (HetJTFET), 10x
+    /// (InAs-CMOS) and 16x (HomJTFET).
+    pub fn delay_ratio_vs_cmos(self) -> f64 {
+        self.params().switching_delay_ps / SI_CMOS.switching_delay_ps
+    }
+
+    /// Whether the technology can realistically be mixed with Si-CMOS inside
+    /// a single-frequency core by deeper pipelining (Section III-A).
+    ///
+    /// Only HetJTFET qualifies: its 2x speed differential is absorbed by
+    /// doubling pipeline depth, whereas 10x/16x differentials would require
+    /// unrealistically deep pipelines.
+    pub fn mixable_with_cmos(self) -> bool {
+        matches!(self, Technology::SiCmos | Technology::HetJTfet)
+    }
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Technology::SiCmos => "Si-CMOS",
+            Technology::HetJTfet => "HetJTFET",
+            Technology::InAsCmos => "InAs-CMOS",
+            Technology::HomJTfet => "HomJTFET",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Table I: characteristics of a device technology at 15 nm, at its most
+/// cost-effective supply voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceParams {
+    /// Supply voltage (V).
+    pub supply_voltage_v: f64,
+    /// Transistor switching delay (ps).
+    pub switching_delay_ps: f64,
+    /// Interconnect delay per transistor length (ps).
+    pub interconnect_delay_ps: f64,
+    /// 32-bit ALU operation delay (ps).
+    pub alu32_delay_ps: f64,
+    /// Transistor switching energy (aJ).
+    pub switching_energy_aj: f64,
+    /// Interconnect energy per transistor length (aJ).
+    pub interconnect_energy_aj: f64,
+    /// 32-bit ALU dynamic energy per operation (fJ).
+    pub alu32_dynamic_energy_fj: f64,
+    /// 32-bit ALU leakage power (uW).
+    pub alu32_leakage_uw: f64,
+    /// ALU power density (W/cm^2).
+    pub alu_power_density_w_cm2: f64,
+}
+
+impl DeviceParams {
+    /// Dynamic energy ratio of a 32-bit ALU op vs. this technology.
+    ///
+    /// E.g. `SI_CMOS.alu_energy_ratio_over(&HETJ_TFET)` is about 4x.
+    pub fn alu_energy_ratio_over(&self, other: &DeviceParams) -> f64 {
+        self.alu32_dynamic_energy_fj / other.alu32_dynamic_energy_fj
+    }
+}
+
+/// Si-CMOS at 0.73 V (Table I, column 1).
+pub const SI_CMOS: DeviceParams = DeviceParams {
+    supply_voltage_v: 0.73,
+    switching_delay_ps: 0.41,
+    interconnect_delay_ps: 0.18,
+    alu32_delay_ps: 939.0,
+    switching_energy_aj: 32.71,
+    interconnect_energy_aj: 10.08,
+    alu32_dynamic_energy_fj: 170.1,
+    alu32_leakage_uw: 90.2,
+    alu_power_density_w_cm2: 50.4,
+};
+
+/// HetJTFET at 0.40 V (Table I, column 2).
+pub const HETJ_TFET: DeviceParams = DeviceParams {
+    supply_voltage_v: 0.40,
+    switching_delay_ps: 0.79,
+    interconnect_delay_ps: 0.42,
+    alu32_delay_ps: 1881.0,
+    switching_energy_aj: 7.86,
+    interconnect_energy_aj: 3.03,
+    alu32_dynamic_energy_fj: 43.4,
+    alu32_leakage_uw: 0.30,
+    alu_power_density_w_cm2: 5.1,
+};
+
+/// InAs-CMOS at 0.30 V (Table I, column 3).
+pub const INAS_CMOS: DeviceParams = DeviceParams {
+    supply_voltage_v: 0.30,
+    switching_delay_ps: 3.80,
+    interconnect_delay_ps: 2.50,
+    alu32_delay_ps: 9327.0,
+    switching_energy_aj: 3.62,
+    interconnect_energy_aj: 1.70,
+    alu32_dynamic_energy_fj: 20.5,
+    alu32_leakage_uw: 0.14,
+    alu_power_density_w_cm2: 0.6,
+};
+
+/// HomJTFET at 0.20 V (Table I, column 4).
+pub const HOMJ_TFET: DeviceParams = DeviceParams {
+    supply_voltage_v: 0.20,
+    switching_delay_ps: 6.68,
+    interconnect_delay_ps: 3.60,
+    alu32_delay_ps: 15990.0,
+    switching_energy_aj: 1.96,
+    interconnect_energy_aj: 0.76,
+    alu32_dynamic_energy_fj: 10.8,
+    alu32_leakage_uw: 1.44,
+    alu_power_density_w_cm2: 0.2,
+};
+
+/// Fraction of high-V_t transistors in commercial CMOS processor logic
+/// (e.g. AMD Ryzen); used to derate CMOS leakage (Section III-B).
+pub const HIGH_VT_LOGIC_FRACTION: f64 = 0.60;
+
+/// Leakage-power reduction of a high-V_t CMOS transistor vs. regular-V_t
+/// (midpoint of the paper's 25-30x from a 28/32 nm Synopsys library).
+pub const HIGH_VT_LEAKAGE_REDUCTION: f64 = 27.5;
+
+/// Effective leakage of a typical dual-V_t Si-CMOS unit relative to the
+/// all-regular-V_t Table I value: with 60% high-V_t transistors the unit
+/// leaks about 42% of the Table I figure (paper Section III-B).
+pub fn dual_vt_leakage_factor() -> f64 {
+    (1.0 - HIGH_VT_LOGIC_FRACTION) + HIGH_VT_LOGIC_FRACTION / HIGH_VT_LEAKAGE_REDUCTION
+}
+
+/// High-V_t delay penalty vs. regular-V_t CMOS: the paper cites 1.4-1.6x;
+/// we use the midpoint for the BaseHighVt configuration.
+pub const HIGH_VT_DELAY_RATIO: f64 = 1.5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_voltages_match_paper() {
+        assert_eq!(Technology::SiCmos.params().supply_voltage_v, 0.73);
+        assert_eq!(Technology::HetJTfet.params().supply_voltage_v, 0.40);
+        assert_eq!(Technology::InAsCmos.params().supply_voltage_v, 0.30);
+        assert_eq!(Technology::HomJTfet.params().supply_voltage_v, 0.20);
+    }
+
+    #[test]
+    fn delay_ratios_match_paper_narrative() {
+        // "about 2x, 10x, and 16x longer" (Section III-A).
+        let het = Technology::HetJTfet.delay_ratio_vs_cmos();
+        let inas = Technology::InAsCmos.delay_ratio_vs_cmos();
+        let hom = Technology::HomJTfet.delay_ratio_vs_cmos();
+        assert!((1.8..2.2).contains(&het), "HetJTFET ratio {het}");
+        assert!((8.5..10.5).contains(&inas), "InAs-CMOS ratio {inas}");
+        assert!((15.0..17.5).contains(&hom), "HomJTFET ratio {hom}");
+    }
+
+    #[test]
+    fn energy_ratios_match_paper_narrative() {
+        // "about 4x, 8x, and 16x as much energy" (Section III-B).
+        let r_het = SI_CMOS.alu_energy_ratio_over(&HETJ_TFET);
+        let r_inas = SI_CMOS.alu_energy_ratio_over(&INAS_CMOS);
+        let r_hom = SI_CMOS.alu_energy_ratio_over(&HOMJ_TFET);
+        assert!((3.5..4.5).contains(&r_het), "HetJTFET energy ratio {r_het}");
+        assert!((7.5..9.0).contains(&r_inas), "InAs energy ratio {r_inas}");
+        assert!((15.0..17.0).contains(&r_hom), "HomJ energy ratio {r_hom}");
+    }
+
+    #[test]
+    fn alu_leakage_ratio_is_about_300x() {
+        let r = SI_CMOS.alu32_leakage_uw / HETJ_TFET.alu32_leakage_uw;
+        assert!((290.0..310.0).contains(&r), "leakage ratio {r}");
+    }
+
+    #[test]
+    fn dual_vt_leakage_factor_is_about_42_percent() {
+        let f = dual_vt_leakage_factor();
+        assert!((0.40..0.44).contains(&f), "dual-Vt factor {f}");
+    }
+
+    #[test]
+    fn dual_vt_alu_vs_tfet_is_about_125x() {
+        // Paper: "a HetJTFET ALU consumes 125x lower leakage power than a
+        // dual-Vt Si-CMOS ALU".
+        let dual_vt_leak = SI_CMOS.alu32_leakage_uw * dual_vt_leakage_factor();
+        let r = dual_vt_leak / HETJ_TFET.alu32_leakage_uw;
+        assert!((115.0..135.0).contains(&r), "dual-Vt/TFET ratio {r}");
+    }
+
+    #[test]
+    fn only_hetjtfet_mixes_with_cmos() {
+        assert!(Technology::HetJTfet.mixable_with_cmos());
+        assert!(!Technology::InAsCmos.mixable_with_cmos());
+        assert!(!Technology::HomJTfet.mixable_with_cmos());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Technology::SiCmos.to_string(), "Si-CMOS");
+        assert_eq!(Technology::HetJTfet.to_string(), "HetJTFET");
+    }
+}

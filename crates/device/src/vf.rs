@@ -1,0 +1,283 @@
+//! Supply-voltage/frequency curves (paper Figure 3).
+//!
+//! Each technology has its own V_dd-frequency curve with a different slope
+//! and range. The paper generates the Si-CMOS curve from ScalCore data and
+//! the HetJTFET curve from Intel TFET data, and reads several operating
+//! points off them:
+//!
+//! * Si-CMOS: 0.73 V -> 2.0 GHz, +75 mV -> 2.5 GHz, -70 mV -> 1.5 GHz.
+//! * HetJTFET: 0.40 V -> 1.0 GHz (half-speed stages at the same core clock),
+//!   +90 mV -> 1.25 GHz, -80 mV -> 0.75 GHz; the curve saturates beyond
+//!   ~0.6 V.
+//!
+//! We reproduce the curves as monotone piecewise-cubic (PCHIP) interpolants
+//! through anchor tables that embed exactly those published points, so the
+//! paper's DVFS arithmetic is reproduced bit-for-bit at the anchors.
+
+use crate::tech::Technology;
+
+/// A monotone V_dd -> frequency curve for one technology.
+///
+/// # Example
+///
+/// ```
+/// use hetsim_device::{vf::VfCurve, tech::Technology};
+///
+/// let tfet = VfCurve::for_technology(Technology::HetJTfet);
+/// // The paper's TFET turbo point: 0.40 V + 90 mV reaches 1.25 GHz.
+/// let f = tfet.frequency_at(0.49);
+/// assert!((f - 1.25e9).abs() < 1.0e6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VfCurve {
+    /// Anchor voltages (V), strictly increasing.
+    volts: Vec<f64>,
+    /// Anchor frequencies (Hz), strictly increasing.
+    freqs: Vec<f64>,
+    /// PCHIP endpoint-safe derivatives at the anchors.
+    slopes: Vec<f64>,
+}
+
+/// Si-CMOS anchor table: (V, GHz). Embeds the paper's 1.5/2.0/2.5 GHz points.
+const CMOS_ANCHORS: &[(f64, f64)] = &[
+    (0.40, 0.20),
+    (0.50, 0.55),
+    (0.58, 1.00),
+    (0.66, 1.50),
+    (0.73, 2.00),
+    (0.805, 2.50),
+    (0.88, 2.95),
+    (0.95, 3.30),
+    (1.05, 3.70),
+];
+
+/// HetJTFET anchor table: (V, GHz). Embeds the paper's 0.75/1.0/1.25 GHz
+/// points and the saturation beyond ~0.6 V visible in Figure 1/3.
+const TFET_ANCHORS: &[(f64, f64)] = &[
+    (0.20, 0.28),
+    (0.26, 0.50),
+    (0.32, 0.75),
+    (0.40, 1.00),
+    (0.49, 1.25),
+    (0.55, 1.37),
+    (0.60, 1.44),
+    (0.70, 1.52),
+    (0.80, 1.56),
+];
+
+impl VfCurve {
+    /// Builds a curve from `(volts, hz)` anchor pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two anchors are given or if the anchors are not
+    /// strictly increasing in both voltage and frequency.
+    pub fn from_anchors(anchors: &[(f64, f64)]) -> Self {
+        assert!(anchors.len() >= 2, "need at least two V-f anchors");
+        for w in anchors.windows(2) {
+            assert!(
+                w[1].0 > w[0].0 && w[1].1 > w[0].1,
+                "V-f anchors must be strictly increasing: {w:?}"
+            );
+        }
+        let volts: Vec<f64> = anchors.iter().map(|a| a.0).collect();
+        let freqs: Vec<f64> = anchors.iter().map(|a| a.1).collect();
+        let slopes = pchip_slopes(&volts, &freqs);
+        VfCurve { volts, freqs, slopes }
+    }
+
+    /// The published curve for `tech`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Technology::InAsCmos`] and [`Technology::HomJTfet`]; the
+    /// paper publishes V-f curves only for the two technologies HetCore
+    /// actually mixes.
+    pub fn for_technology(tech: Technology) -> Self {
+        let ghz = |t: &[(f64, f64)]| -> Vec<(f64, f64)> {
+            t.iter().map(|&(v, g)| (v, g * 1.0e9)).collect()
+        };
+        match tech {
+            Technology::SiCmos => VfCurve::from_anchors(&ghz(CMOS_ANCHORS)),
+            Technology::HetJTfet => VfCurve::from_anchors(&ghz(TFET_ANCHORS)),
+            other => panic!("no published V-f curve for {other}"),
+        }
+    }
+
+    /// Lowest anchored voltage (V).
+    pub fn min_voltage(&self) -> f64 {
+        self.volts[0]
+    }
+
+    /// Highest anchored voltage (V).
+    pub fn max_voltage(&self) -> f64 {
+        *self.volts.last().expect("non-empty anchors")
+    }
+
+    /// Frequency (Hz) attained at supply voltage `vdd` (V).
+    ///
+    /// Voltages outside the anchored range are clamped to the range ends;
+    /// the curves are only meaningful over their published span.
+    pub fn frequency_at(&self, vdd: f64) -> f64 {
+        let v = vdd.clamp(self.min_voltage(), self.max_voltage());
+        let i = match self.volts.binary_search_by(|p| p.partial_cmp(&v).expect("finite")) {
+            Ok(i) => return self.freqs[i],
+            Err(i) => i - 1, // v > volts[0] guaranteed by clamp
+        };
+        let i = i.min(self.volts.len() - 2);
+        hermite(
+            v,
+            self.volts[i],
+            self.volts[i + 1],
+            self.freqs[i],
+            self.freqs[i + 1],
+            self.slopes[i],
+            self.slopes[i + 1],
+        )
+    }
+
+    /// Inverse lookup: the supply voltage (V) needed to reach `hz`.
+    ///
+    /// Returns `None` if `hz` lies outside the frequency span of the curve
+    /// (e.g. asking a saturated TFET curve for 2 GHz).
+    pub fn voltage_for(&self, hz: f64) -> Option<f64> {
+        if hz < self.freqs[0] || hz > *self.freqs.last().expect("non-empty") {
+            return None;
+        }
+        // The interpolant is monotone (PCHIP) so bisection converges.
+        let (mut lo, mut hi) = (self.min_voltage(), self.max_voltage());
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if self.frequency_at(mid) < hz {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(0.5 * (lo + hi))
+    }
+}
+
+/// Fritsch-Carlson monotone cubic (PCHIP) slope computation.
+fn pchip_slopes(xs: &[f64], ys: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let h: Vec<f64> = (0..n - 1).map(|i| xs[i + 1] - xs[i]).collect();
+    let d: Vec<f64> = (0..n - 1).map(|i| (ys[i + 1] - ys[i]) / h[i]).collect();
+    let mut m = vec![0.0; n];
+    m[0] = d[0];
+    m[n - 1] = d[n - 2];
+    for i in 1..n - 1 {
+        if d[i - 1] * d[i] <= 0.0 {
+            m[i] = 0.0;
+        } else {
+            let w1 = 2.0 * h[i] + h[i - 1];
+            let w2 = h[i] + 2.0 * h[i - 1];
+            m[i] = (w1 + w2) / (w1 / d[i - 1] + w2 / d[i]);
+        }
+    }
+    // Clamp endpoint slopes for monotonicity.
+    for (i, di) in [(0usize, 0usize), (n - 1, n - 2)] {
+        if m[i] * d[di] <= 0.0 {
+            m[i] = 0.0;
+        } else if m[i].abs() > 3.0 * d[di].abs() {
+            m[i] = 3.0 * d[di];
+        }
+    }
+    m
+}
+
+/// Cubic Hermite evaluation on `[x0, x1]`.
+#[allow(clippy::too_many_arguments)]
+fn hermite(x: f64, x0: f64, x1: f64, y0: f64, y1: f64, m0: f64, m1: f64) -> f64 {
+    let h = x1 - x0;
+    let t = (x - x0) / h;
+    let t2 = t * t;
+    let t3 = t2 * t;
+    let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+    let h10 = t3 - 2.0 * t2 + t;
+    let h01 = -2.0 * t3 + 3.0 * t2;
+    let h11 = t3 - t2;
+    h00 * y0 + h10 * h * m0 + h01 * y1 + h11 * h * m1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GHZ: f64 = 1.0e9;
+
+    #[test]
+    fn cmos_nominal_point() {
+        let c = VfCurve::for_technology(Technology::SiCmos);
+        assert!((c.frequency_at(0.73) - 2.0 * GHZ).abs() < 1.0e3);
+    }
+
+    #[test]
+    fn cmos_turbo_and_slow_points_match_paper() {
+        // Paper Section III-D / VII-D: +75 mV -> 2.5 GHz, -70 mV -> 1.5 GHz.
+        let c = VfCurve::for_technology(Technology::SiCmos);
+        assert!((c.frequency_at(0.73 + 0.075) - 2.5 * GHZ).abs() < 1.0e3);
+        assert!((c.frequency_at(0.73 - 0.070) - 1.5 * GHZ).abs() < 1.0e3);
+    }
+
+    #[test]
+    fn tfet_anchor_points_match_paper() {
+        // 0.40 V -> 1 GHz; +90 mV -> 1.25 GHz; -80 mV -> 0.75 GHz.
+        let t = VfCurve::for_technology(Technology::HetJTfet);
+        assert!((t.frequency_at(0.40) - 1.0 * GHZ).abs() < 1.0e3);
+        assert!((t.frequency_at(0.49) - 1.25 * GHZ).abs() < 1.0e3);
+        assert!((t.frequency_at(0.32) - 0.75 * GHZ).abs() < 1.0e3);
+    }
+
+    #[test]
+    fn tfet_saturates_at_high_voltage() {
+        // Doubling V beyond 0.6 V buys almost nothing (Figure 1 narrative).
+        let t = VfCurve::for_technology(Technology::HetJTfet);
+        let f06 = t.frequency_at(0.60);
+        let f08 = t.frequency_at(0.80);
+        assert!(f08 / f06 < 1.12, "TFET should saturate: {f06} -> {f08}");
+    }
+
+    #[test]
+    fn curves_are_monotone() {
+        for tech in [Technology::SiCmos, Technology::HetJTfet] {
+            let c = VfCurve::for_technology(tech);
+            let mut prev = 0.0;
+            let mut v = c.min_voltage();
+            while v <= c.max_voltage() {
+                let f = c.frequency_at(v);
+                assert!(f >= prev, "{tech} not monotone at {v}");
+                prev = f;
+                v += 0.001;
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let c = VfCurve::for_technology(Technology::SiCmos);
+        for target in [1.5 * GHZ, 2.0 * GHZ, 2.5 * GHZ, 3.0 * GHZ] {
+            let v = c.voltage_for(target).expect("reachable frequency");
+            assert!((c.frequency_at(v) - target).abs() / target < 1.0e-6);
+        }
+    }
+
+    #[test]
+    fn inverse_rejects_unreachable_frequency() {
+        let t = VfCurve::for_technology(Technology::HetJTfet);
+        assert!(t.voltage_for(2.0 * GHZ).is_none(), "TFET can't reach 2 GHz");
+    }
+
+    #[test]
+    fn clamping_outside_range() {
+        let c = VfCurve::for_technology(Technology::SiCmos);
+        assert_eq!(c.frequency_at(0.0), c.frequency_at(c.min_voltage()));
+        assert_eq!(c.frequency_at(5.0), c.frequency_at(c.max_voltage()));
+    }
+
+    #[test]
+    #[should_panic(expected = "no published V-f curve")]
+    fn no_curve_for_homjtfet() {
+        let _ = VfCurve::for_technology(Technology::HomJTfet);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for the device models.
+
+use proptest::prelude::*;
+
+use hetsim_device::dvfs::DvfsController;
+use hetsim_device::iv::IvCurve;
+use hetsim_device::tech::Technology;
+use hetsim_device::vf::VfCurve;
+
+proptest! {
+    /// Both published V-f curves are monotone non-decreasing everywhere.
+    #[test]
+    fn vf_curves_are_monotone(v1 in 0.0f64..1.2, v2 in 0.0f64..1.2) {
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        for tech in [Technology::SiCmos, Technology::HetJTfet] {
+            let c = VfCurve::for_technology(tech);
+            prop_assert!(c.frequency_at(lo) <= c.frequency_at(hi) + 1e-6);
+        }
+    }
+
+    /// Inverse lookup round-trips for any reachable frequency.
+    #[test]
+    fn vf_inverse_roundtrips(t in 0.0f64..1.0) {
+        let c = VfCurve::for_technology(Technology::SiCmos);
+        let f_min = c.frequency_at(c.min_voltage());
+        let f_max = c.frequency_at(c.max_voltage());
+        let target = f_min + t * (f_max - f_min);
+        let v = c.voltage_for(target).expect("in range");
+        prop_assert!((c.frequency_at(v) - target).abs() / target < 1e-6);
+    }
+
+    /// DVFS pairing invariant: at any reachable core frequency, the TFET
+    /// rail's own curve delivers exactly half the core frequency (the
+    /// 2x-deeper TFET pipeline does half the work per stage).
+    #[test]
+    fn dvfs_pairing_invariant(t in 0.0f64..1.0) {
+        let d = DvfsController::new();
+        let f = 1.0e9 + t * (d.max_frequency() - 1.0e9);
+        if let Some(p) = d.operating_point(f) {
+            let tfet = VfCurve::for_technology(Technology::HetJTfet);
+            prop_assert!((tfet.frequency_at(p.v_tfet) - f / 2.0).abs() / f < 1e-5);
+            prop_assert!(p.v_cmos > p.v_tfet, "CMOS rail is always the higher one");
+        }
+    }
+
+    /// I-V curves are monotone in gate voltage.
+    #[test]
+    fn iv_curves_are_monotone(v1 in 0.0f64..1.2, v2 in 0.0f64..1.2) {
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        for curve in [IvCurve::n_hetjtfet(), IvCurve::n_mosfet()] {
+            prop_assert!(curve.drain_current(lo) <= curve.drain_current(hi) * (1.0 + 1e-9));
+        }
+    }
+
+    /// Energy factors scale quadratically with voltage for any pair of
+    /// operating points.
+    #[test]
+    fn energy_factors_are_quadratic(f1 in 0.0f64..1.0, f2 in 0.0f64..1.0) {
+        let d = DvfsController::new();
+        let fa = 1.2e9 + f1 * 1.2e9;
+        let fb = 1.2e9 + f2 * 1.2e9;
+        let (Some(a), Some(b)) = (d.operating_point(fa), d.operating_point(fb)) else {
+            return Ok(());
+        };
+        let (ec, et) = b.energy_factors_vs(&a);
+        prop_assert!((ec - (b.v_cmos / a.v_cmos).powi(2)).abs() < 1e-9);
+        prop_assert!((et - (b.v_tfet / a.v_tfet).powi(2)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,302 @@
+//! One compute unit: wavefront pool, scoreboard, round-robin issue.
+//!
+//! The CU hosts up to `waves_per_cu` resident wavefronts and issues one
+//! wavefront instruction per cycle (Southern Islands: four SIMDs, each
+//! accepting one wavefront instruction every four cycles). Wavefronts
+//! execute their kernel in order, gated by a scoreboard: an instruction
+//! marked `dep_on_prev` waits for the previous instruction's completion.
+//! Latency hiding across wavefronts — the essence of GPU throughput — then
+//! emerges: while one wavefront waits on memory or a deep TFET FMA
+//! pipeline, others issue.
+
+use crate::config::{GpuConfig, WAVEFRONT_THREADS};
+use crate::kernel::{GpuInst, GpuOp, KernelProfile};
+use crate::partitioned::FastRegSet;
+use crate::rfcache::RfCache;
+use crate::stats::GpuStats;
+
+/// SplitMix64 hash, used to sample per-(wavefront, pc) events
+/// deterministically — the miss pattern must not depend on the issue
+/// interleaving, or configuration comparisons would be noisy.
+fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic Bernoulli draw from a hashed key.
+fn hashed_bool(key: u64, p: f64) -> bool {
+    (hash64(key) as f64 / u64::MAX as f64) < p
+}
+
+/// Per-wavefront execution state.
+#[derive(Debug)]
+struct Wave {
+    /// Global wavefront id (stable across configurations).
+    id: u64,
+    pc: usize,
+    /// Completion time of the previous instruction (scoreboard).
+    prev_done: u64,
+    /// Earliest cycle the wavefront may issue again (SIMD occupancy).
+    next_issue: u64,
+    rfc: Option<RfCache>,
+}
+
+/// Runs `wave_count` wavefronts of `kernel` on one compute unit.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run_cu(
+    cfg: &GpuConfig,
+    kernel: &[GpuInst],
+    profile: &KernelProfile,
+    wave_count: u32,
+    seed: u64,
+) -> GpuStats {
+    cfg.validate().expect("valid GPU config");
+    let mut stats = GpuStats::default();
+    if wave_count == 0 || kernel.is_empty() {
+        return stats;
+    }
+    let threads = u64::from(WAVEFRONT_THREADS);
+    let issue_occupancy = u64::from(cfg.issue_cycles_per_wavefront());
+    // Static fast-register allocation for a partitioned RF (per kernel,
+    // shared by every wavefront — it is a compiler decision).
+    let fast_regs = cfg.rf_partition.map(|p| FastRegSet::allocate(kernel, p));
+
+    // Waves beyond the resident limit start as soon as a slot frees; model
+    // by batching (each batch fully resident, conservative on tail
+    // effects, which are small for the launch sizes used).
+    let resident = cfg.waves_per_cu.min(wave_count);
+    let batches = wave_count.div_ceil(resident);
+    let mut cycle: u64 = 0;
+
+    for batch in 0..batches {
+        let waves_in_batch = resident.min(wave_count - batch * resident);
+        let mut waves: Vec<Wave> = (0..waves_in_batch)
+            .map(|w| Wave {
+                id: seed ^ hash64(u64::from(batch * resident + w)),
+                pc: 0,
+                prev_done: 0,
+                next_issue: cycle,
+                rfc: cfg.rf_cache.map(|c| RfCache::new(c.entries as usize)),
+            })
+            .collect();
+        let mut rr = 0usize;
+        let mut remaining = waves.len();
+        while remaining > 0 {
+            let mut issued = false;
+            for k in 0..waves.len() {
+                let i = (rr + k) % waves.len();
+                let done = {
+                    let w = &waves[i];
+                    w.pc >= kernel.len()
+                };
+                if done {
+                    continue;
+                }
+                let inst = kernel[waves[i].pc];
+                let w = &mut waves[i];
+                if w.next_issue > cycle || (inst.dep_on_prev && w.prev_done > cycle) {
+                    continue;
+                }
+                // ---- Issue this wavefront instruction ----
+                let read_latency =
+                    read_sources(cfg, w, &inst, &mut stats, threads, fast_regs.as_ref());
+                if let (Some(dst), Some(rfc)) = (inst.dst, w.rfc.as_mut()) {
+                    let evict_before = rfc.evictions();
+                    rfc.write(dst);
+                    stats.rf_cache_accesses += threads;
+                    stats.vector_rf_accesses += (rfc.evictions() - evict_before) * threads;
+                } else if let (Some(dst), Some(fast)) = (inst.dst, fast_regs.as_ref()) {
+                    if fast.is_fast(dst) {
+                        stats.rf_fast_accesses += threads;
+                    } else {
+                        stats.vector_rf_accesses += threads;
+                    }
+                } else if inst.dst.is_some() {
+                    stats.vector_rf_accesses += threads;
+                }
+                let fu_latency = match inst.op {
+                    GpuOp::Valu => {
+                        stats.valu_insts += 1;
+                        stats.thread_fma_ops += threads;
+                        u64::from(cfg.fma_latency)
+                    }
+                    GpuOp::Mem => {
+                        stats.mem_insts += 1;
+                        let key = w.id.wrapping_mul(0x1000_0001).wrapping_add(w.pc as u64);
+                        if hashed_bool(key, profile.mem_miss_rate) {
+                            stats.dram_accesses += 1;
+                            u64::from(cfg.mem_miss_latency)
+                        } else {
+                            u64::from(cfg.mem_hit_latency)
+                        }
+                    }
+                    GpuOp::Lds => {
+                        stats.lds_insts += 1;
+                        stats.lds_accesses += threads;
+                        u64::from(cfg.lds_latency)
+                    }
+                };
+                w.prev_done = cycle + read_latency + fu_latency;
+                w.next_issue = cycle + issue_occupancy;
+                w.pc += 1;
+                stats.wavefront_insts += 1;
+                if w.pc >= kernel.len() {
+                    remaining -= 1;
+                }
+                rr = (i + 1) % waves.len();
+                issued = true;
+                break;
+            }
+            if !issued {
+                // Skip ahead to the next event rather than ticking idle
+                // cycles one by one.
+                let next = waves
+                    .iter()
+                    .filter(|w| w.pc < kernel.len())
+                    .map(|w| {
+                        let dep = if kernel[w.pc].dep_on_prev { w.prev_done } else { 0 };
+                        w.next_issue.max(dep)
+                    })
+                    .min()
+                    .expect("remaining > 0 implies an unfinished wave");
+                cycle = next.max(cycle + 1);
+                continue;
+            }
+            cycle += 1;
+        }
+        // Drain the batch: the batch ends when its slowest wavefront's
+        // last instruction completes.
+        let drain = waves.iter().map(|w| w.prev_done).max().unwrap_or(cycle);
+        cycle = cycle.max(drain);
+    }
+    stats.cycles = cycle;
+    stats
+}
+
+/// Reads an instruction's sources through the RF cache (if present),
+/// returning the register-read latency and counting energy events.
+fn read_sources(
+    cfg: &GpuConfig,
+    w: &mut Wave,
+    inst: &GpuInst,
+    stats: &mut GpuStats,
+    threads: u64,
+    fast_regs: Option<&FastRegSet>,
+) -> u64 {
+    let mut latency = 0u64;
+    for src in inst.srcs.into_iter().flatten() {
+        let lat = match (w.rfc.as_mut(), cfg.rf_cache) {
+            (Some(rfc), Some(rfc_cfg)) => {
+                if rfc.read(src) {
+                    stats.rf_cache_hits += threads;
+                    stats.rf_cache_accesses += threads;
+                    u64::from(rfc_cfg.latency)
+                } else {
+                    stats.rf_cache_misses += threads;
+                    stats.vector_rf_accesses += threads;
+                    u64::from(cfg.rf_latency)
+                }
+            }
+            _ => match (fast_regs, cfg.rf_partition) {
+                (Some(fast), Some(part)) if fast.is_fast(src) => {
+                    stats.rf_fast_accesses += threads;
+                    u64::from(part.fast_latency)
+                }
+                _ => {
+                    stats.vector_rf_accesses += threads;
+                    u64::from(cfg.rf_latency)
+                }
+            },
+        };
+        latency = latency.max(lat);
+    }
+    latency
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    fn small_kernel() -> (KernelProfile, Vec<GpuInst>) {
+        let mut p = kernels::profile("matmul").expect("known kernel");
+        p.insts_per_wavefront = 500;
+        p.wavefronts = 8;
+        let insts = p.generate(3);
+        (p, insts)
+    }
+
+    #[test]
+    fn all_wavefronts_complete() {
+        let (p, insts) = small_kernel();
+        let stats = run_cu(&GpuConfig::default(), &insts, &p, 8, 1);
+        assert_eq!(stats.wavefront_insts, 8 * 500);
+        assert!(stats.cycles >= 8 * 500, "1 issue/cycle bound");
+    }
+
+    #[test]
+    fn more_wavefronts_hide_latency() {
+        let (p, insts) = small_kernel();
+        let one = run_cu(&GpuConfig::default(), &insts, &p, 1, 1);
+        let eight = run_cu(&GpuConfig::default(), &insts, &p, 8, 1);
+        // 8 waves do 8x the work in far less than 8x the time.
+        let scaling = eight.cycles as f64 / one.cycles as f64;
+        assert!(scaling < 4.0, "8x work should take <4x time, took {scaling:.2}x");
+    }
+
+    #[test]
+    fn tfet_latencies_hurt_less_with_occupancy() {
+        let (p, insts) = small_kernel();
+        let mut tfet = GpuConfig::default();
+        tfet.fma_latency = 6;
+        tfet.rf_latency = 2;
+        tfet.rf_cache = None;
+        let mut cmos = GpuConfig::default();
+        cmos.rf_cache = None;
+
+        let slow_1 = run_cu(&tfet, &insts, &p, 1, 1).cycles as f64
+            / run_cu(&cmos, &insts, &p, 1, 1).cycles as f64;
+        let slow_8 = run_cu(&tfet, &insts, &p, 8, 1).cycles as f64
+            / run_cu(&cmos, &insts, &p, 8, 1).cycles as f64;
+        assert!(
+            slow_8 < slow_1,
+            "occupancy should hide TFET latency: 1-wave slowdown {slow_1:.2}, 8-wave {slow_8:.2}"
+        );
+    }
+
+    #[test]
+    fn rf_cache_recovers_performance() {
+        let (p, insts) = small_kernel();
+        let mut base = GpuConfig::default();
+        base.rf_latency = 2; // TFET RF
+        base.rf_cache = None;
+        let mut cached = base.clone();
+        cached.rf_cache = Some(crate::config::RfCacheConfig::default());
+        let without = run_cu(&base, &insts, &p, 8, 1).cycles;
+        let with = run_cu(&cached, &insts, &p, 8, 1).cycles;
+        assert!(with <= without, "RF cache must not slow things down: {with} vs {without}");
+    }
+
+    #[test]
+    fn rf_cache_hit_rate_is_meaningful() {
+        let (p, insts) = small_kernel();
+        let stats = run_cu(&GpuConfig::default(), &insts, &p, 8, 1);
+        let hr = stats.rf_cache_hit_rate();
+        assert!(hr > 0.2, "written-value reuse should hit: {hr}");
+        assert!(hr < 0.9, "long-lived values should miss: {hr}");
+    }
+
+    #[test]
+    fn zero_waves_is_empty_run() {
+        let (p, insts) = small_kernel();
+        let stats = run_cu(&GpuConfig::default(), &insts, &p, 0, 1);
+        assert_eq!(stats.wavefront_insts, 0);
+        assert_eq!(stats.cycles, 0);
+    }
+}

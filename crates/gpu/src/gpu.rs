@@ -1,0 +1,161 @@
+//! The whole GPU: wavefront distribution across compute units.
+//!
+//! The launch's wavefronts are distributed round-robin over the configured
+//! compute units; CUs execute independently (per-CU LDS and register
+//! files; the synthetic kernels' memory behaviour is folded into per-access
+//! latencies). Total time is the slowest CU. Doubling the CU count at a
+//! fixed launch size — the AdvHet-2X experiment — halves each CU's share.
+
+use crate::config::GpuConfig;
+use crate::cu::run_cu;
+use crate::kernel::KernelProfile;
+use crate::stats::GpuStats;
+
+/// Result of a GPU kernel launch.
+#[derive(Debug, Clone)]
+pub struct GpuRunResult {
+    /// Aggregated counters (cycles = slowest CU).
+    pub stats: GpuStats,
+    /// The clock the GPU ran at (Hz).
+    pub clock_hz: f64,
+    /// Compute units that participated.
+    pub compute_units: u32,
+}
+
+impl GpuRunResult {
+    /// Wall-clock seconds of the launch.
+    pub fn seconds(&self) -> f64 {
+        self.stats.cycles as f64 / self.clock_hz
+    }
+}
+
+/// The GPU model.
+#[derive(Debug, Clone)]
+pub struct Gpu {
+    cfg: GpuConfig,
+}
+
+impl Gpu {
+    /// Builds a GPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: GpuConfig) -> Self {
+        cfg.validate().expect("valid GPU config");
+        Gpu { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Launches `kernel` (deterministically from `seed`) and runs it to
+    /// completion.
+    pub fn run(&self, kernel: &KernelProfile, seed: u64) -> GpuRunResult {
+        let insts = kernel.generate(seed);
+        self.run_insts(kernel, &insts, seed)
+    }
+
+    /// Like [`Gpu::run`], but first applies the latency-hiding compiler
+    /// pass of [`crate::schedule`] with the given lookahead window (the
+    /// paper's future-work optimization).
+    pub fn run_scheduled(&self, kernel: &KernelProfile, seed: u64, window: usize) -> GpuRunResult {
+        let insts = kernel.generate(seed);
+        let scheduled = crate::schedule::schedule_kernel(&insts, window);
+        self.run_insts(kernel, &scheduled.insts, seed)
+    }
+
+    fn run_insts(
+        &self,
+        kernel: &KernelProfile,
+        insts: &[crate::kernel::GpuInst],
+        seed: u64,
+    ) -> GpuRunResult {
+        let cus = self.cfg.compute_units;
+        // Round-robin wavefront distribution.
+        let base = kernel.wavefronts / cus;
+        let extra = kernel.wavefronts % cus;
+        let mut stats = GpuStats::default();
+        for cu in 0..cus {
+            let waves = base + u32::from(cu < extra);
+            let cu_stats = run_cu(
+                &self.cfg,
+                insts,
+                kernel,
+                waves,
+                seed.wrapping_add(0x9E37 * u64::from(cu) + 1),
+            );
+            stats.merge(&cu_stats);
+        }
+        GpuRunResult { stats, clock_hz: self.cfg.clock_hz, compute_units: cus }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    #[test]
+    fn full_launch_completes_all_work() {
+        let k = kernels::profile("reduction").expect("known");
+        let r = Gpu::new(GpuConfig::default()).run(&k, 9);
+        assert_eq!(
+            r.stats.wavefront_insts,
+            u64::from(k.insts_per_wavefront) * u64::from(k.wavefronts)
+        );
+    }
+
+    #[test]
+    fn doubling_cus_speeds_up_the_launch() {
+        let k = kernels::profile("matmul").expect("known");
+        let eight = Gpu::new(GpuConfig::default()).run(&k, 9);
+        let mut cfg = GpuConfig::default();
+        cfg.compute_units = 16;
+        let sixteen = Gpu::new(cfg).run(&k, 9);
+        let speedup = eight.seconds() / sixteen.seconds();
+        assert!(
+            (1.4..2.2).contains(&speedup),
+            "16 CUs should approach 2x over 8: {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn half_clock_doubles_seconds() {
+        let k = kernels::profile("dct").expect("known");
+        let base = Gpu::new(GpuConfig::default()).run(&k, 9);
+        let mut cfg = GpuConfig::default();
+        cfg.clock_hz = 0.5e9;
+        let slow = Gpu::new(cfg).run(&k, 9);
+        let ratio = slow.seconds() / base.seconds();
+        assert!((1.9..2.1).contains(&ratio), "seconds ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let k = kernels::profile("sobel").expect("known");
+        let gpu = Gpu::new(GpuConfig::default());
+        let a = gpu.run(&k, 4);
+        let b = gpu.run(&k, 4);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn tfet_gpu_is_slower_but_not_2x_with_occupancy() {
+        // BaseHet GPU: TFET FMA (6) + TFET RF (2), no RF cache, same clock.
+        let k = kernels::profile("binomialoption").expect("known");
+        let mut cmos = GpuConfig::default();
+        cmos.rf_cache = None;
+        let mut het = cmos.clone();
+        het.fma_latency = 6;
+        het.rf_latency = 2;
+        let base = Gpu::new(cmos).run(&k, 5);
+        let slow = Gpu::new(het).run(&k, 5);
+        let ratio = slow.seconds() / base.seconds();
+        assert!(ratio > 1.02, "TFET units must cost something: {ratio:.3}");
+        assert!(ratio < 1.9, "occupancy must hide most of it: {ratio:.3}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Synthetic GPU kernels.
+//!
+//! A kernel is a deterministic sequence of vector instructions that every
+//! wavefront executes (true SIMT: one instruction stream, many data). The
+//! generator samples the sequence once from a [`KernelProfile`]; per-
+//! wavefront variation (memory misses) is sampled at execution time.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Register identifiers live in a compact per-kernel working set; real
+/// kernels use a few dozen live registers out of the 256 available.
+pub const REG_WORKING_SET: u8 = 48;
+
+/// Classes of vector instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuOp {
+    /// VALU arithmetic (FMA/MAD/MUL/ADD on the SIMD lanes).
+    Valu,
+    /// Global-memory load/store.
+    Mem,
+    /// Local-data-share access.
+    Lds,
+}
+
+/// One vector instruction of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpuInst {
+    /// Instruction class.
+    pub op: GpuOp,
+    /// Whether this instruction reads the previous instruction's result
+    /// (in-order scoreboard dependency).
+    pub dep_on_prev: bool,
+    /// Source registers (VALU reads up to 3 for FMA).
+    pub srcs: [Option<u8>; 3],
+    /// Destination register.
+    pub dst: Option<u8>,
+}
+
+/// Statistical description of one synthetic kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelProfile {
+    /// Kernel name (e.g. `"matmul"`).
+    pub name: &'static str,
+    /// Vector instructions per wavefront.
+    pub insts_per_wavefront: u32,
+    /// Total wavefronts in the launch (grid size / 64).
+    pub wavefronts: u32,
+    /// Fraction of VALU instructions.
+    pub valu_frac: f64,
+    /// Fraction of global-memory instructions.
+    pub mem_frac: f64,
+    /// Fraction of LDS instructions (remainder after VALU+Mem is split
+    /// between LDS and VALU).
+    pub lds_frac: f64,
+    /// Probability an instruction depends on its predecessor's result
+    /// (short-distance dependencies the RF cache exploits).
+    pub dep_prob: f64,
+    /// Probability a source register was written recently (register reuse
+    /// — "as much as 40% of the writes are consumed by reads within a few
+    /// instructions").
+    pub reg_reuse: f64,
+    /// Probability a global-memory access misses to DRAM.
+    pub mem_miss_rate: f64,
+}
+
+impl KernelProfile {
+    /// Validates ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.insts_per_wavefront == 0 || self.wavefronts == 0 {
+            return Err("kernel must have work".into());
+        }
+        for (n, v) in [
+            ("valu_frac", self.valu_frac),
+            ("mem_frac", self.mem_frac),
+            ("lds_frac", self.lds_frac),
+            ("dep_prob", self.dep_prob),
+            ("reg_reuse", self.reg_reuse),
+            ("mem_miss_rate", self.mem_miss_rate),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{n} must be in [0,1]: {v}"));
+            }
+        }
+        if self.valu_frac + self.mem_frac + self.lds_frac > 1.0 + 1e-9 {
+            return Err("instruction fractions exceed 1".into());
+        }
+        Ok(())
+    }
+
+    /// Generates the kernel's instruction sequence, deterministically from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation.
+    pub fn generate(&self, seed: u64) -> Vec<GpuInst> {
+        self.validate().expect("valid kernel profile");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut insts = Vec::with_capacity(self.insts_per_wavefront as usize);
+        // Recently written registers, newest first (for reuse sampling).
+        let mut recent: Vec<u8> = Vec::with_capacity(8);
+        let mut next_reg: u8 = 0;
+        for _ in 0..self.insts_per_wavefront {
+            let r: f64 = rng.gen();
+            let op = if r < self.valu_frac {
+                GpuOp::Valu
+            } else if r < self.valu_frac + self.mem_frac {
+                GpuOp::Mem
+            } else {
+                GpuOp::Lds
+            };
+            let pick_src = |rng: &mut StdRng, recent: &Vec<u8>| -> u8 {
+                if !recent.is_empty() && rng.gen_bool(self.reg_reuse) {
+                    recent[rng.gen_range(0..recent.len().min(6))]
+                } else {
+                    rng.gen_range(0..REG_WORKING_SET)
+                }
+            };
+            let (srcs, dst) = match op {
+                GpuOp::Valu => {
+                    let s0 = pick_src(&mut rng, &recent);
+                    let s1 = pick_src(&mut rng, &recent);
+                    // FMA reads a third operand half the time.
+                    let s2 = rng.gen_bool(0.5).then(|| pick_src(&mut rng, &recent));
+                    let d = next_reg % REG_WORKING_SET;
+                    next_reg = next_reg.wrapping_add(1);
+                    ([Some(s0), Some(s1), s2], Some(d))
+                }
+                GpuOp::Mem => {
+                    let s0 = pick_src(&mut rng, &recent);
+                    // Loads produce a value; half the mem ops are stores.
+                    if rng.gen_bool(0.5) {
+                        let d = next_reg % REG_WORKING_SET;
+                        next_reg = next_reg.wrapping_add(1);
+                        ([Some(s0), None, None], Some(d))
+                    } else {
+                        let s1 = pick_src(&mut rng, &recent);
+                        ([Some(s0), Some(s1), None], None)
+                    }
+                }
+                GpuOp::Lds => {
+                    let s0 = pick_src(&mut rng, &recent);
+                    let d = next_reg % REG_WORKING_SET;
+                    next_reg = next_reg.wrapping_add(1);
+                    ([Some(s0), None, None], Some(d))
+                }
+            };
+            if let Some(d) = dst {
+                recent.insert(0, d);
+                recent.truncate(8);
+            }
+            insts.push(GpuInst { op, dep_on_prev: rng.gen_bool(self.dep_prob), srcs, dst });
+        }
+        insts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> KernelProfile {
+        KernelProfile {
+            name: "test",
+            insts_per_wavefront: 5000,
+            wavefronts: 8,
+            valu_frac: 0.6,
+            mem_frac: 0.15,
+            lds_frac: 0.1,
+            dep_prob: 0.35,
+            reg_reuse: 0.4,
+            mem_miss_rate: 0.2,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = profile();
+        assert_eq!(p.generate(5), p.generate(5));
+        assert_ne!(p.generate(5), p.generate(6));
+    }
+
+    #[test]
+    fn mix_matches_profile() {
+        let insts = profile().generate(1);
+        let n = insts.len() as f64;
+        let frac = |op: GpuOp| insts.iter().filter(|i| i.op == op).count() as f64 / n;
+        assert!((frac(GpuOp::Valu) - 0.6).abs() < 0.03);
+        assert!((frac(GpuOp::Mem) - 0.15).abs() < 0.03);
+    }
+
+    #[test]
+    fn dependency_density_matches() {
+        let insts = profile().generate(2);
+        let dep = insts.iter().filter(|i| i.dep_on_prev).count() as f64 / insts.len() as f64;
+        assert!((dep - 0.35).abs() < 0.03, "dep density {dep}");
+    }
+
+    #[test]
+    fn registers_stay_in_working_set() {
+        for i in profile().generate(3) {
+            for s in i.srcs.into_iter().flatten() {
+                assert!(s < REG_WORKING_SET);
+            }
+            if let Some(d) = i.dst {
+                assert!(d < REG_WORKING_SET);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_fractions_rejected() {
+        let mut p = profile();
+        p.valu_frac = 0.9;
+        p.mem_frac = 0.5;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Profiles for the GPU kernels.
+//!
+//! The paper uses "all the applications from the AMD-SDK-APP suite
+//! provided along with the Multi2Sim simulator, with the suggested input
+//! sizes". These profiles are synthetic stand-ins per DESIGN.md: each
+//! captures the qualitative character of the named kernel — compute-bound
+//! vs. memory-bound, LDS usage, dependency density (how vulnerable the
+//! kernel is to RF/FMA latency without occupancy), and register reuse
+//! (how much a register-file cache can capture).
+
+use crate::kernel::KernelProfile;
+
+#[allow(clippy::too_many_arguments)]
+const fn mk(
+    name: &'static str,
+    insts_per_wavefront: u32,
+    wavefronts: u32,
+    valu_frac: f64,
+    mem_frac: f64,
+    lds_frac: f64,
+    dep_prob: f64,
+    reg_reuse: f64,
+    mem_miss_rate: f64,
+) -> KernelProfile {
+    KernelProfile {
+        name,
+        insts_per_wavefront,
+        wavefronts,
+        valu_frac,
+        mem_frac,
+        lds_frac,
+        dep_prob,
+        reg_reuse,
+        mem_miss_rate,
+    }
+}
+
+/// The twenty named kernel profiles.
+pub fn all() -> Vec<KernelProfile> {
+    vec![
+        // Dense GEMM: compute-bound, tiled through LDS, high reuse.
+        mk("matmul", 800, 128, 0.62, 0.10, 0.18, 0.55, 0.50, 0.06),
+        // Transpose: pure data movement, coalescing-hostile.
+        mk("matrixtranspose", 400, 128, 0.30, 0.40, 0.18, 0.50, 0.30, 0.17),
+        // Binary search: short, divergent, memory-latency-bound.
+        mk("binarysearch", 250, 64, 0.38, 0.32, 0.05, 0.80, 0.30, 0.25),
+        // Binomial option pricing: deep FP recurrences.
+        mk("binomialoption", 900, 96, 0.68, 0.08, 0.12, 0.70, 0.50, 0.05),
+        // Bitonic sort: compare-exchange network, strided memory.
+        mk("bitonicsort", 500, 128, 0.44, 0.30, 0.08, 0.60, 0.35, 0.15),
+        // 8x8 DCT: blocked FP with LDS staging.
+        mk("dct", 700, 96, 0.58, 0.12, 0.20, 0.60, 0.45, 0.07),
+        // Haar wavelet: streaming FP.
+        mk("dwthaar", 450, 96, 0.55, 0.20, 0.12, 0.65, 0.40, 0.10),
+        // Fast Walsh transform: butterflies over global memory.
+        mk("fastwalsh", 500, 128, 0.48, 0.30, 0.06, 0.60, 0.35, 0.15),
+        // Floyd-Warshall: O(n^3) over an adjacency matrix in memory.
+        mk("floydwarshall", 550, 128, 0.40, 0.36, 0.05, 0.55, 0.30, 0.20),
+        // Histogram: LDS-atomic heavy, scatter reads.
+        mk("histogram", 400, 128, 0.34, 0.24, 0.30, 0.55, 0.30, 0.11),
+        // Reduction: tree reduction through LDS.
+        mk("reduction", 350, 128, 0.46, 0.18, 0.26, 0.70, 0.45, 0.09),
+        // Sobel filter: stencil with neighbourhood reuse.
+        mk("sobel", 600, 96, 0.56, 0.24, 0.10, 0.60, 0.45, 0.07),
+        // Black-Scholes option pricing (GPU port): pure FP, no memory
+        // pressure, deep exp/log chains.
+        mk("blackscholesgpu", 850, 96, 0.72, 0.08, 0.05, 0.60, 0.55, 0.05),
+        // Mersenne Twister RNG: integer-ish VALU recurrences.
+        mk("mersennetwister", 600, 128, 0.64, 0.14, 0.08, 0.65, 0.45, 0.08),
+        // Monte Carlo (Asian options): RNG + FP accumulation.
+        mk("montecarlo", 900, 96, 0.66, 0.10, 0.08, 0.55, 0.50, 0.06),
+        // N-body: all-pairs forces, compute-dense with broadcast reuse.
+        mk("nbody", 1000, 64, 0.70, 0.10, 0.08, 0.50, 0.55, 0.05),
+        // Prefix sum: log-depth tree over LDS.
+        mk("prefixsum", 300, 128, 0.42, 0.18, 0.28, 0.60, 0.40, 0.10),
+        // Quasi-random sequence generation: table lookups + VALU.
+        mk("quasirandom", 450, 128, 0.58, 0.20, 0.06, 0.45, 0.40, 0.12),
+        // Scan of large arrays: streaming global memory + LDS staging.
+        mk("scanlarge", 400, 128, 0.38, 0.30, 0.18, 0.45, 0.35, 0.16),
+        // Uniform RNG: short per-thread recurrences.
+        mk("urng", 350, 128, 0.62, 0.16, 0.06, 0.70, 0.45, 0.08),
+    ]
+}
+
+/// Looks a kernel profile up by name.
+pub fn profile(name: &str) -> Option<KernelProfile> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+/// The kernel names in suite order.
+pub fn names() -> Vec<&'static str> {
+    all().iter().map(|p| p.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_kernels_all_valid() {
+        let ks = all();
+        assert_eq!(ks.len(), 20);
+        for k in &ks {
+            k.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn names_unique_and_lookup_works() {
+        let mut n = names();
+        n.sort_unstable();
+        n.dedup();
+        assert_eq!(n.len(), 20);
+        assert!(profile("matmul").is_some());
+        assert!(profile("crysis").is_none());
+    }
+
+    #[test]
+    fn suite_spans_compute_and_memory_bound() {
+        let compute = profile("binomialoption").expect("exists");
+        let memory = profile("floydwarshall").expect("exists");
+        assert!(compute.valu_frac > 0.6);
+        assert!(memory.mem_frac > 0.3);
+        assert!(memory.mem_miss_rate > compute.mem_miss_rate);
+    }
+}

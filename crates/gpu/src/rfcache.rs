@@ -1,0 +1,147 @@
+//! The register-file cache of AdvHet's GPU (paper Section IV-C3).
+//!
+//! A tiny per-thread cache (6 entries) in front of the main vector RF.
+//! To avoid thrashing, it caches **only registers that are written** —
+//! "as much as 40% of the writes are consumed by reads within a few
+//! instructions", so caching writes captures that locality while reads of
+//! long-lived values bypass to the main RF. In SIMT hardware all 64
+//! threads of a wavefront run the same instruction, so one tag array per
+//! wavefront models all lanes.
+
+/// Per-wavefront register-file cache (LRU, write-allocate-only policy).
+#[derive(Debug, Clone)]
+pub struct RfCache {
+    /// Cached register ids, MRU first.
+    entries: Vec<u8>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    /// Evictions of cached registers back to the main RF.
+    evictions: u64,
+    writes: u64,
+}
+
+impl RfCache {
+    /// Creates an empty cache of `capacity` registers per thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RF cache needs at least one entry");
+        RfCache { entries: Vec::with_capacity(capacity), capacity, hits: 0, misses: 0, evictions: 0, writes: 0 }
+    }
+
+    /// Looks up a source register. Returns whether it hits the cache.
+    pub fn read(&mut self, reg: u8) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&r| r == reg) {
+            let r = self.entries.remove(pos);
+            self.entries.insert(0, r);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Allocates a written register (the only allocation path). A full
+    /// cache evicts its LRU entry to the main RF.
+    pub fn write(&mut self, reg: u8) {
+        self.writes += 1;
+        if let Some(pos) = self.entries.iter().position(|&r| r == reg) {
+            let r = self.entries.remove(pos);
+            self.entries.insert(0, r);
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop();
+            self.evictions += 1;
+        }
+        self.entries.insert(0, reg);
+    }
+
+    /// Read hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Read misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Evictions (main-RF writebacks) so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Writes allocated so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Read hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_hit_only_after_writes() {
+        let mut c = RfCache::new(6);
+        assert!(!c.read(5), "cold read misses");
+        c.write(5);
+        assert!(c.read(5), "written register is cached");
+    }
+
+    #[test]
+    fn only_writes_allocate() {
+        let mut c = RfCache::new(6);
+        c.read(7);
+        assert!(!c.read(7), "reads must not allocate");
+    }
+
+    #[test]
+    fn lru_eviction_goes_to_main_rf() {
+        let mut c = RfCache::new(2);
+        c.write(1);
+        c.write(2);
+        c.write(3); // evicts 1
+        assert_eq!(c.evictions(), 1);
+        assert!(!c.read(1));
+        assert!(c.read(2));
+        assert!(c.read(3));
+    }
+
+    #[test]
+    fn rewrite_refreshes_lru() {
+        let mut c = RfCache::new(2);
+        c.write(1);
+        c.write(2);
+        c.write(1); // refresh 1; 2 becomes LRU
+        c.write(3); // evicts 2
+        assert!(c.read(1));
+        assert!(!c.read(2));
+    }
+
+    #[test]
+    fn hit_rate_reflects_locality() {
+        let mut c = RfCache::new(6);
+        for i in 0..100u8 {
+            let r = i % 4; // tight reuse
+            c.write(r);
+            c.read(r);
+        }
+        assert!(c.hit_rate() > 0.9);
+    }
+}

@@ -1,0 +1,92 @@
+//! GPU event counters, consumed by the GPUWattch-like energy model.
+
+/// Counters for one GPU run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GpuStats {
+    /// Total cycles (the slowest compute unit).
+    pub cycles: u64,
+    /// Wavefront instructions issued.
+    pub wavefront_insts: u64,
+    /// VALU wavefront instructions.
+    pub valu_insts: u64,
+    /// Global-memory wavefront instructions.
+    pub mem_insts: u64,
+    /// LDS wavefront instructions.
+    pub lds_insts: u64,
+    /// Per-thread FMA lane operations (valu_insts x 64 threads).
+    pub thread_fma_ops: u64,
+    /// Per-thread main-RF accesses (reads + writes + RFC evictions).
+    pub vector_rf_accesses: u64,
+    /// Per-thread RF-cache accesses (reads + writes), zero without an RFC.
+    pub rf_cache_accesses: u64,
+    /// Per-thread fast-partition accesses of a partitioned RF (CMOS side).
+    pub rf_fast_accesses: u64,
+    /// RF-cache read hits (per thread).
+    pub rf_cache_hits: u64,
+    /// RF-cache read misses (per thread).
+    pub rf_cache_misses: u64,
+    /// Per-thread LDS accesses.
+    pub lds_accesses: u64,
+    /// Memory accesses that missed to DRAM (per wavefront instruction).
+    pub dram_accesses: u64,
+}
+
+impl GpuStats {
+    /// Wavefront instructions per cycle across the whole GPU.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.wavefront_insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// RF-cache read hit rate.
+    pub fn rf_cache_hit_rate(&self) -> f64 {
+        let total = self.rf_cache_hits + self.rf_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.rf_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another compute unit's counters; cycles take the max
+    /// (CUs run in parallel).
+    pub fn merge(&mut self, o: &GpuStats) {
+        self.cycles = self.cycles.max(o.cycles);
+        self.wavefront_insts += o.wavefront_insts;
+        self.valu_insts += o.valu_insts;
+        self.mem_insts += o.mem_insts;
+        self.lds_insts += o.lds_insts;
+        self.thread_fma_ops += o.thread_fma_ops;
+        self.vector_rf_accesses += o.vector_rf_accesses;
+        self.rf_cache_accesses += o.rf_cache_accesses;
+        self.rf_fast_accesses += o.rf_fast_accesses;
+        self.rf_cache_hits += o.rf_cache_hits;
+        self.rf_cache_misses += o.rf_cache_misses;
+        self.lds_accesses += o.lds_accesses;
+        self.dram_accesses += o.dram_accesses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_maxes_cycles_and_sums_work() {
+        let mut a = GpuStats { cycles: 100, wavefront_insts: 50, ..GpuStats::default() };
+        let b = GpuStats { cycles: 150, wavefront_insts: 70, ..GpuStats::default() };
+        a.merge(&b);
+        assert_eq!(a.cycles, 150);
+        assert_eq!(a.wavefront_insts, 120);
+    }
+
+    #[test]
+    fn rates_handle_zero() {
+        let s = GpuStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.rf_cache_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,362 @@
+//! A set-associative, write-back, write-allocate cache with true-LRU
+//! replacement.
+//!
+//! The cache is a *timing and content* model: it tracks which line tags are
+//! resident (so hit/miss behaviour is exact for the address stream) but not
+//! data values. Dirty bits are tracked so write-back traffic is accounted.
+
+use crate::stats::CacheStats;
+
+/// Geometry and timing of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways); 1 = direct mapped.
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Access latency in cycles (the time to *this* level, not round trip
+    /// through lower levels).
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `line_bytes` is a power of two and the geometry yields
+    /// at least one set.
+    pub fn new(size_bytes: u64, ways: u32, line_bytes: u64, latency: u32) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(ways >= 1, "need at least one way");
+        assert!(
+            size_bytes >= u64::from(ways) * line_bytes,
+            "cache of {size_bytes} B can't hold {ways} ways of {line_bytes} B lines"
+        );
+        let sets = size_bytes / (u64::from(ways) * line_bytes);
+        assert!(sets.is_power_of_two(), "set count must be a power of two, got {sets}");
+        CacheConfig { size_bytes, ways, line_bytes, latency }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (u64::from(self.ways) * self.line_bytes)
+    }
+}
+
+/// One resident line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was resident.
+    pub hit: bool,
+    /// Line address of a dirty victim evicted by the fill (misses only).
+    pub writeback: Option<u64>,
+}
+
+/// Result of removing a line (for promotion/invalidation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemovedLine {
+    /// Line-aligned address.
+    pub addr: u64,
+    /// Whether it was dirty.
+    pub dirty: bool,
+}
+
+/// A set-associative write-back cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `sets[s]` is ordered MRU-first; length <= ways.
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = vec![Vec::with_capacity(cfg.ways as usize); cfg.sets() as usize];
+        Cache { cfg, sets, stats: CacheStats::default() }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Access statistics so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.cfg.line_bytes;
+        let set = (line % self.cfg.sets()) as usize;
+        let tag = line / self.cfg.sets();
+        (set, tag)
+    }
+
+    fn line_addr(&self, set: usize, tag: u64) -> u64 {
+        (tag * self.cfg.sets() + set as u64) * self.cfg.line_bytes
+    }
+
+    /// Accesses `addr`; on a miss the line is allocated (write-allocate),
+    /// possibly evicting the LRU line. `is_write` marks the line dirty.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
+        self.stats.accesses += 1;
+        if is_write {
+            self.stats.writes += 1;
+        }
+        let (set, tag) = self.set_and_tag(addr);
+        let lines = &mut self.sets[set];
+        if let Some(pos) = lines.iter().position(|l| l.tag == tag) {
+            self.stats.hits += 1;
+            let mut line = lines.remove(pos);
+            line.dirty |= is_write;
+            lines.insert(0, line);
+            return AccessOutcome { hit: true, writeback: None };
+        }
+        self.stats.misses += 1;
+        let writeback = self.install(set, tag, is_write);
+        AccessOutcome { hit: false, writeback }
+    }
+
+    /// Checks residency without updating LRU or stats.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.sets[set].iter().any(|l| l.tag == tag)
+    }
+
+    /// Records a demand access in the statistics without touching cache
+    /// contents — for composite structures (e.g. the asymmetric DL1) that
+    /// manage residency themselves via [`Cache::fill`]/[`Cache::remove`].
+    pub fn stats_record_demand(&mut self, is_write: bool, hit: bool) {
+        self.stats.accesses += 1;
+        if is_write {
+            self.stats.writes += 1;
+        }
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+    }
+
+    /// Marks the line containing `addr` dirty and moves it to MRU, if
+    /// resident. Returns whether the line was present.
+    pub fn mark_used(&mut self, addr: u64, is_write: bool) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let Some(pos) = self.sets[set].iter().position(|l| l.tag == tag) else {
+            return false;
+        };
+        let mut line = self.sets[set].remove(pos);
+        line.dirty |= is_write;
+        self.sets[set].insert(0, line);
+        true
+    }
+
+    /// The address of the line that would be evicted if `addr`'s set had to
+    /// accept a new line right now (`None` if the set has a free way).
+    pub fn occupant_of_set(&self, addr: u64) -> Option<u64> {
+        let (set, _) = self.set_and_tag(addr);
+        let lines = &self.sets[set];
+        if lines.len() < self.cfg.ways as usize {
+            None
+        } else {
+            lines.last().map(|l| self.line_addr(set, l.tag))
+        }
+    }
+
+    /// Inserts a line (MRU position) without counting an access — used for
+    /// fills from another structure, e.g. demotions from a FastCache.
+    /// Returns the dirty victim's address, if any.
+    pub fn fill(&mut self, addr: u64, dirty: bool) -> Option<u64> {
+        let (set, tag) = self.set_and_tag(addr);
+        if let Some(pos) = self.sets[set].iter().position(|l| l.tag == tag) {
+            // Already resident: merge dirtiness, refresh LRU.
+            let mut line = self.sets[set].remove(pos);
+            line.dirty |= dirty;
+            self.sets[set].insert(0, line);
+            return None;
+        }
+        self.install(set, tag, dirty)
+    }
+
+    fn install(&mut self, set: usize, tag: u64, dirty: bool) -> Option<u64> {
+        self.stats.fills += 1;
+        let ways = self.cfg.ways as usize;
+        let mut writeback = None;
+        if self.sets[set].len() == ways {
+            let victim = self.sets[set].pop().expect("full set has a victim");
+            if victim.dirty {
+                self.stats.writebacks += 1;
+                writeback = Some(self.line_addr(set, victim.tag));
+            }
+        }
+        self.sets[set].insert(0, Line { tag, dirty });
+        writeback
+    }
+
+    /// Removes the line containing `addr`, returning it if present — used
+    /// for promotions into a FastCache and for coherence invalidations.
+    pub fn remove(&mut self, addr: u64) -> Option<RemovedLine> {
+        let (set, tag) = self.set_and_tag(addr);
+        let pos = self.sets[set].iter().position(|l| l.tag == tag)?;
+        let line = self.sets[set].remove(pos);
+        Some(RemovedLine { addr: self.line_addr(set, tag), dirty: line.dirty })
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// The line-aligned address of `addr`.
+    pub fn align(&self, addr: u64) -> u64 {
+        addr & !(self.cfg.line_bytes - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64 B = 512 B.
+        Cache::new(CacheConfig::new(512, 2, 64, 1))
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0x40, false).hit);
+        assert!(c.access(0x40, false).hit);
+        assert!(c.access(0x7f, false).hit, "same line, different offset");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Set 0 holds lines with addresses k * sets * line = k * 256.
+        c.access(0x000, false);
+        c.access(0x100, false);
+        c.access(0x000, false); // touch 0x000: 0x100 becomes LRU
+        c.access(0x200, false); // evicts 0x100
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x100));
+        assert!(c.probe(0x200));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        c.access(0x000, true); // dirty
+        c.access(0x100, false);
+        let out = c.access(0x200, false); // evicts dirty 0x000
+        assert_eq!(out.writeback, Some(0x000));
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = small();
+        c.access(0x000, false);
+        c.access(0x100, false);
+        let out = c.access(0x200, false);
+        assert_eq!(out.writeback, None);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        c.access(0x000, false);
+        c.access(0x000, true); // now dirty
+        c.access(0x100, false);
+        let out = c.access(0x200, false);
+        assert_eq!(out.writeback, Some(0x000));
+    }
+
+    #[test]
+    fn remove_returns_line_state() {
+        let mut c = small();
+        c.access(0x140, true);
+        let removed = c.remove(0x160).expect("same line");
+        assert_eq!(removed.addr, 0x140);
+        assert!(removed.dirty);
+        assert!(!c.probe(0x140));
+        assert!(c.remove(0x140).is_none());
+    }
+
+    #[test]
+    fn fill_does_not_count_as_access() {
+        let mut c = small();
+        c.fill(0x000, false);
+        assert_eq!(c.stats().accesses, 0);
+        assert_eq!(c.stats().fills, 1);
+        assert!(c.probe(0x000));
+    }
+
+    #[test]
+    fn fill_merges_dirtiness() {
+        let mut c = small();
+        c.fill(0x000, false);
+        c.fill(0x000, true); // re-fill dirty
+        c.access(0x100, false);
+        let out = c.access(0x200, false);
+        assert_eq!(out.writeback, Some(0x000));
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let mut c = small();
+        for addr in [0x0, 0x40, 0x80, 0x0, 0x40, 0x80] {
+            c.access(addr, false);
+        }
+        let s = c.stats();
+        assert_eq!(s.accesses, 6);
+        assert_eq!(s.hits + s.misses, s.accesses);
+        assert_eq!(s.hits, 3);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = small();
+        for i in 0..100 {
+            c.access(i * 64, false);
+        }
+        assert!(c.resident_lines() <= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = CacheConfig::new(512, 2, 48, 1);
+    }
+
+    #[test]
+    fn direct_mapped_works() {
+        let mut c = Cache::new(CacheConfig::new(256, 1, 64, 1));
+        c.access(0x000, false);
+        c.access(0x100, false); // same set, evicts
+        assert!(!c.probe(0x000));
+        assert!(c.probe(0x100));
+    }
+
+    #[test]
+    fn table_iii_geometries_construct() {
+        // 32KB 2-way IL1, 32KB 8-way DL1, 4KB 1-way fast, 256KB 8-way L2,
+        // 8MB 16-way L3.
+        let _ = CacheConfig::new(32 * 1024, 2, 64, 2);
+        let _ = CacheConfig::new(32 * 1024, 8, 64, 2);
+        let _ = CacheConfig::new(4 * 1024, 1, 64, 1);
+        let _ = CacheConfig::new(256 * 1024, 8, 64, 8);
+        let _ = CacheConfig::new(8 * 1024 * 1024, 16, 64, 32);
+    }
+}

@@ -1,0 +1,181 @@
+//! CACTI-lite: an analytical SRAM access-time/energy model.
+//!
+//! The paper justifies the asymmetric DL1's timing with CACTI: "CACTI
+//! analysis shows that the access latency of the FastCache is about one
+//! third of the base 32KB DL1" (Section IV-C1). This module provides the
+//! corresponding analytical model so those constants are *derived* rather
+//! than asserted: a classic decomposition of an SRAM access into decoder,
+//! wordline, bitline, comparator and output-driver terms, with wire terms
+//! growing with the square root of the array area and energy growing with
+//! the bits activated per access (all ways of a set-associative read).
+//!
+//! The model is calibrated in relative terms (the paper's evaluation only
+//! uses latency *cycles* and energy *ratios*); the absolute scale is
+//! anchored to the 15 nm Table I data of `hetsim-device`.
+
+/// Geometry of an SRAM array to analyze.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramGeometry {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways read in parallel).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl SramGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate geometry.
+    pub fn new(size_bytes: u64, ways: u32, line_bytes: u64) -> Self {
+        assert!(size_bytes >= u64::from(ways) * line_bytes, "at least one set");
+        assert!(ways >= 1 && line_bytes >= 1);
+        SramGeometry { size_bytes, ways, line_bytes }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (u64::from(self.ways) * self.line_bytes)
+    }
+}
+
+/// Analytical access-time/energy estimates for one array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramEstimate {
+    /// Access time (ps).
+    pub access_ps: f64,
+    /// Dynamic energy per read access (pJ).
+    pub read_energy_pj: f64,
+    /// Leakage power (mW), proportional to the bit count.
+    pub leakage_mw: f64,
+}
+
+/// Technology scale anchors (relative model, 15 nm flavored).
+mod k {
+    /// Fixed decoder + sense overhead (ps).
+    pub const T_FIXED: f64 = 55.0;
+    /// Wire/bitline delay per sqrt(byte) (ps).
+    pub const T_WIRE: f64 = 2.6;
+    /// Way-comparison/mux delay per way (ps).
+    pub const T_WAY: f64 = 6.0;
+    /// Fixed access energy (pJ).
+    pub const E_FIXED: f64 = 1.2;
+    /// Energy per activated way-line (pJ per 64 B way read).
+    pub const E_WAY: f64 = 2.1;
+    /// Wire energy per sqrt(byte) (pJ).
+    pub const E_WIRE: f64 = 0.055;
+    /// Leakage per KiB (mW).
+    pub const L_PER_KIB: f64 = 0.10;
+}
+
+/// Estimates access time, energy and leakage for `geometry`.
+///
+/// # Example
+///
+/// ```
+/// use hetsim_mem::cacti::{estimate, SramGeometry};
+///
+/// let dl1 = estimate(SramGeometry::new(32 * 1024, 8, 64));
+/// let fast = estimate(SramGeometry::new(4 * 1024, 1, 64));
+/// // The paper's Section IV-C1 CACTI claim: the 4 KB fast way takes about
+/// // a third of the 32 KB DL1's access time.
+/// let ratio = fast.access_ps / dl1.access_ps;
+/// assert!(ratio < 0.45);
+/// ```
+pub fn estimate(geometry: SramGeometry) -> SramEstimate {
+    let bytes = geometry.size_bytes as f64;
+    let ways = f64::from(geometry.ways);
+    let wire = bytes.sqrt();
+
+    // A set-associative read activates every way of the set plus the tag
+    // match; wires grow with the array's linear dimension.
+    let access_ps = k::T_FIXED + k::T_WIRE * wire + k::T_WAY * ways;
+    let read_energy_pj =
+        k::E_FIXED + k::E_WAY * ways * (geometry.line_bytes as f64 / 64.0) + k::E_WIRE * wire;
+    let leakage_mw = k::L_PER_KIB * bytes / 1024.0;
+
+    SramEstimate { access_ps, read_energy_pj, leakage_mw }
+}
+
+/// Latency of `geometry` in cycles at `clock_hz`, rounded up.
+pub fn cycles_at(geometry: SramGeometry, clock_hz: f64) -> u32 {
+    let ps = estimate(geometry).access_ps;
+    (ps * 1e-12 * clock_hz).ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dl1() -> SramEstimate {
+        estimate(SramGeometry::new(32 * 1024, 8, 64))
+    }
+
+    fn fast_way() -> SramEstimate {
+        estimate(SramGeometry::new(4 * 1024, 1, 64))
+    }
+
+    #[test]
+    fn fast_way_is_about_a_third_of_dl1_latency() {
+        // Section IV-C1's CACTI claim.
+        let r = fast_way().access_ps / dl1().access_ps;
+        assert!((0.25..0.45).contains(&r), "fast/DL1 latency ratio {r}");
+    }
+
+    #[test]
+    fn fast_way_energy_is_a_small_fraction_of_dl1() {
+        let r = fast_way().read_energy_pj / dl1().read_energy_pj;
+        assert!((0.10..0.35).contains(&r), "fast/DL1 energy ratio {r}");
+    }
+
+    #[test]
+    fn table_iii_latency_cycles_are_consistent_at_2ghz() {
+        // The model should place the Table III structures in the right
+        // cycle bands at 2 GHz: DL1 ~1-2, L2 ~3-6 (array only; the round
+        // trip adds pipeline/queue cycles), L3 slice ~8-20.
+        let dl1 = cycles_at(SramGeometry::new(32 * 1024, 8, 64), 2.0e9);
+        let l2 = cycles_at(SramGeometry::new(256 * 1024, 8, 64), 2.0e9);
+        let l3 = cycles_at(SramGeometry::new(2 * 1024 * 1024, 16, 64), 2.0e9);
+        assert!((1..=2).contains(&dl1), "DL1 array cycles {dl1}");
+        assert!((2..=6).contains(&l2), "L2 array cycles {l2}");
+        assert!((6..=20).contains(&l3), "L3 array cycles {l3}");
+        assert!(dl1 < l2 && l2 < l3);
+    }
+
+    #[test]
+    fn latency_grows_with_size_and_associativity() {
+        let small = estimate(SramGeometry::new(8 * 1024, 2, 64));
+        let bigger = estimate(SramGeometry::new(64 * 1024, 2, 64));
+        let wider = estimate(SramGeometry::new(8 * 1024, 8, 64));
+        assert!(bigger.access_ps > small.access_ps);
+        assert!(wider.access_ps > small.access_ps);
+    }
+
+    #[test]
+    fn energy_scales_with_ways_not_just_size() {
+        // Reading an 8-way set burns ~8 way-lines; a direct-mapped array
+        // of the same capacity burns one.
+        let assoc = estimate(SramGeometry::new(32 * 1024, 8, 64));
+        let direct = estimate(SramGeometry::new(32 * 1024, 1, 64));
+        assert!(assoc.read_energy_pj > 2.0 * direct.read_energy_pj);
+    }
+
+    #[test]
+    fn leakage_is_proportional_to_capacity() {
+        let a = estimate(SramGeometry::new(32 * 1024, 8, 64));
+        let b = estimate(SramGeometry::new(64 * 1024, 8, 64));
+        assert!((b.leakage_mw / a.leakage_mw - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l3_leakage_dominates_the_hierarchy() {
+        // Consistent with the power model's unit leakages: the 2 MB L3
+        // slice leaks an order of magnitude more than the 32 KB DL1.
+        let dl1 = estimate(SramGeometry::new(32 * 1024, 8, 64)).leakage_mw;
+        let l3 = estimate(SramGeometry::new(2 * 1024 * 1024, 16, 64)).leakage_mw;
+        assert!(l3 > 10.0 * dl1);
+    }
+}

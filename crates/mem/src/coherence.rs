@@ -1,0 +1,229 @@
+//! MESI directory for the shared L3 (paper Table III: "Ring with MESI
+//! directory-based protocol").
+//!
+//! The directory tracks, per line, which cores hold it and in what state.
+//! The multicore simulator consults it on every L2 miss: accesses that
+//! would hit a remote core's private cache cost extra ring hops and may
+//! force downgrades or invalidations. SPLASH-2-style partitioned workloads
+//! generate little sharing, but the protocol is implemented fully and
+//! verified by its own tests.
+
+use std::collections::HashMap;
+
+/// MESI line states as recorded at the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineState {
+    /// One core holds the line, possibly dirty.
+    ModifiedOrExclusive,
+    /// One or more cores hold clean copies.
+    Shared,
+}
+
+/// What the requesting core must do beyond the plain L3 access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoherenceAction {
+    /// Extra ring/network cycles for remote snoops or forwards.
+    pub extra_latency: u32,
+    /// Number of remote copies invalidated.
+    pub invalidations: u32,
+    /// Whether dirty data was forwarded from a remote owner.
+    pub owner_forward: bool,
+}
+
+impl CoherenceAction {
+    /// No remote involvement.
+    pub const NONE: CoherenceAction =
+        CoherenceAction { extra_latency: 0, invalidations: 0, owner_forward: false };
+}
+
+/// Ring-hop cost charged per remote intervention (cycles).
+pub const RING_HOP_CYCLES: u32 = 8;
+
+/// Per-line sharer tracking.
+#[derive(Debug, Clone)]
+struct DirEntry {
+    state: LineState,
+    /// Bitmask of sharer cores.
+    sharers: u64,
+}
+
+/// The MESI directory.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    lines: HashMap<u64, DirEntry>,
+    /// Total invalidations issued.
+    pub invalidations: u64,
+    /// Total dirty-owner forwards.
+    pub forwards: u64,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Registers core `core`'s read of `line_addr`, returning the required
+    /// coherence action.
+    pub fn read(&mut self, line_addr: u64, core: u32) -> CoherenceAction {
+        let bit = 1u64 << core;
+        match self.lines.get_mut(&line_addr) {
+            None => {
+                self.lines
+                    .insert(line_addr, DirEntry { state: LineState::ModifiedOrExclusive, sharers: bit });
+                CoherenceAction::NONE
+            }
+            Some(entry) => {
+                if entry.sharers == bit {
+                    // Already the sole holder.
+                    return CoherenceAction::NONE;
+                }
+                let action = match entry.state {
+                    LineState::ModifiedOrExclusive => {
+                        // Remote owner must forward and downgrade.
+                        self.forwards += 1;
+                        CoherenceAction {
+                            extra_latency: RING_HOP_CYCLES,
+                            invalidations: 0,
+                            owner_forward: true,
+                        }
+                    }
+                    LineState::Shared => CoherenceAction::NONE,
+                };
+                entry.state = LineState::Shared;
+                entry.sharers |= bit;
+                action
+            }
+        }
+    }
+
+    /// Registers core `core`'s write of `line_addr`, returning the required
+    /// coherence action (invalidating all other sharers).
+    pub fn write(&mut self, line_addr: u64, core: u32) -> CoherenceAction {
+        let bit = 1u64 << core;
+        match self.lines.get_mut(&line_addr) {
+            None => {
+                self.lines
+                    .insert(line_addr, DirEntry { state: LineState::ModifiedOrExclusive, sharers: bit });
+                CoherenceAction::NONE
+            }
+            Some(entry) => {
+                if entry.sharers == bit {
+                    entry.state = LineState::ModifiedOrExclusive;
+                    return CoherenceAction::NONE;
+                }
+                let others = (entry.sharers & !bit).count_ones();
+                let owner_forward = entry.state == LineState::ModifiedOrExclusive;
+                if owner_forward {
+                    self.forwards += 1;
+                }
+                self.invalidations += u64::from(others);
+                entry.state = LineState::ModifiedOrExclusive;
+                entry.sharers = bit;
+                CoherenceAction {
+                    extra_latency: RING_HOP_CYCLES * others.max(1),
+                    invalidations: others,
+                    owner_forward,
+                }
+            }
+        }
+    }
+
+    /// Removes a line (L3 eviction): all sharers are implicitly
+    /// invalidated by inclusion.
+    pub fn evict(&mut self, line_addr: u64) -> u32 {
+        match self.lines.remove(&line_addr) {
+            None => 0,
+            Some(entry) => {
+                let n = entry.sharers.count_ones();
+                self.invalidations += u64::from(n);
+                n
+            }
+        }
+    }
+
+    /// Current state of a line, if tracked.
+    pub fn state(&self, line_addr: u64) -> Option<LineState> {
+        self.lines.get(&line_addr).map(|e| e.state)
+    }
+
+    /// Number of cores currently holding `line_addr`.
+    pub fn sharer_count(&self, line_addr: u64) -> u32 {
+        self.lines.get(&line_addr).map_or(0, |e| e.sharers.count_ones())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_read_is_exclusive() {
+        let mut d = Directory::new();
+        assert_eq!(d.read(0x40, 0), CoherenceAction::NONE);
+        assert_eq!(d.state(0x40), Some(LineState::ModifiedOrExclusive));
+        assert_eq!(d.sharer_count(0x40), 1);
+    }
+
+    #[test]
+    fn second_reader_downgrades_owner() {
+        let mut d = Directory::new();
+        d.read(0x40, 0);
+        let a = d.read(0x40, 1);
+        assert!(a.owner_forward);
+        assert_eq!(a.extra_latency, RING_HOP_CYCLES);
+        assert_eq!(d.state(0x40), Some(LineState::Shared));
+        assert_eq!(d.sharer_count(0x40), 2);
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut d = Directory::new();
+        d.read(0x40, 0);
+        d.read(0x40, 1);
+        d.read(0x40, 2);
+        let a = d.write(0x40, 0);
+        assert_eq!(a.invalidations, 2);
+        assert_eq!(d.sharer_count(0x40), 1);
+        assert_eq!(d.state(0x40), Some(LineState::ModifiedOrExclusive));
+    }
+
+    #[test]
+    fn sole_owner_upgrades_silently() {
+        let mut d = Directory::new();
+        d.read(0x40, 3);
+        let a = d.write(0x40, 3);
+        assert_eq!(a, CoherenceAction::NONE);
+        assert_eq!(d.state(0x40), Some(LineState::ModifiedOrExclusive));
+    }
+
+    #[test]
+    fn write_to_modified_line_forwards_from_owner() {
+        let mut d = Directory::new();
+        d.write(0x40, 0);
+        let a = d.write(0x40, 1);
+        assert!(a.owner_forward);
+        assert_eq!(a.invalidations, 1);
+        assert_eq!(d.sharer_count(0x40), 1);
+    }
+
+    #[test]
+    fn eviction_invalidates_everyone() {
+        let mut d = Directory::new();
+        d.read(0x40, 0);
+        d.read(0x40, 1);
+        assert_eq!(d.evict(0x40), 2);
+        assert_eq!(d.state(0x40), None);
+        assert_eq!(d.invalidations, 2);
+    }
+
+    #[test]
+    fn disjoint_lines_do_not_interact() {
+        let mut d = Directory::new();
+        d.write(0x40, 0);
+        let a = d.write(0x80, 1);
+        assert_eq!(a, CoherenceAction::NONE);
+        assert_eq!(d.sharer_count(0x40), 1);
+        assert_eq!(d.sharer_count(0x80), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Fixed-latency DRAM model (paper Table III: 50 ns round trip).
+//!
+//! The paper models main memory as a flat 50 ns round trip. Because the
+//! simulators count in core cycles, the cycle cost depends on the core
+//! clock — 100 cycles at the 2 GHz CMOS clock, 50 cycles for the 1 GHz
+//! BaseTFET core, and so on.
+
+/// DRAM round-trip latency used throughout the paper (seconds).
+pub const DRAM_ROUND_TRIP_S: f64 = 50.0e-9;
+
+/// Fixed-latency DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dram {
+    latency_cycles: u32,
+    accesses: u64,
+}
+
+impl Dram {
+    /// DRAM as seen by a core clocked at `clock_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_hz` is not positive.
+    pub fn at_clock(clock_hz: f64) -> Self {
+        assert!(clock_hz > 0.0, "clock must be positive, got {clock_hz}");
+        let latency_cycles = (DRAM_ROUND_TRIP_S * clock_hz).round() as u32;
+        Dram { latency_cycles: latency_cycles.max(1), accesses: 0 }
+    }
+
+    /// Performs one access; returns the round-trip latency in core cycles.
+    pub fn access(&mut self) -> u32 {
+        self.accesses += 1;
+        self.latency_cycles
+    }
+
+    /// Round-trip latency in core cycles.
+    pub fn latency_cycles(&self) -> u32 {
+        self.latency_cycles
+    }
+
+    /// Number of accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_scale_with_clock() {
+        assert_eq!(Dram::at_clock(2.0e9).latency_cycles(), 100);
+        assert_eq!(Dram::at_clock(1.0e9).latency_cycles(), 50);
+        assert_eq!(Dram::at_clock(2.5e9).latency_cycles(), 125);
+    }
+
+    #[test]
+    fn access_counts() {
+        let mut d = Dram::at_clock(2.0e9);
+        assert_eq!(d.access(), 100);
+        assert_eq!(d.access(), 100);
+        assert_eq!(d.accesses(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock must be positive")]
+    fn zero_clock_panics() {
+        let _ = Dram::at_clock(0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Event counters for the memory system.
+//!
+//! The power model consumes these counts: every access to every level is an
+//! energy event, and writebacks/fills generate traffic at the level below.
+
+/// Counters for one cache structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses (loads + stores reaching this level).
+    pub accesses: u64,
+    /// Demand accesses that were writes.
+    pub writes: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Lines installed (demand fills + external fills).
+    pub fills: u64,
+    /// Dirty lines written back to the level below.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over demand accesses; 0 if there were none.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Counter-wise difference `self - baseline` (for warmup snapshots).
+    pub fn minus(&self, b: &CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses - b.accesses,
+            writes: self.writes - b.writes,
+            hits: self.hits - b.hits,
+            misses: self.misses - b.misses,
+            fills: self.fills - b.fills,
+            writebacks: self.writebacks - b.writebacks,
+        }
+    }
+
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.writes += other.writes;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.fills += other.fills;
+        self.writebacks += other.writebacks;
+    }
+}
+
+/// Whole-hierarchy counters for one core, as consumed by the power model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Instruction-cache accesses (one per fetch group).
+    pub il1: CacheStats,
+    /// Data-cache accesses. For the asymmetric DL1 this counts FastCache
+    /// probes (every data access probes the fast way first).
+    pub dl1_fast: CacheStats,
+    /// SlowCache (or the whole DL1 for a conventional design) accesses.
+    pub dl1_slow: CacheStats,
+    /// Promotions from SlowCache to FastCache (asymmetric DL1 only).
+    pub promotions: u64,
+    /// L2 accesses.
+    pub l2: CacheStats,
+    /// L3 accesses.
+    pub l3: CacheStats,
+    /// DRAM accesses.
+    pub dram_accesses: u64,
+}
+
+impl MemStats {
+    /// Total DL1 demand accesses regardless of organization.
+    pub fn dl1_accesses(&self) -> u64 {
+        // For a plain DL1, only `dl1_slow` is populated; for the asymmetric
+        // DL1 every access probes the fast way, so `dl1_fast.accesses` is
+        // the demand count.
+        if self.dl1_fast.accesses > 0 {
+            self.dl1_fast.accesses
+        } else {
+            self.dl1_slow.accesses
+        }
+    }
+
+    /// Overall DL1 hit rate (fast or slow).
+    pub fn dl1_hit_rate(&self) -> f64 {
+        let demand = self.dl1_accesses();
+        if demand == 0 {
+            return 0.0;
+        }
+        let hits = self.dl1_fast.hits + self.dl1_slow.hits;
+        hits as f64 / demand as f64
+    }
+
+    /// Counter-wise difference `self - baseline` (for warmup snapshots).
+    pub fn minus(&self, b: &MemStats) -> MemStats {
+        MemStats {
+            il1: self.il1.minus(&b.il1),
+            dl1_fast: self.dl1_fast.minus(&b.dl1_fast),
+            dl1_slow: self.dl1_slow.minus(&b.dl1_slow),
+            promotions: self.promotions - b.promotions,
+            l2: self.l2.minus(&b.l2),
+            l3: self.l3.minus(&b.l3),
+            dram_accesses: self.dram_accesses - b.dram_accesses,
+        }
+    }
+
+    /// Accumulates another core's counters (for multicore totals).
+    pub fn merge(&mut self, other: &MemStats) {
+        self.il1.merge(&other.il1);
+        self.dl1_fast.merge(&other.dl1_fast);
+        self.dl1_slow.merge(&other.dl1_slow);
+        self.promotions += other.promotions;
+        self.l2.merge(&other.l2);
+        self.l3.merge(&other.l3);
+        self.dram_accesses += other.dram_accesses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CacheStats { accesses: 10, writes: 2, hits: 7, misses: 3, fills: 3, writebacks: 1 };
+        let b = CacheStats { accesses: 5, writes: 1, hits: 5, misses: 0, fills: 0, writebacks: 0 };
+        a.merge(&b);
+        assert_eq!(a.accesses, 15);
+        assert_eq!(a.hits, 12);
+        assert!((a.hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dl1_accessors_pick_populated_side() {
+        let mut m = MemStats::default();
+        m.dl1_slow.accesses = 100;
+        m.dl1_slow.hits = 90;
+        assert_eq!(m.dl1_accesses(), 100);
+        assert!((m.dl1_hit_rate() - 0.9).abs() < 1e-12);
+
+        let mut asym = MemStats::default();
+        asym.dl1_fast.accesses = 100;
+        asym.dl1_fast.hits = 60;
+        asym.dl1_slow.accesses = 40;
+        asym.dl1_slow.hits = 30;
+        assert_eq!(asym.dl1_accesses(), 100);
+        assert!((asym.dl1_hit_rate() - 0.9).abs() < 1e-12);
+    }
+}

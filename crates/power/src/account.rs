@@ -1,0 +1,491 @@
+//! Energy accounting: event counts + runtime -> the paper's metrics.
+//!
+//! [`CpuEnergyModel`] turns one core's [`CoreStats`] + [`MemStats`] +
+//! simulated seconds into the Figure 8 breakdown (core/L2/L3, each split
+//! into dynamic and leakage). [`GpuEnergyModel`] does the same for a GPU
+//! from a [`GpuActivity`] summary (Figure 11 reports dynamic vs. leakage).
+//! DRAM energy is tracked separately: the paper's energy figures cover the
+//! chip (core incl. L1s, L2, L3), not main memory.
+
+use hetsim_cpu::CoreStats;
+use hetsim_mem::MemStats;
+
+use crate::assignment::{DeviceAssignment, UnitImpl};
+use crate::mcpat::{
+    cpu_leakage_mw, gpu_leakage_mw, CPU_BASELINE, FP_RF_LEAK_PER_REG_MW, GPU_BASELINE,
+    ROB_LEAK_PER_ENTRY_MW,
+};
+use crate::units::{CpuUnit, GpuUnit};
+
+const PJ: f64 = 1.0e-12;
+const MW: f64 = 1.0e-3;
+
+/// The Figure 8 energy breakdown for one run (joules).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Core (incl. L1s) dynamic energy.
+    pub core_dynamic_j: f64,
+    /// Core (incl. L1s) leakage energy.
+    pub core_leakage_j: f64,
+    /// L2 dynamic energy.
+    pub l2_dynamic_j: f64,
+    /// L2 leakage energy.
+    pub l2_leakage_j: f64,
+    /// L3 dynamic energy.
+    pub l3_dynamic_j: f64,
+    /// L3 leakage energy.
+    pub l3_leakage_j: f64,
+    /// DRAM energy — reported separately, not part of [`Self::total_j`]
+    /// (the paper's figures cover core/L2/L3 only).
+    pub dram_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Chip energy: core + L2 + L3, dynamic + leakage (excludes DRAM).
+    pub fn total_j(&self) -> f64 {
+        self.core_dynamic_j
+            + self.core_leakage_j
+            + self.l2_dynamic_j
+            + self.l2_leakage_j
+            + self.l3_dynamic_j
+            + self.l3_leakage_j
+    }
+
+    /// Total dynamic energy.
+    pub fn dynamic_j(&self) -> f64 {
+        self.core_dynamic_j + self.l2_dynamic_j + self.l3_dynamic_j
+    }
+
+    /// Total leakage energy.
+    pub fn leakage_j(&self) -> f64 {
+        self.core_leakage_j + self.l2_leakage_j + self.l3_leakage_j
+    }
+
+    /// Energy-delay product (J.s).
+    pub fn ed(&self, seconds: f64) -> f64 {
+        self.total_j() * seconds
+    }
+
+    /// Energy-delay-squared product (J.s^2).
+    pub fn ed2(&self, seconds: f64) -> f64 {
+        self.total_j() * seconds * seconds
+    }
+
+    /// Element-wise accumulation (multicore totals).
+    pub fn merge(&mut self, o: &EnergyBreakdown) {
+        self.core_dynamic_j += o.core_dynamic_j;
+        self.core_leakage_j += o.core_leakage_j;
+        self.l2_dynamic_j += o.l2_dynamic_j;
+        self.l2_leakage_j += o.l2_leakage_j;
+        self.l3_dynamic_j += o.l3_dynamic_j;
+        self.l3_leakage_j += o.l3_leakage_j;
+        self.dram_j += o.dram_j;
+    }
+}
+
+/// DRAM energy for a run (joules), independent of core design.
+pub fn dram_energy_j(mem: &MemStats) -> f64 {
+    mem.dram_accesses as f64 * CPU_BASELINE.dram_pj * PJ
+}
+
+/// The CPU energy model: a device assignment over the McPAT-like baseline.
+#[derive(Debug, Clone)]
+pub struct CpuEnergyModel {
+    assignment: DeviceAssignment,
+    /// Whether the ALU cluster is dual-speed (1 CMOS + rest TFET): fast
+    /// ALU ops then burn CMOS energy and a quarter of the ALU leakage
+    /// stays CMOS.
+    dual_speed_alu: bool,
+    /// ROB entries (scales ROB leakage vs. the 160-entry baseline).
+    rob_entries: u32,
+    /// FP rename registers (scales FP-RF leakage vs. the 80-entry
+    /// baseline).
+    fp_regs: u32,
+}
+
+impl CpuEnergyModel {
+    /// Model with the Table III baseline structure sizes.
+    pub fn new(assignment: DeviceAssignment) -> Self {
+        CpuEnergyModel { assignment, dual_speed_alu: false, rob_entries: 160, fp_regs: 80 }
+    }
+
+    /// Declares the dual-speed ALU cluster (AdvHet, BaseHet-Split).
+    pub fn with_dual_speed_alu(mut self) -> Self {
+        self.dual_speed_alu = true;
+        self
+    }
+
+    /// Overrides structure sizes (the Enh designs' 192-entry ROB and
+    /// 128-entry FP RF).
+    pub fn with_structure(mut self, rob_entries: u32, fp_regs: u32) -> Self {
+        self.rob_entries = rob_entries;
+        self.fp_regs = fp_regs;
+        self
+    }
+
+    /// Applies per-rail voltage factors (DVFS operating points, process-
+    /// variation guardbands) on top of the device assignment.
+    pub fn with_voltages(mut self, volts: crate::assignment::VoltageFactors) -> Self {
+        self.assignment.voltages = volts;
+        self
+    }
+
+    /// The device assignment.
+    pub fn assignment(&self) -> &DeviceAssignment {
+        &self.assignment
+    }
+
+    /// Computes the energy breakdown of one core's run.
+    pub fn energy(&self, stats: &CoreStats, mem: &MemStats, seconds: f64) -> EnergyBreakdown {
+        let a = &self.assignment;
+        let b = &CPU_BASELINE;
+        let df = |u: CpuUnit| a.cpu_dynamic_factor(u);
+
+        // ---- Core dynamic ----
+        let mut core_dyn = 0.0;
+        core_dyn += stats.fetch_groups as f64 * b.fetch_pj * df(CpuUnit::Fetch);
+        // Wrong-path fetches burn fetch + IL1 + decode energy before the
+        // squash (front-end units are CMOS in every HetCore design).
+        core_dyn += stats.wrong_path_fetch_groups as f64
+            * (b.fetch_pj * df(CpuUnit::Fetch)
+                + b.il1_pj * df(CpuUnit::Il1)
+                + b.decode_pj * df(CpuUnit::Decode));
+        core_dyn += stats.dispatched as f64
+            * (b.decode_pj * df(CpuUnit::Decode)
+                + b.rename_pj * df(CpuUnit::Rename)
+                + b.rob_pj * df(CpuUnit::Rob));
+        core_dyn += stats.issues as f64 * b.iq_pj * df(CpuUnit::IssueQueue);
+        let mem_ops = (stats.loads + stats.stores) as f64;
+        core_dyn += mem_ops * (b.lsq_pj * df(CpuUnit::Lsq) + b.lsu_pj * df(CpuUnit::Lsu));
+        core_dyn += stats.int_rf_reads as f64 * b.int_rf_read_pj * df(CpuUnit::IntRf)
+            + stats.int_rf_writes as f64 * b.int_rf_write_pj * df(CpuUnit::IntRf);
+        core_dyn += stats.fp_rf_reads as f64 * b.fp_rf_read_pj * df(CpuUnit::FpRf)
+            + stats.fp_rf_writes as f64 * b.fp_rf_write_pj * df(CpuUnit::FpRf);
+
+        // ALU ops: in a dual-speed cluster the fast ops ran on the CMOS
+        // ALU; otherwise all ops use the cluster's implementation. Branch
+        // resolution also uses ALU energy.
+        let alu_like = stats.alu_ops() + stats.branches;
+        if self.dual_speed_alu {
+            let fast = (stats.alu_fast_ops + stats.branches / 4) as f64;
+            let slow = alu_like as f64 - fast;
+            core_dyn += fast * b.alu_pj * a.voltages.cmos_dynamic;
+            core_dyn += slow * b.alu_pj * df(CpuUnit::Alu);
+        } else {
+            core_dyn += alu_like as f64 * b.alu_pj * df(CpuUnit::Alu);
+        }
+        core_dyn += (stats.int_mul_ops as f64 * b.int_mul_pj
+            + stats.int_div_ops as f64 * b.int_div_pj)
+            * df(CpuUnit::IntMulDiv);
+        core_dyn += (stats.fp_add_ops as f64 * b.fp_add_pj
+            + stats.fp_mul_ops as f64 * b.fp_mul_pj
+            + stats.fp_div_ops as f64 * b.fp_div_pj)
+            * df(CpuUnit::Fpu);
+
+        // L1 caches (part of the core bucket, Figure 8).
+        core_dyn += mem.il1.accesses as f64 * b.il1_pj * df(CpuUnit::Il1);
+        core_dyn += mem.dl1_fast.accesses as f64 * b.dl1_fast_pj * df(CpuUnit::Dl1Fast);
+        core_dyn += mem.dl1_slow.accesses as f64 * b.dl1_pj * df(CpuUnit::Dl1);
+        // Promotions move a line between partitions: one extra write each
+        // side.
+        core_dyn += mem.promotions as f64
+            * (b.dl1_fast_pj * df(CpuUnit::Dl1Fast) + b.dl1_pj * df(CpuUnit::Dl1));
+
+        // ---- L2 / L3 dynamic ----
+        let l2_dyn = (mem.l2.accesses + mem.l2.fills) as f64 * b.l2_pj * df(CpuUnit::L2);
+        let l3_dyn = (mem.l3.accesses + mem.l3.fills) as f64 * b.l3_pj * df(CpuUnit::L3);
+
+        // ---- Leakage ----
+        let mut core_leak = 0.0;
+        for u in CpuUnit::ALL {
+            if matches!(u, CpuUnit::L2 | CpuUnit::L3) {
+                continue;
+            }
+            core_leak += self.unit_leak_mw(u) * seconds;
+        }
+        let l2_leak = self.unit_leak_mw(CpuUnit::L2) * seconds;
+        let l3_leak = self.unit_leak_mw(CpuUnit::L3) * seconds;
+
+        EnergyBreakdown {
+            core_dynamic_j: core_dyn * PJ,
+            core_leakage_j: core_leak * MW,
+            l2_dynamic_j: l2_dyn * PJ,
+            l2_leakage_j: l2_leak * MW,
+            l3_dynamic_j: l3_dyn * PJ,
+            l3_leakage_j: l3_leak * MW,
+            dram_j: dram_energy_j(mem),
+        }
+    }
+
+    /// Leakage energy of an *idle* core over `seconds` (the cores sitting
+    /// out a serial phase leak but do not switch).
+    pub fn idle_energy(&self, seconds: f64) -> EnergyBreakdown {
+        self.energy(&CoreStats::default(), &MemStats::default(), seconds)
+    }
+
+    /// Effective leakage (mW) of one unit under this model, including the
+    /// structure-size scalings and the dual-speed ALU split.
+    fn unit_leak_mw(&self, u: CpuUnit) -> f64 {
+        let base = match u {
+            CpuUnit::Rob => {
+                cpu_leakage_mw(u) + ROB_LEAK_PER_ENTRY_MW * (self.rob_entries as f64 - 160.0)
+            }
+            CpuUnit::FpRf => {
+                cpu_leakage_mw(u) + FP_RF_LEAK_PER_REG_MW * (self.fp_regs as f64 - 80.0)
+            }
+            _ => cpu_leakage_mw(u),
+        };
+        if u == CpuUnit::Alu && self.dual_speed_alu {
+            // One of four ALUs stays CMOS.
+            let cmos = self.assignment.voltages.cmos_leakage;
+            let tfet = UnitImpl::Tfet.leakage_factor(self.assignment.assumption)
+                * self.assignment.voltages.tfet_leakage;
+            return base * (0.25 * cmos + 0.75 * tfet);
+        }
+        base * self.assignment.cpu_leakage_factor(u)
+    }
+}
+
+/// Event counts of one GPU run, as consumed by [`GpuEnergyModel`]. The
+/// `hetcore` crate builds this from the GPU simulator's statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GpuActivity {
+    /// Wavefront instructions scheduled (fetch/decode/schedule events).
+    pub wavefront_insts: u64,
+    /// Per-thread FMA/VALU lane operations.
+    pub thread_fma_ops: u64,
+    /// Per-thread vector-RF reads + writes (main RF only).
+    pub vector_rf_accesses: u64,
+    /// Per-thread RF-cache accesses.
+    pub rf_cache_accesses: u64,
+    /// Per-thread fast-partition accesses of a partitioned RF (a CMOS
+    /// structure regardless of the vector RF's device assignment).
+    pub rf_fast_accesses: u64,
+    /// Per-thread LDS accesses.
+    pub lds_accesses: u64,
+    /// Wavefront memory instructions.
+    pub mem_insts: u64,
+    /// DRAM accesses.
+    pub dram_accesses: u64,
+    /// Number of compute units powered (leakage scales with this).
+    pub compute_units: u32,
+    /// Simulated seconds.
+    pub seconds: f64,
+}
+
+/// GPU energy result (Figure 11 reports dynamic vs. leakage).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GpuEnergy {
+    /// Dynamic energy (J).
+    pub dynamic_j: f64,
+    /// Leakage energy (J).
+    pub leakage_j: f64,
+    /// DRAM energy (J), reported separately.
+    pub dram_j: f64,
+}
+
+impl GpuEnergy {
+    /// Chip energy (dynamic + leakage, excluding DRAM).
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_j + self.leakage_j
+    }
+
+    /// Energy-delay-squared product (J.s^2).
+    pub fn ed2(&self, seconds: f64) -> f64 {
+        self.total_j() * seconds * seconds
+    }
+}
+
+/// The GPU energy model.
+#[derive(Debug, Clone)]
+pub struct GpuEnergyModel {
+    assignment: DeviceAssignment,
+}
+
+impl GpuEnergyModel {
+    /// Builds the model from a device assignment.
+    pub fn new(assignment: DeviceAssignment) -> Self {
+        GpuEnergyModel { assignment }
+    }
+
+    /// Computes the energy of one GPU run.
+    pub fn energy(&self, act: &GpuActivity) -> GpuEnergy {
+        let a = &self.assignment;
+        let b = &GPU_BASELINE;
+        let mut dynamic = 0.0;
+        dynamic += act.wavefront_insts as f64
+            * b.fetch_schedule_pj
+            * a.gpu_dynamic_factor(GpuUnit::FetchSchedule);
+        dynamic += act.thread_fma_ops as f64 * b.simd_fma_pj * a.gpu_dynamic_factor(GpuUnit::SimdFma);
+        dynamic +=
+            act.vector_rf_accesses as f64 * b.vector_rf_pj * a.gpu_dynamic_factor(GpuUnit::VectorRf);
+        dynamic +=
+            act.rf_cache_accesses as f64 * b.rf_cache_pj * a.gpu_dynamic_factor(GpuUnit::RfCache);
+        // The fast partition of a partitioned RF is CMOS by construction
+        // (Section VIII) but also a 16x smaller array than the 256-entry
+        // vector RF: per-access energy scales with the activated array
+        // (CACTI-lite's way/wire terms), modeled as 0.3x the full RF.
+        dynamic +=
+            act.rf_fast_accesses as f64 * 0.3 * b.vector_rf_pj * a.voltages.cmos_dynamic;
+        dynamic += act.lds_accesses as f64 * b.lds_pj * a.gpu_dynamic_factor(GpuUnit::Lds);
+        dynamic += act.mem_insts as f64 * b.mem_pipe_pj * a.gpu_dynamic_factor(GpuUnit::MemPipe);
+
+        let mut leak_mw = 0.0;
+        for u in GpuUnit::ALL {
+            leak_mw += gpu_leakage_mw(u) * a.gpu_leakage_factor(u);
+        }
+        leak_mw *= act.compute_units as f64;
+
+        GpuEnergy {
+            dynamic_j: dynamic * PJ,
+            leakage_j: leak_mw * MW * act.seconds,
+            dram_j: act.dram_accesses as f64 * b.dram_pj * PJ,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn typical_stats() -> (CoreStats, MemStats) {
+        // A 100k-instruction, IPC ~2.5 run with a SPLASH-2-like mix (the
+        // calibrated workloads run in that IPC band on the 4-wide core).
+        let stats = CoreStats {
+            cycles: 40_000,
+            committed: 100_000,
+            dispatched: 100_000,
+            fetch_groups: 30_000,
+            issues: 100_000,
+            alu_fast_ops: 0,
+            alu_slow_ops: 25_000,
+            int_mul_ops: 2_000,
+            int_div_ops: 200,
+            fp_add_ops: 15_000,
+            fp_mul_ops: 17_000,
+            fp_div_ops: 800,
+            loads: 21_000,
+            stores: 9_000,
+            branches: 10_000,
+            mispredicts: 500,
+            int_rf_reads: 70_000,
+            int_rf_writes: 50_000,
+            fp_rf_reads: 45_000,
+            fp_rf_writes: 33_000,
+            ..CoreStats::default()
+        };
+        let mut mem = MemStats::default();
+        mem.il1.accesses = 30_000;
+        mem.dl1_slow.accesses = 30_000;
+        mem.dl1_slow.hits = 27_000;
+        mem.l2.accesses = 3_000;
+        mem.l2.fills = 1_500;
+        mem.l3.accesses = 1_500;
+        mem.l3.fills = 600;
+        mem.dram_accesses = 600;
+        (stats, mem)
+    }
+
+    #[test]
+    fn basecmos_split_is_roughly_60_40() {
+        // Calibration target #1 (see mcpat.rs): the dynamic share on a
+        // typical run sits near 60%, which is what makes the all-TFET
+        // design land at the paper's -76% energy.
+        let (stats, mem) = typical_stats();
+        let seconds = stats.cycles as f64 / 2.0e9;
+        let e = CpuEnergyModel::new(DeviceAssignment::all_cmos()).energy(&stats, &mem, seconds);
+        let dyn_share = e.dynamic_j() / e.total_j();
+        assert!((0.5..0.7).contains(&dyn_share), "dynamic share {dyn_share}");
+    }
+
+    #[test]
+    fn all_tfet_saves_about_three_quarters() {
+        let (stats, mem) = typical_stats();
+        // BaseTFET runs at half clock: same cycles-ish, double seconds.
+        let base_s = stats.cycles as f64 / 2.0e9;
+        let cmos = CpuEnergyModel::new(DeviceAssignment::all_cmos()).energy(&stats, &mem, base_s);
+        let tfet =
+            CpuEnergyModel::new(DeviceAssignment::all_tfet()).energy(&stats, &mem, 2.0 * base_s);
+        let ratio = tfet.total_j() / cmos.total_j();
+        assert!((0.18..0.30).contains(&ratio), "BaseTFET energy ratio {ratio}");
+    }
+
+    #[test]
+    fn hetcore_assignment_saves_a_third_or_more() {
+        let (stats, mem) = typical_stats();
+        let base_s = stats.cycles as f64 / 2.0e9;
+        let cmos = CpuEnergyModel::new(DeviceAssignment::all_cmos()).energy(&stats, &mem, base_s);
+        // BaseHet is ~40% slower.
+        let het = CpuEnergyModel::new(DeviceAssignment::hetcore_cpu(false))
+            .energy(&stats, &mem, 1.4 * base_s);
+        let ratio = het.total_j() / cmos.total_j();
+        assert!((0.5..0.75).contains(&ratio), "BaseHet energy ratio {ratio}");
+    }
+
+    #[test]
+    fn idle_energy_is_pure_leakage() {
+        let m = CpuEnergyModel::new(DeviceAssignment::all_cmos());
+        let e = m.idle_energy(1.0e-3);
+        assert_eq!(e.dynamic_j(), 0.0);
+        assert!(e.leakage_j() > 0.0);
+        assert_eq!(e.dram_j, 0.0);
+    }
+
+    #[test]
+    fn leakage_scales_with_time() {
+        let m = CpuEnergyModel::new(DeviceAssignment::all_cmos());
+        let e1 = m.idle_energy(1.0e-3);
+        let e2 = m.idle_energy(2.0e-3);
+        assert!((e2.leakage_j() / e1.leakage_j() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_rob_and_fp_rf_leak_more() {
+        let base = CpuEnergyModel::new(DeviceAssignment::all_cmos()).idle_energy(1.0);
+        let enh = CpuEnergyModel::new(DeviceAssignment::all_cmos())
+            .with_structure(192, 128)
+            .idle_energy(1.0);
+        assert!(enh.core_leakage_j > base.core_leakage_j);
+    }
+
+    #[test]
+    fn dual_speed_alu_keeps_quarter_cmos_leakage() {
+        let tfet_model = CpuEnergyModel::new(DeviceAssignment::hetcore_cpu(false));
+        let dual_model =
+            CpuEnergyModel::new(DeviceAssignment::hetcore_cpu(false)).with_dual_speed_alu();
+        // Dual-speed leaks more than all-TFET ALUs, less than all-CMOS.
+        let t = tfet_model.idle_energy(1.0).core_leakage_j;
+        let d = dual_model.idle_energy(1.0).core_leakage_j;
+        let c = CpuEnergyModel::new(DeviceAssignment::all_cmos()).idle_energy(1.0).core_leakage_j;
+        assert!(t < d && d < c);
+    }
+
+    #[test]
+    fn ed2_weights_delay_quadratically() {
+        let (stats, mem) = typical_stats();
+        let m = CpuEnergyModel::new(DeviceAssignment::all_cmos());
+        let e = m.energy(&stats, &mem, 1.0e-3);
+        assert!((e.ed2(2.0e-3) / e.ed(2.0e-3) - 2.0e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gpu_all_tfet_saves_about_three_quarters() {
+        let act = GpuActivity {
+            wavefront_insts: 100_000,
+            thread_fma_ops: 3_000_000,
+            vector_rf_accesses: 9_000_000,
+            lds_accesses: 500_000,
+            mem_insts: 15_000,
+            dram_accesses: 8_000,
+            compute_units: 8,
+            seconds: 1.0e-4,
+            ..GpuActivity::default()
+        };
+        let cmos = GpuEnergyModel::new(DeviceAssignment::all_cmos()).energy(&act);
+        let mut slow = act;
+        slow.seconds *= 2.0;
+        let tfet = GpuEnergyModel::new(DeviceAssignment::all_tfet()).energy(&slow);
+        let ratio = tfet.total_j() / cmos.total_j();
+        assert!((0.15..0.32).contains(&ratio), "GPU BaseTFET ratio {ratio}");
+    }
+}

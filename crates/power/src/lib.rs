@@ -1,0 +1,49 @@
+//! Event-driven power and energy model (the McPAT / GPUWattch substitute).
+//!
+//! The paper obtains power numbers from McPAT (CPU, HP-CMOS process) and
+//! GPUWattch (GPU). This crate replaces both with an event-energy model:
+//! every architectural unit has a *dynamic energy per event* and a *leakage
+//! power*, calibrated so a BaseCMOS core shows the dynamic/leakage split
+//! and per-unit proportions characteristic of a dual-V_t high-performance
+//! core at 15 nm (see [`mcpat`] for the calibration notes). Event counts
+//! come from the simulators; leakage integrates over simulated seconds.
+//!
+//! Device heterogeneity enters through a [`assignment::DeviceAssignment`]:
+//! each unit is built in CMOS, all-high-V_t CMOS, or TFET, which scales its
+//! dynamic energy (conservatively 4x lower for TFET, paper Section V-B) and
+//! leakage power (10x lower, Section VI). Voltage scaling for DVFS and
+//! process-variation guardbands applies CV^2 to dynamic energy and a linear
+//! factor to leakage power per rail.
+//!
+//! * [`units`] — the unit taxonomy for CPUs and GPUs.
+//! * [`mcpat`] — baseline CMOS energies/leakages (with calibration notes).
+//! * [`assignment`] — unit -> device-implementation maps.
+//! * [`account`] — turning event counts + runtime into the paper's
+//!   energy breakdowns, ED and ED^2.
+//!
+//! # Example
+//!
+//! ```
+//! use hetsim_power::assignment::DeviceAssignment;
+//! use hetsim_power::account::{CpuEnergyModel, dram_energy_j};
+//! use hetsim_cpu::CoreStats;
+//! use hetsim_mem::MemStats;
+//!
+//! let model = CpuEnergyModel::new(DeviceAssignment::all_cmos());
+//! let stats = CoreStats { cycles: 1000, committed: 1500, ..Default::default() };
+//! let mem = MemStats::default();
+//! let breakdown = model.energy(&stats, &mem, 1000.0 / 2.0e9);
+//! assert!(breakdown.total_j() > 0.0);
+//! let _ = dram_energy_j(&mem);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod assignment;
+pub mod mcpat;
+pub mod units;
+
+pub use account::{CpuEnergyModel, EnergyBreakdown, GpuActivity, GpuEnergyModel};
+pub use assignment::{DeviceAssignment, UnitImpl};
+pub use units::{CpuUnit, GpuUnit};

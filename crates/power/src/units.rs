@@ -1,0 +1,165 @@
+//! The architectural unit taxonomy of the power model.
+//!
+//! CPU units follow McPAT's decomposition of an out-of-order core plus the
+//! cache levels the paper's Figure 8 reports (core incl. L1s, L2, L3). GPU
+//! units follow GPUWattch's decomposition of a compute unit.
+
+/// Power-model units of a CPU core and its caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CpuUnit {
+    /// Instruction fetch: IL1 access path, branch predictor, BTB.
+    Fetch,
+    /// Decoders.
+    Decode,
+    /// Rename/allocate (RAT, free lists).
+    Rename,
+    /// Reorder buffer.
+    Rob,
+    /// Issue queue (wakeup/select CAM).
+    IssueQueue,
+    /// Load-store queue.
+    Lsq,
+    /// Integer register file.
+    IntRf,
+    /// Floating-point register file.
+    FpRf,
+    /// Simple integer ALUs (the unit HetCore may split into fast/slow
+    /// clusters).
+    Alu,
+    /// Integer multiplier/divider.
+    IntMulDiv,
+    /// Floating-point units.
+    Fpu,
+    /// Load-store units (AGUs).
+    Lsu,
+    /// Instruction L1 array.
+    Il1,
+    /// Data L1 array (whole array for a conventional DL1; the slow
+    /// partition for an asymmetric DL1).
+    Dl1,
+    /// The 4 KB CMOS fast way of the asymmetric DL1.
+    Dl1Fast,
+    /// Private L2.
+    L2,
+    /// L3 slice.
+    L3,
+}
+
+impl CpuUnit {
+    /// Every CPU unit.
+    pub const ALL: [CpuUnit; 17] = [
+        CpuUnit::Fetch,
+        CpuUnit::Decode,
+        CpuUnit::Rename,
+        CpuUnit::Rob,
+        CpuUnit::IssueQueue,
+        CpuUnit::Lsq,
+        CpuUnit::IntRf,
+        CpuUnit::FpRf,
+        CpuUnit::Alu,
+        CpuUnit::IntMulDiv,
+        CpuUnit::Fpu,
+        CpuUnit::Lsu,
+        CpuUnit::Il1,
+        CpuUnit::Dl1,
+        CpuUnit::Dl1Fast,
+        CpuUnit::L2,
+        CpuUnit::L3,
+    ];
+
+    /// The Figure 8 bucket this unit's energy reports under.
+    pub fn bucket(self) -> EnergyBucket {
+        match self {
+            CpuUnit::L2 => EnergyBucket::L2,
+            CpuUnit::L3 => EnergyBucket::L3,
+            _ => EnergyBucket::Core,
+        }
+    }
+
+    /// The units HetCore's BaseHet moves to TFET (Table II: FPUs, ALUs,
+    /// DL1, L2 and L3).
+    pub fn tfet_in_basehet(self) -> bool {
+        matches!(
+            self,
+            CpuUnit::Alu | CpuUnit::IntMulDiv | CpuUnit::Fpu | CpuUnit::Dl1 | CpuUnit::L2 | CpuUnit::L3
+        )
+    }
+}
+
+/// The reporting buckets of the paper's Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnergyBucket {
+    /// Core, including the L1 caches.
+    Core,
+    /// Private L2.
+    L2,
+    /// Shared L3.
+    L3,
+}
+
+/// Power-model units of a GPU (per compute unit plus globals), after
+/// GPUWattch's decomposition of AMD Southern Islands hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GpuUnit {
+    /// Wavefront fetch/decode/schedule.
+    FetchSchedule,
+    /// SIMD FMA lanes (the vector ALUs).
+    SimdFma,
+    /// Main vector register file.
+    VectorRf,
+    /// The small register-file cache of AdvHet (and the fair BaseCMOS).
+    RfCache,
+    /// Local data share (scratchpad).
+    Lds,
+    /// Memory pipeline: coalescer, L1 vector cache, interconnect.
+    MemPipe,
+}
+
+impl GpuUnit {
+    /// Every GPU unit.
+    pub const ALL: [GpuUnit; 6] = [
+        GpuUnit::FetchSchedule,
+        GpuUnit::SimdFma,
+        GpuUnit::VectorRf,
+        GpuUnit::RfCache,
+        GpuUnit::Lds,
+        GpuUnit::MemPipe,
+    ];
+
+    /// The units HetCore's GPU BaseHet moves to TFET (Table II: SIMD FPUs
+    /// and the register file).
+    pub fn tfet_in_basehet(self) -> bool {
+        matches!(self, GpuUnit::SimdFma | GpuUnit::VectorRf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_assignment_matches_figure8() {
+        assert_eq!(CpuUnit::Fpu.bucket(), EnergyBucket::Core);
+        assert_eq!(CpuUnit::Il1.bucket(), EnergyBucket::Core);
+        assert_eq!(CpuUnit::Dl1.bucket(), EnergyBucket::Core);
+        assert_eq!(CpuUnit::L2.bucket(), EnergyBucket::L2);
+        assert_eq!(CpuUnit::L3.bucket(), EnergyBucket::L3);
+    }
+
+    #[test]
+    fn basehet_tfet_set_matches_table_ii() {
+        let tfet: Vec<_> = CpuUnit::ALL.iter().filter(|u| u.tfet_in_basehet()).collect();
+        assert_eq!(tfet.len(), 6); // ALU, IntMulDiv, FPU, DL1, L2, L3
+        assert!(!CpuUnit::Fetch.tfet_in_basehet(), "front end stays CMOS");
+        assert!(!CpuUnit::Il1.tfet_in_basehet(), "IL1 stays CMOS");
+        assert!(!CpuUnit::Dl1Fast.tfet_in_basehet(), "fast way is the CMOS way");
+    }
+
+    #[test]
+    fn gpu_basehet_moves_fma_and_rf() {
+        assert!(GpuUnit::SimdFma.tfet_in_basehet());
+        assert!(GpuUnit::VectorRf.tfet_in_basehet());
+        assert!(!GpuUnit::RfCache.tfet_in_basehet(), "RF cache stays CMOS");
+        assert!(!GpuUnit::MemPipe.tfet_in_basehet());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the energy model.
+
+use proptest::prelude::*;
+
+use hetsim_cpu::CoreStats;
+use hetsim_mem::MemStats;
+use hetsim_power::account::{CpuEnergyModel, GpuActivity, GpuEnergyModel};
+use hetsim_power::assignment::{DeviceAssignment, VoltageFactors};
+
+fn arbitrary_stats() -> impl Strategy<Value = (CoreStats, MemStats)> {
+    (0u64..100_000, 0u64..100_000, 0u64..50_000, 0u64..20_000).prop_map(
+        |(committed, issues, loads, branches)| {
+            let stats = CoreStats {
+                cycles: committed.max(1),
+                committed,
+                dispatched: committed,
+                fetch_groups: committed / 3,
+                issues,
+                alu_slow_ops: committed / 4,
+                fp_mul_ops: committed / 8,
+                loads,
+                stores: loads / 3,
+                branches,
+                int_rf_reads: issues,
+                int_rf_writes: issues / 2,
+                ..CoreStats::default()
+            };
+            let mut mem = MemStats::default();
+            mem.dl1_slow.accesses = loads + loads / 3;
+            mem.l2.accesses = loads / 10;
+            mem.l3.accesses = loads / 50;
+            mem.dram_accesses = loads / 200;
+            (stats, mem)
+        },
+    )
+}
+
+proptest! {
+    /// Energies are non-negative and the breakdown sums to the total for
+    /// arbitrary event counts, every design assignment, and any runtime.
+    #[test]
+    fn breakdown_sums_and_positivity((stats, mem) in arbitrary_stats(), us in 1.0f64..10_000.0) {
+        let seconds = us * 1e-6;
+        for assignment in [
+            DeviceAssignment::all_cmos(),
+            DeviceAssignment::all_tfet(),
+            DeviceAssignment::hetcore_cpu(true),
+            DeviceAssignment::l3_only(),
+            DeviceAssignment::high_vt_fus(),
+            DeviceAssignment::hetcore_fast_alu(),
+        ] {
+            let e = CpuEnergyModel::new(assignment).energy(&stats, &mem, seconds);
+            prop_assert!(e.core_dynamic_j >= 0.0);
+            prop_assert!(e.core_leakage_j > 0.0, "leakage always accrues");
+            let parts = e.core_dynamic_j + e.core_leakage_j + e.l2_dynamic_j
+                + e.l2_leakage_j + e.l3_dynamic_j + e.l3_leakage_j;
+            prop_assert!((parts - e.total_j()).abs() <= 1e-15 * parts.max(1e-30));
+        }
+    }
+
+    /// Energy is monotone in events: adding work never reduces dynamic
+    /// energy.
+    #[test]
+    fn dynamic_energy_is_monotone_in_events((stats, mem) in arbitrary_stats(), extra in 1u64..10_000) {
+        let model = CpuEnergyModel::new(DeviceAssignment::all_cmos());
+        let e1 = model.energy(&stats, &mem, 1e-5);
+        let mut more = stats;
+        more.fp_mul_ops += extra;
+        more.loads += extra;
+        let mut mem2 = mem;
+        mem2.dl1_slow.accesses += extra;
+        let e2 = model.energy(&more, &mem2, 1e-5);
+        prop_assert!(e2.dynamic_j() > e1.dynamic_j());
+        prop_assert!((e2.leakage_j() - e1.leakage_j()).abs() < 1e-18, "leakage unchanged");
+    }
+
+    /// A TFET assignment never consumes more than the CMOS baseline for
+    /// the same events and runtime.
+    #[test]
+    fn tfet_units_never_cost_more((stats, mem) in arbitrary_stats(), us in 1.0f64..1000.0) {
+        let seconds = us * 1e-6;
+        let cmos = CpuEnergyModel::new(DeviceAssignment::all_cmos()).energy(&stats, &mem, seconds);
+        let het = CpuEnergyModel::new(DeviceAssignment::hetcore_cpu(false)).energy(&stats, &mem, seconds);
+        prop_assert!(het.total_j() <= cmos.total_j());
+    }
+
+    /// Voltage scaling is multiplicative: doubling the squared-voltage
+    /// factor doubles dynamic energy on the affected rail.
+    #[test]
+    fn voltage_factors_scale_linearly((stats, mem) in arbitrary_stats()) {
+        let base = CpuEnergyModel::new(DeviceAssignment::all_cmos()).energy(&stats, &mem, 1e-5);
+        let scaled = CpuEnergyModel::new(DeviceAssignment::all_cmos())
+            .with_voltages(VoltageFactors {
+                cmos_dynamic: 2.0,
+                tfet_dynamic: 1.0,
+                cmos_leakage: 1.0,
+                tfet_leakage: 1.0,
+            })
+            .energy(&stats, &mem, 1e-5);
+        prop_assert!((scaled.dynamic_j() - 2.0 * base.dynamic_j()).abs() < 1e-12 * base.dynamic_j().max(1e-30));
+    }
+
+    /// GPU energy: leakage scales with the CU count, dynamic does not.
+    #[test]
+    fn gpu_leakage_scales_with_cus(insts in 1u64..1_000_000, cus in 1u32..32) {
+        let act = |n: u32| GpuActivity {
+            wavefront_insts: insts,
+            thread_fma_ops: insts * 40,
+            vector_rf_accesses: insts * 100,
+            mem_insts: insts / 10,
+            compute_units: n,
+            seconds: 1e-4,
+            ..GpuActivity::default()
+        };
+        let model = GpuEnergyModel::new(DeviceAssignment::all_cmos());
+        let one = model.energy(&act(1));
+        let many = model.energy(&act(cus));
+        prop_assert!((many.leakage_j - one.leakage_j * f64::from(cus)).abs() < 1e-12);
+        prop_assert!((many.dynamic_j - one.dynamic_j).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,193 @@
+//! Memory address-stream generation.
+//!
+//! The generator mixes three access patterns, weighted by the profile's
+//! locality knobs:
+//!
+//! * a *blocked sequential stream* (word-stride, see [`ACCESS_BYTES`]):
+//!   the stream makes [`STREAM_PASSES`] passes over one [`BLOCK_BYTES`]
+//!   block before moving to the next block of the working set — the
+//!   tiled/blocked reuse structure of real kernels (LU blocks, FFT
+//!   stages, stencil sweeps), which is what makes their misses hit L2/L3
+//!   rather than DRAM;
+//! * a *hot region* (small, heavily reused) — models stack frames and
+//!   temporally hot data structures;
+//! * *random accesses* uniformly over the working set — models hashing,
+//!   pointer chasing and scatter/gather.
+//!
+//! Together with the cache geometry these three knobs determine DL1/L2/L3
+//! hit rates, which is what the HetCore evaluation is sensitive to.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::profile::MemoryBehavior;
+
+/// Stride of the sequential stream. Real code makes several accesses per
+/// element (reads, updates, neighbours), so the stream advances one 4-byte
+/// word at a time: 15 of 16 sequential accesses stay within a 64 B line.
+pub const ACCESS_BYTES: u64 = 4;
+
+/// Tile size of the blocked stream (capped at the working-set size).
+/// Sized to the DL1 so that re-passes over a tile hit the L1, as blocked
+/// kernels are tuned to do.
+pub const BLOCK_BYTES: u64 = 32 * 1024;
+
+/// Passes the stream makes over a block before moving on.
+pub const STREAM_PASSES: u32 = 6;
+
+/// Ceiling of the medium-locality region used by most non-stream accesses
+/// (index structures, lookup tables): L2/L3-resident, not DRAM.
+pub const MEDIUM_REGION_BYTES: u64 = 512 * 1024;
+
+/// Share of non-stream, non-hot accesses that stay within the medium
+/// region; the rest scatter over the full working set.
+pub const MEDIUM_REGION_SHARE: f64 = 0.7;
+
+/// Stateful address generator for one thread's data stream.
+#[derive(Debug, Clone)]
+pub struct AddressGenerator {
+    behavior: MemoryBehavior,
+    /// Base of this thread's address space (lets multicore traces occupy
+    /// disjoint regions).
+    base: u64,
+    /// Stream cursor within the current block.
+    seq_cursor: u64,
+    /// Offset of the current block within the working set.
+    block_base: u64,
+    /// Effective block size (min of [`BLOCK_BYTES`] and the working set).
+    block_bytes: u64,
+    /// Passes completed over the current block.
+    pass: u32,
+}
+
+impl AddressGenerator {
+    /// Creates a generator over `behavior`'s working set, placed at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `behavior` fails validation.
+    pub fn new(behavior: MemoryBehavior, base: u64) -> Self {
+        behavior.validate().expect("valid memory behavior");
+        let block_bytes = BLOCK_BYTES.min(behavior.working_set_bytes);
+        AddressGenerator { behavior, base, seq_cursor: 0, block_base: 0, block_bytes, pass: 0 }
+    }
+
+    /// Generates the next data address.
+    pub fn next_addr(&mut self, rng: &mut StdRng) -> u64 {
+        let ws = self.behavior.working_set_bytes;
+        let r: f64 = rng.gen();
+        if r < self.behavior.spatial {
+            // Continue the blocked stream.
+            self.seq_cursor += ACCESS_BYTES;
+            if self.seq_cursor >= self.block_bytes {
+                self.seq_cursor = 0;
+                self.pass += 1;
+                if self.pass >= STREAM_PASSES {
+                    self.pass = 0;
+                    self.block_base = (self.block_base + self.block_bytes) % ws;
+                }
+            }
+            self.base + (self.block_base + self.seq_cursor) % ws
+        } else if r < self.behavior.spatial + (1.0 - self.behavior.spatial) * self.behavior.temporal
+        {
+            // Hot-region access.
+            let off = rng.gen_range(0..self.behavior.hot_region_bytes / ACCESS_BYTES) * ACCESS_BYTES;
+            self.base + off
+        } else if rng.gen_bool(MEDIUM_REGION_SHARE) {
+            // Irregular access to medium-locality data (index structures,
+            // tables): bounded region, L2/L3-resident once warm.
+            let region = MEDIUM_REGION_BYTES.min(ws);
+            let off = rng.gen_range(0..region / ACCESS_BYTES) * ACCESS_BYTES;
+            self.base + off
+        } else {
+            // Truly global scatter over the working set.
+            let off = rng.gen_range(0..ws / ACCESS_BYTES) * ACCESS_BYTES;
+            self.base + off
+        }
+    }
+
+    /// The memory behaviour this generator samples from.
+    pub fn behavior(&self) -> &MemoryBehavior {
+        &self.behavior
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn behavior(spatial: f64, temporal: f64) -> MemoryBehavior {
+        MemoryBehavior {
+            working_set_bytes: 1 << 20,
+            spatial,
+            temporal,
+            hot_region_bytes: 4096,
+        }
+    }
+
+    #[test]
+    fn addresses_stay_in_working_set() {
+        let mut g = AddressGenerator::new(behavior(0.5, 0.3), 0x1000_0000);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let a = g.next_addr(&mut rng);
+            assert!(a >= 0x1000_0000);
+            assert!(a < 0x1000_0000 + (1 << 20));
+        }
+    }
+
+    #[test]
+    fn high_spatial_locality_is_mostly_sequential() {
+        let mut g = AddressGenerator::new(behavior(0.95, 0.0), 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut prev = g.next_addr(&mut rng);
+        let mut sequential = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            let a = g.next_addr(&mut rng);
+            if a == prev + ACCESS_BYTES {
+                sequential += 1;
+            }
+            prev = a;
+        }
+        assert!(sequential as f64 / n as f64 > 0.85, "sequential {sequential}/{n}");
+    }
+
+    #[test]
+    fn zero_spatial_locality_is_rarely_sequential() {
+        let mut g = AddressGenerator::new(behavior(0.0, 0.0), 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut prev = g.next_addr(&mut rng);
+        let mut sequential = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            let a = g.next_addr(&mut rng);
+            if a == prev + ACCESS_BYTES {
+                sequential += 1;
+            }
+            prev = a;
+        }
+        assert!(sequential < n / 100, "sequential {sequential}/{n}");
+    }
+
+    #[test]
+    fn temporal_locality_concentrates_in_hot_region() {
+        let mut g = AddressGenerator::new(behavior(0.0, 0.9), 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let hot = (0..n)
+            .filter(|_| g.next_addr(&mut rng) < 4096)
+            .count();
+        assert!(hot as f64 / n as f64 > 0.8, "hot {hot}/{n}");
+    }
+
+    #[test]
+    fn accesses_are_word_aligned() {
+        let mut g = AddressGenerator::new(behavior(0.3, 0.3), 0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert_eq!(g.next_addr(&mut rng) % ACCESS_BYTES, 0);
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Profiles for the paper's CPU applications.
+//!
+//! The paper evaluates ten SPLASH-2 applications — Barnes (16K particles),
+//! Cholesky (tk29.O), FFT (2^20), FMM (16K), LU (512x512), Radiosity
+//! (batch), Radix (2M keys), Raytrace (teapot), Water-Nsquared and
+//! Water-Spatial — and four PARSEC applications — Blackscholes (16K),
+//! Canneal (10000), Streamcluster (4K) and Fluidanimate (15K).
+//!
+//! Each profile below encodes the well-known qualitative character of the
+//! application (instruction mix, footprint, locality, branchiness,
+//! scalability) in the statistical form the trace generator consumes. The
+//! values are not measurements of the paper's exact inputs — the binaries
+//! are substituted per DESIGN.md — but they are chosen so the *spread* of
+//! behaviours (FP-heavy vs. integer, cache-resident vs. memory-bound,
+//! predictable vs. branchy) matches what the paper's figures show per app.
+
+use crate::profile::{BranchBehavior, InstMix, MemoryBehavior, WorkloadProfile};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// Default dynamic instruction count for full experiment runs.
+const FULL_RUN: u64 = 300_000;
+
+#[allow(clippy::too_many_arguments)]
+const fn mk(
+    name: &'static str,
+    suite: &'static str,
+    mix: InstMix,
+    mean_dep_distance: f64,
+    working_set_bytes: u64,
+    spatial: f64,
+    temporal: f64,
+    bias: f64,
+    loop_fraction: f64,
+    loop_period: u32,
+    parallel_fraction: f64,
+) -> WorkloadProfile {
+    WorkloadProfile {
+        name,
+        suite,
+        mix,
+        mean_dep_distance,
+        memory: MemoryBehavior {
+            working_set_bytes,
+            spatial,
+            temporal,
+            hot_region_bytes: 8 * KB,
+        },
+        branches: BranchBehavior { sites: 128, bias, loop_fraction, loop_period },
+        parallel_fraction,
+        default_length: FULL_RUN,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+const fn mix(
+    int_alu: f64,
+    int_mul: f64,
+    int_div: f64,
+    fp_add: f64,
+    fp_mul: f64,
+    fp_div: f64,
+    load: f64,
+    store: f64,
+    branch: f64,
+) -> InstMix {
+    InstMix { int_alu, int_mul, int_div, fp_add, fp_mul, fp_div, load, store, branch }
+}
+
+/// The fourteen named application profiles, in the paper's order.
+pub fn all() -> Vec<WorkloadProfile> {
+    vec![
+        // ---------------- SPLASH-2 ----------------
+        // Barnes-Hut N-body: FP-heavy tree walk, pointer-y, decent ILP.
+        mk(
+            "barnes",
+            "SPLASH-2",
+            mix(0.24, 0.01, 0.00, 0.14, 0.16, 0.02, 0.23, 0.08, 0.12),
+            5.5,
+            256 * KB,
+            0.65,
+            0.70,
+            0.94,
+            0.35,
+            12,
+            0.97,
+        ),
+        // Cholesky factorization: dense FP blocks, strided, loopy.
+        mk(
+            "cholesky",
+            "SPLASH-2",
+            mix(0.23, 0.02, 0.00, 0.15, 0.19, 0.01, 0.22, 0.09, 0.09),
+            6.5,
+            192 * KB,
+            0.82,
+            0.70,
+            0.97,
+            0.55,
+            24,
+            0.93,
+        ),
+        // 1-D FFT on 2^20 points: very high ILP butterflies, large strides.
+        mk(
+            "fft",
+            "SPLASH-2",
+            mix(0.20, 0.02, 0.00, 0.19, 0.21, 0.00, 0.21, 0.10, 0.07),
+            8.0,
+            MB,
+            0.85,
+            0.60,
+            0.985,
+            0.70,
+            32,
+            0.98,
+        ),
+        // Fast Multipole Method: FP-heavy like barnes, more regular.
+        mk(
+            "fmm",
+            "SPLASH-2",
+            mix(0.23, 0.01, 0.00, 0.16, 0.18, 0.02, 0.21, 0.08, 0.11),
+            6.0,
+            256 * KB,
+            0.72,
+            0.68,
+            0.95,
+            0.45,
+            16,
+            0.96,
+        ),
+        // LU 512x512: blocked dense kernel, small footprint, DL1-resident.
+        mk(
+            "lu",
+            "SPLASH-2",
+            mix(0.22, 0.02, 0.00, 0.17, 0.21, 0.00, 0.21, 0.09, 0.08),
+            7.0,
+            128 * KB,
+            0.90,
+            0.85,
+            0.98,
+            0.70,
+            32,
+            0.97,
+        ),
+        // Radiosity: irregular, branchy visibility computations.
+        mk(
+            "radiosity",
+            "SPLASH-2",
+            mix(0.27, 0.01, 0.00, 0.13, 0.13, 0.02, 0.22, 0.07, 0.15),
+            4.5,
+            384 * KB,
+            0.55,
+            0.70,
+            0.92,
+            0.30,
+            10,
+            0.92,
+        ),
+        // Radix sort, 2M keys: integer-only streaming scatter.
+        mk(
+            "radix",
+            "SPLASH-2",
+            mix(0.35, 0.02, 0.00, 0.00, 0.00, 0.00, 0.29, 0.24, 0.10),
+            5.0,
+            2 * MB,
+            0.68,
+            0.40,
+            0.97,
+            0.65,
+            64,
+            0.98,
+        ),
+        // Raytrace (teapot): very branchy traversal, poor locality.
+        mk(
+            "raytrace",
+            "SPLASH-2",
+            mix(0.25, 0.01, 0.00, 0.13, 0.14, 0.03, 0.21, 0.05, 0.18),
+            4.0,
+            2 * MB,
+            0.45,
+            0.65,
+            0.90,
+            0.25,
+            8,
+            0.95,
+        ),
+        // Water-Nsquared: O(n^2) molecular forces, small hot footprint,
+        // FP-div heavy (distance reciprocals).
+        mk(
+            "water-nsq",
+            "SPLASH-2",
+            mix(0.19, 0.01, 0.00, 0.18, 0.20, 0.04, 0.20, 0.08, 0.10),
+            5.5,
+            96 * KB,
+            0.78,
+            0.85,
+            0.97,
+            0.55,
+            20,
+            0.96,
+        ),
+        // Water-Spatial: cell lists, slightly larger footprint.
+        mk(
+            "water-sp",
+            "SPLASH-2",
+            mix(0.20, 0.01, 0.00, 0.17, 0.19, 0.03, 0.20, 0.09, 0.11),
+            5.5,
+            128 * KB,
+            0.75,
+            0.80,
+            0.96,
+            0.50,
+            18,
+            0.97,
+        ),
+        // ---------------- PARSEC ----------------
+        // Blackscholes: embarrassingly parallel FP (exp/log/div), tiny WS.
+        mk(
+            "blackscholes",
+            "PARSEC",
+            mix(0.16, 0.01, 0.00, 0.22, 0.26, 0.02, 0.18, 0.07, 0.08),
+            7.5,
+            64 * KB,
+            0.92,
+            0.85,
+            0.99,
+            0.80,
+            64,
+            0.99,
+        ),
+        // Canneal: pointer-chasing simulated annealing, memory-bound.
+        mk(
+            "canneal",
+            "PB-PARSEC",
+            mix(0.33, 0.01, 0.00, 0.02, 0.02, 0.00, 0.33, 0.13, 0.16),
+            3.5,
+            48 * MB,
+            0.08,
+            0.25,
+            0.92,
+            0.20,
+            8,
+            0.90,
+        ),
+        // Streamcluster: streaming distance computations, FP + big scans.
+        mk(
+            "streamcluster",
+            "PARSEC",
+            mix(0.21, 0.01, 0.00, 0.17, 0.20, 0.01, 0.23, 0.07, 0.10),
+            6.5,
+            2 * MB,
+            0.88,
+            0.45,
+            0.97,
+            0.65,
+            48,
+            0.97,
+        ),
+        // Fluidanimate: particle SPH, FP with moderate locality.
+        mk(
+            "fluidanimate",
+            "PARSEC",
+            mix(0.22, 0.01, 0.00, 0.16, 0.18, 0.03, 0.21, 0.09, 0.10),
+            5.5,
+            512 * KB,
+            0.68,
+            0.65,
+            0.95,
+            0.45,
+            16,
+            0.96,
+        ),
+    ]
+}
+
+/// Looks a profile up by name.
+pub fn profile(name: &str) -> Option<WorkloadProfile> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+/// The application names in the paper's order.
+pub fn names() -> Vec<&'static str> {
+    all().iter().map(|p| p.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_apps() {
+        assert_eq!(all().len(), 14);
+    }
+
+    #[test]
+    fn every_profile_validates() {
+        for p in all() {
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn mixes_sum_to_one() {
+        for p in all() {
+            assert!((p.mix.total() - 1.0).abs() < 1e-9, "{} sums to {}", p.name, p.mix.total());
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(profile("canneal").is_some());
+        assert!(profile("doom").is_none());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut n = names();
+        n.sort_unstable();
+        n.dedup();
+        assert_eq!(n.len(), 14);
+    }
+
+    #[test]
+    fn radix_is_integer_only() {
+        let p = profile("radix").expect("radix exists");
+        assert_eq!(p.mix.fp_fraction(), 0.0);
+    }
+
+    #[test]
+    fn canneal_is_memory_bound_and_blackscholes_is_not() {
+        let canneal = profile("canneal").expect("exists");
+        let bs = profile("blackscholes").expect("exists");
+        assert!(canneal.memory.working_set_bytes > 16 * MB);
+        assert!(canneal.memory.spatial < 0.2);
+        assert!(bs.memory.working_set_bytes <= MB);
+        assert!(bs.memory.spatial > 0.7);
+    }
+
+    #[test]
+    fn suites_cover_splash2_and_parsec() {
+        let suites: std::collections::HashSet<_> = all().iter().map(|p| p.suite).collect();
+        assert!(suites.iter().any(|s| s.contains("SPLASH")));
+        assert!(suites.iter().any(|s| s.contains("PARSEC")));
+    }
+}

@@ -1,0 +1,145 @@
+//! The micro-op model consumed by the cycle-level CPU simulator.
+//!
+//! Instructions carry everything the *timing* model needs and nothing more:
+//! an operation class (which selects a functional unit and latency), up to
+//! two register dependencies expressed as *producer distances* (how many
+//! instructions earlier the producing instruction appeared in program
+//! order), an optional memory address, and optional branch information.
+
+/// Operation classes, mirroring the functional-unit taxonomy of the paper's
+/// Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Simple integer ALU operation (add/sub/logic/shift/compare).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide (unpipelined in hardware).
+    IntDiv,
+    /// Floating-point add/sub.
+    FpAdd,
+    /// Floating-point multiply (or fused multiply-add).
+    FpMul,
+    /// Floating-point divide/sqrt (issue-limited).
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+}
+
+impl OpClass {
+    /// All operation classes.
+    pub const ALL: [OpClass; 9] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+    ];
+
+    /// Whether this class produces a register result other instructions can
+    /// depend on.
+    pub fn produces_value(self) -> bool {
+        !matches!(self, OpClass::Store | OpClass::Branch)
+    }
+
+    /// Whether this class writes a floating-point register.
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv)
+    }
+
+    /// Whether this class accesses data memory.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+}
+
+/// Branch information attached to [`OpClass::Branch`] instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// The (synthetic) program counter of the branch site. Branch sites are
+    /// reused across the trace so predictors can learn per-site behaviour.
+    pub pc: u64,
+    /// Architectural outcome of this dynamic instance.
+    pub taken: bool,
+    /// Whether this instance is a call (pushes the RAS).
+    pub is_call: bool,
+    /// Whether this instance is a return (pops the RAS).
+    pub is_return: bool,
+}
+
+/// One dynamic micro-op in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// Operation class.
+    pub op: OpClass,
+    /// Distance (in dynamic instructions, >= 1) to the producer of the first
+    /// source operand, or `None` if the operand is ready at rename (e.g. an
+    /// immediate or a long-dead value).
+    pub src1_dist: Option<u32>,
+    /// Same for the second source operand.
+    pub src2_dist: Option<u32>,
+    /// Byte address touched by loads/stores.
+    pub addr: Option<u64>,
+    /// Branch site/outcome for branches.
+    pub branch: Option<BranchInfo>,
+}
+
+impl Inst {
+    /// A dependency-free instruction of class `op`.
+    pub fn simple(op: OpClass) -> Self {
+        Inst { op, src1_dist: None, src2_dist: None, addr: None, branch: None }
+    }
+
+    /// Iterator over the producer distances that are present.
+    pub fn source_distances(&self) -> impl Iterator<Item = u32> + '_ {
+        self.src1_dist.into_iter().chain(self.src2_dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_producers() {
+        assert!(OpClass::IntAlu.produces_value());
+        assert!(OpClass::Load.produces_value());
+        assert!(!OpClass::Store.produces_value());
+        assert!(!OpClass::Branch.produces_value());
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(OpClass::FpDiv.is_fp());
+        assert!(!OpClass::IntDiv.is_fp());
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::Branch.is_mem());
+    }
+
+    #[test]
+    fn simple_inst_has_no_dependencies() {
+        let i = Inst::simple(OpClass::IntAlu);
+        assert_eq!(i.source_distances().count(), 0);
+    }
+
+    #[test]
+    fn source_distances_yields_present_operands() {
+        let i = Inst {
+            op: OpClass::FpAdd,
+            src1_dist: Some(3),
+            src2_dist: None,
+            addr: None,
+            branch: None,
+        };
+        assert_eq!(i.source_distances().collect::<Vec<_>>(), vec![3]);
+    }
+}

@@ -1,0 +1,427 @@
+//! The deterministic synthetic trace generator.
+//!
+//! [`TraceGenerator`] is an [`Iterator`] over [`Inst`]s: each call samples
+//! an operation class from the profile's mix, register dependencies from a
+//! *parallel-chain* dataflow model, memory addresses from the
+//! [`crate::addr`] model and branch outcomes from the [`crate::branch`]
+//! model. Two generators built with the same profile and seed emit
+//! identical streams.
+//!
+//! # The two-pool chain dataflow model
+//!
+//! Real programs interleave independent dependency chains; that
+//! interleaving is what an out-of-order core mines for ILP and MLP. The
+//! generator maintains two chain pools with very different widths:
+//!
+//! * an **integer spine** of few chains (induction variables, address
+//!   computation, stack spills/reloads, loop control): *tight*, so integer
+//!   ALU latency, DL1 load-to-use latency and pointer chases land on the
+//!   critical path — exactly the structures the paper's DL1/ALU results
+//!   hinge on;
+//! * a **floating-point pool** of many chains: FP code exposes high ILP
+//!   (the paper: "floating-point intensive applications are known to
+//!   exhibit high ILP. Hence, deeper-pipelined FPUs can still attain high
+//!   levels of occupancy"), so deeper FPU pipelines cost comparatively
+//!   little.
+//!
+//! Both pool widths derive from the profile's `mean_dep_distance` (larger
+//! = more ILP). Loads are spill reloads (read *and* extend an integer
+//! chain — the DL1 round trip inserts into the spine), pointer chases
+//! (same, plus a serialized memory stream), or streaming loads (indexed
+//! off a spine value, feeding later arithmetic).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::addr::AddressGenerator;
+use crate::branch::BranchModel;
+use crate::isa::{Inst, OpClass};
+use crate::profile::WorkloadProfile;
+
+/// Per-thread base address stride: thread `t`'s data lives at
+/// `t * THREAD_ADDRESS_STRIDE`, keeping multicore working sets disjoint
+/// (SPLASH-2-style data partitioning).
+pub const THREAD_ADDRESS_STRIDE: u64 = 1 << 32;
+
+/// Probability that an arithmetic instruction reads a second chain.
+const SECOND_SOURCE_PROB: f64 = 0.55;
+
+/// Probability that a streaming load's address register is a recent chain
+/// value (induction variable / computed index) rather than a long-ready
+/// loop-invariant base.
+const INDEXED_ADDRESS_PROB: f64 = 0.75;
+
+/// Probability that an integer ALU op is a *leaf* computation (flag
+/// setting, comparison, bit manipulation feeding a branch or store) that
+/// reads the spine but does not extend it — its latency stays off the
+/// critical path, which is why the paper sees only a ~2% cost from TFET
+/// ALUs (Figure 13, BaseHet vs BaseHet-FastALU).
+const LEAF_ALU_PROB: f64 = 0.45;
+
+/// Probability that a spine operation continues the *most recently
+/// updated* integer chain instead of a uniformly chosen one. Real loop
+/// bodies cluster their address arithmetic (`i++; use i; ...`), producing
+/// the back-to-back dependent ALU pairs whose issue the dual-speed
+/// steering of Section IV-C2 exists to protect.
+const SPINE_BURST_PROB: f64 = 0.5;
+
+/// Probability that an instruction repeats the previous instruction's op
+/// class instead of sampling the mix afresh. Real code is phased — runs of
+/// address arithmetic, runs of FP, bursts of memory ops — and this Markov
+/// structure leaves the marginal mix unchanged while creating the
+/// short-distance dependent pairs that back-to-back issue (and hence
+/// dual-speed steering) is about.
+const OP_RUN_PROB: f64 = 0.45;
+
+/// Fraction of loads that are *spill reloads*: the value of a dependency
+/// chain round-trips through the stack (x86-style register-pressure
+/// spills), so the load both reads and extends the chain and the DL1
+/// round-trip sits directly on the critical path. Multi2Sim runs x86
+/// binaries, whose 8/16-register ISA makes such chains pervasive; this is
+/// the mechanism behind the paper's large DL1-latency sensitivity.
+const SPILL_RELOAD_PROB: f64 = 0.35;
+
+/// Deterministic synthetic instruction stream for one thread.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    rng: StdRng,
+    cumulative: [(f64, OpClass); 9],
+    addr: AddressGenerator,
+    branches: BranchModel,
+    /// Integer-spine chain tails (`None` = not yet written; reads of such
+    /// a chain are immediately ready).
+    int_tails: Vec<Option<u64>>,
+    /// Floating-point chain tails.
+    fp_tails: Vec<Option<u64>>,
+    /// Fraction of loads whose *address* depends on a chain (pointer
+    /// chasing); derived from spatial locality.
+    addr_dependence: f64,
+    /// Sequence number of the most recent streaming load, which feeds
+    /// arithmetic (load-to-use edges).
+    last_load: Option<u64>,
+    /// The integer chain touched last (burst locality).
+    last_int_chain: usize,
+    /// The previous op class (op-run locality).
+    prev_op: Option<OpClass>,
+    /// Next sequence number to emit.
+    seq: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `profile` seeded with `seed` (thread 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation.
+    pub fn new(profile: &WorkloadProfile, seed: u64) -> Self {
+        Self::for_thread(profile, seed, 0)
+    }
+
+    /// Creates the generator for thread `thread` of a multithreaded run.
+    ///
+    /// Each thread gets an independent RNG stream and a disjoint address
+    /// region, mirroring SPLASH-2-style data partitioning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation.
+    pub fn for_thread(profile: &WorkloadProfile, seed: u64, thread: u32) -> Self {
+        profile.validate().expect("valid workload profile");
+        let mix = &profile.mix;
+        let total = mix.total();
+        let weights = [
+            (mix.int_alu, OpClass::IntAlu),
+            (mix.int_mul, OpClass::IntMul),
+            (mix.int_div, OpClass::IntDiv),
+            (mix.fp_add, OpClass::FpAdd),
+            (mix.fp_mul, OpClass::FpMul),
+            (mix.fp_div, OpClass::FpDiv),
+            (mix.load, OpClass::Load),
+            (mix.store, OpClass::Store),
+            (mix.branch, OpClass::Branch),
+        ];
+        let mut acc = 0.0;
+        let cumulative = weights.map(|(w, op)| {
+            acc += w / total;
+            (acc, op)
+        });
+
+        // Derive a per-thread seed that differs in high entropy bits.
+        let thread_seed = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(thread).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        let mut rng = StdRng::seed_from_u64(thread_seed);
+        let branches = BranchModel::new(profile.branches, &mut rng);
+        let addr =
+            AddressGenerator::new(profile.memory, u64::from(thread) * THREAD_ADDRESS_STRIDE);
+        let k = profile.mean_dep_distance;
+        let int_chains = ((k / 2.5).round() as usize).clamp(1, 5);
+        let fp_chains = ((k * 3.0).round() as usize).clamp(8, 24);
+        // Pointer-chasing fraction: streaming profiles index off induction
+        // variables (chain-independent); low-spatial profiles chase.
+        let addr_dependence = (0.75 * (1.0 - profile.memory.spatial)).clamp(0.05, 0.70);
+        TraceGenerator {
+            rng,
+            cumulative,
+            addr,
+            branches,
+            int_tails: vec![None; int_chains],
+            fp_tails: vec![None; fp_chains],
+            addr_dependence,
+            last_load: None,
+            last_int_chain: 0,
+            prev_op: None,
+            seq: 0,
+        }
+    }
+
+    fn sample_op(&mut self) -> OpClass {
+        if let Some(prev) = self.prev_op {
+            if self.rng.gen_bool(OP_RUN_PROB) {
+                return prev;
+            }
+        }
+        let r: f64 = self.rng.gen();
+        for (cum, op) in self.cumulative {
+            if r < cum {
+                return op;
+            }
+        }
+        // Floating-point slack: fall back to the last class.
+        self.cumulative[8].1
+    }
+
+    /// Producer distance to `tail`, if any.
+    fn dist_to(&self, tail: Option<u64>) -> Option<u32> {
+        let t = tail?;
+        Some((self.seq - t).clamp(1, 4095) as u32)
+    }
+
+    /// Picks an integer-spine chain: usually bursty (the chain touched
+    /// last), otherwise uniform.
+    fn pick_int(&mut self) -> usize {
+        if self.rng.gen_bool(SPINE_BURST_PROB) {
+            self.last_int_chain
+        } else {
+            let c = self.rng.gen_range(0..self.int_tails.len());
+            self.last_int_chain = c;
+            c
+        }
+    }
+
+    /// Picks an FP chain uniformly.
+    fn pick_fp(&mut self) -> usize {
+        self.rng.gen_range(0..self.fp_tails.len())
+    }
+
+    /// Reads the tail of a uniformly chosen integer chain.
+    fn int_src(&mut self) -> Option<u32> {
+        let c = self.pick_int();
+        self.dist_to(self.int_tails[c])
+    }
+
+    /// Reads the tail of a uniformly chosen FP chain.
+    fn fp_src(&mut self) -> Option<u32> {
+        let c = self.pick_fp();
+        self.dist_to(self.fp_tails[c])
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = Inst;
+
+    fn next(&mut self) -> Option<Inst> {
+        let op = self.sample_op();
+        self.prev_op = Some(op);
+        let mut inst = Inst::simple(op);
+        match op {
+            OpClass::Load => {
+                inst.addr = Some(self.addr.next_addr(&mut self.rng));
+                if self.rng.gen_bool(SPILL_RELOAD_PROB) || self.rng.gen_bool(self.addr_dependence)
+                {
+                    // Spill reload or pointer chase: the spine value
+                    // round-trips through memory — the load reads and
+                    // extends an integer chain, so the DL1 round trip
+                    // sits on the critical path.
+                    let c = self.pick_int();
+                    inst.src1_dist = self.dist_to(self.int_tails[c]);
+                    self.int_tails[c] = Some(self.seq);
+                } else {
+                    // Streaming load: `a[i]` indexes off an induction
+                    // variable or computed address (a recent spine value).
+                    // The loaded value feeds later arithmetic.
+                    if self.rng.gen_bool(INDEXED_ADDRESS_PROB) {
+                        inst.src1_dist = self.int_src();
+                    }
+                    self.last_load = Some(self.seq);
+                }
+            }
+            OpClass::Store => {
+                // Data value from an FP or integer chain; address off the
+                // spine. Stores terminate a value's life and extend no
+                // chain.
+                inst.src1_dist =
+                    if self.rng.gen_bool(0.5) { self.fp_src() } else { self.int_src() };
+                if self.rng.gen_bool(self.addr_dependence) {
+                    inst.src2_dist = self.int_src();
+                }
+                inst.addr = Some(self.addr.next_addr(&mut self.rng));
+            }
+            OpClass::Branch => {
+                // Loop control and data-dependent branches read the spine.
+                inst.src1_dist = self.int_src();
+                inst.branch = Some(self.branches.next_branch(&mut self.rng));
+            }
+            OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv => {
+                // Spine recurrence i = f(i [, input]) — or a leaf
+                // computation that reads the spine without extending it.
+                let c = self.pick_int();
+                inst.src1_dist = self.dist_to(self.int_tails[c]);
+                if self.rng.gen_bool(SECOND_SOURCE_PROB) {
+                    let use_load = self.last_load.is_some() && self.rng.gen_bool(0.5);
+                    inst.src2_dist = if use_load {
+                        self.dist_to(self.last_load)
+                    } else {
+                        self.int_src()
+                    };
+                }
+                let leaf = op == OpClass::IntAlu && self.rng.gen_bool(LEAF_ALU_PROB);
+                if !leaf {
+                    self.int_tails[c] = Some(self.seq);
+                }
+            }
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => {
+                // FP recurrence on a wide pool: x_c = f(x_c [, input]).
+                let c = self.pick_fp();
+                inst.src1_dist = self.dist_to(self.fp_tails[c]);
+                if self.rng.gen_bool(SECOND_SOURCE_PROB) {
+                    let use_load = self.last_load.is_some() && self.rng.gen_bool(0.7);
+                    inst.src2_dist = if use_load {
+                        self.dist_to(self.last_load)
+                    } else {
+                        self.fp_src()
+                    };
+                }
+                self.fp_tails[c] = Some(self.seq);
+            }
+        }
+        self.seq += 1;
+        Some(inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+
+    fn fft() -> WorkloadProfile {
+        apps::profile("fft").expect("fft exists")
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a: Vec<_> = TraceGenerator::new(&fft(), 1).take(5000).collect();
+        let b: Vec<_> = TraceGenerator::new(&fft(), 1).take(5000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<_> = TraceGenerator::new(&fft(), 1).take(5000).collect();
+        let b: Vec<_> = TraceGenerator::new(&fft(), 2).take(5000).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn threads_use_disjoint_address_regions() {
+        let t0: Vec<_> = TraceGenerator::for_thread(&fft(), 1, 0).take(2000).collect();
+        let t1: Vec<_> = TraceGenerator::for_thread(&fft(), 1, 1).take(2000).collect();
+        let max0 = t0.iter().filter_map(|i| i.addr).max().expect("some mem ops");
+        let min1 = t1.iter().filter_map(|i| i.addr).min().expect("some mem ops");
+        assert!(max0 < THREAD_ADDRESS_STRIDE);
+        assert!(min1 >= THREAD_ADDRESS_STRIDE);
+    }
+
+    #[test]
+    fn mix_matches_profile_statistically() {
+        let profile = fft();
+        let n = 100_000;
+        let trace: Vec<_> = TraceGenerator::new(&profile, 3).take(n).collect();
+        let frac = |op: OpClass| {
+            trace.iter().filter(|i| i.op == op).count() as f64 / n as f64
+        };
+        assert!((frac(OpClass::Load) - profile.mix.load).abs() < 0.01);
+        assert!((frac(OpClass::Branch) - profile.mix.branch).abs() < 0.01);
+        let fp = frac(OpClass::FpAdd) + frac(OpClass::FpMul) + frac(OpClass::FpDiv);
+        assert!((fp - profile.mix.fp_fraction()).abs() < 0.01);
+    }
+
+    #[test]
+    fn dependency_distances_track_the_profile_knob() {
+        // The ILP knob widens both chain pools, so the mean producer
+        // distance must grow monotonically with it.
+        let mean_dist = |k: f64| {
+            let mut p = fft();
+            p.mean_dep_distance = k;
+            let trace: Vec<_> = TraceGenerator::new(&p, 4).take(100_000).collect();
+            let (sum, count) = trace
+                .iter()
+                .flat_map(|i| i.source_distances())
+                .fold((0u64, 0u64), |(s, c), d| (s + u64::from(d), c + 1));
+            sum as f64 / count as f64
+        };
+        let narrow = mean_dist(2.0);
+        let wide = mean_dist(8.0);
+        assert!(
+            wide > 1.5 * narrow,
+            "mean dep distance should grow with the ILP knob: k=2 -> {narrow}, k=8 -> {wide}"
+        );
+    }
+
+    #[test]
+    fn more_chains_mean_more_dataflow_parallelism() {
+        // Critical-path depth (unit latency) must shrink as chains grow.
+        let depth = |k: f64| {
+            let mut p = fft();
+            p.mean_dep_distance = k;
+            let n = 20_000usize;
+            let trace: Vec<_> = TraceGenerator::new(&p, 9).take(n).collect();
+            let mut d = vec![0u64; n];
+            let mut max = 0;
+            for i in 0..n {
+                let mut best = 0;
+                for s in trace[i].source_distances() {
+                    let s = s as usize;
+                    if s <= i {
+                        best = best.max(d[i - s]);
+                    }
+                }
+                d[i] = best + 1;
+                max = max.max(d[i]);
+            }
+            max
+        };
+        let narrow = depth(2.0);
+        let wide = depth(12.0);
+        assert!(
+            wide * 3 < narrow,
+            "12 chains (depth {wide}) should be far shallower than 2 (depth {narrow})"
+        );
+    }
+
+    #[test]
+    fn memory_ops_have_addresses_and_branches_have_info() {
+        let trace: Vec<_> = TraceGenerator::new(&fft(), 5).take(10_000).collect();
+        for i in &trace {
+            match i.op {
+                OpClass::Load | OpClass::Store => assert!(i.addr.is_some()),
+                OpClass::Branch => assert!(i.branch.is_some()),
+                _ => {
+                    assert!(i.addr.is_none());
+                    assert!(i.branch.is_none());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! The asymmetric DL1 cache in isolation (paper Section IV-C1, Figure 5).
+//!
+//! Drives the 4 KB CMOS FastCache + 28 KB TFET SlowCache structure with a
+//! real application address stream and reports the hit structure and
+//! effective latency against the plain CMOS and TFET alternatives.
+//!
+//! ```text
+//! cargo run --release --example asymmetric_cache
+//! ```
+
+use hetsim_mem::asymmetric::{AsymHit, AsymmetricCache};
+use hetsim_mem::cache::{Cache, CacheConfig};
+use hetsim_trace::{apps, stream::TraceGenerator};
+
+fn main() {
+    let n = 200_000;
+    println!("Asymmetric DL1 vs plain DL1 on application address streams\n");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "app", "fast hits", "slow hits", "misses", "asym cyc", "CMOS cyc", "TFET cyc"
+    );
+
+    for app_name in ["lu", "blackscholes", "fft", "canneal"] {
+        let app = apps::profile(app_name).expect("known app");
+        let mut asym = AsymmetricCache::advhet_dl1();
+        let mut cmos = Cache::new(CacheConfig::new(32 * 1024, 8, 64, 2));
+        let mut tfet = Cache::new(CacheConfig::new(32 * 1024, 8, 64, 4));
+
+        let (mut fast, mut slow, mut miss) = (0u64, 0u64, 0u64);
+        let (mut asym_cycles, mut cmos_cycles, mut tfet_cycles) = (0u64, 0u64, 0u64);
+        const MISS_COST: u64 = 12; // L2 round trip stands in for miss time
+
+        for inst in TraceGenerator::new(&app, 7).take(n) {
+            let Some(addr) = inst.addr else { continue };
+            let is_write = inst.op == hetsim_trace::OpClass::Store;
+
+            let out = asym.access(addr, is_write);
+            match out.hit {
+                AsymHit::Fast => fast += 1,
+                AsymHit::Slow => slow += 1,
+                AsymHit::Miss => miss += 1,
+            }
+            asym_cycles += if out.hit == AsymHit::Miss { MISS_COST } else { u64::from(out.latency) };
+
+            let c = cmos.access(addr, is_write);
+            cmos_cycles += if c.hit { 2 } else { MISS_COST };
+            let t = tfet.access(addr, is_write);
+            tfet_cycles += if t.hit { 4 } else { MISS_COST };
+        }
+
+        println!(
+            "{:<14} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
+            app.name, fast, slow, miss, asym_cycles, cmos_cycles, tfet_cycles
+        );
+    }
+
+    println!("\nThe asymmetric organization beats even the all-CMOS DL1 when the");
+    println!("MRU working set fits the 4 KB fast way (1-cycle hits), while its");
+    println!("TFET ways leak ~10x less — the AdvHet tradeoff of Section IV-C1.");
+}

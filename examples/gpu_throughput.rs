@@ -1,0 +1,48 @@
+//! GPU throughput study: the four Table IV GPU designs plus AdvHet-2X on
+//! the synthetic AMD APP SDK kernels — a miniature of Figures 10-12.
+//!
+//! ```text
+//! cargo run --release --example gpu_throughput
+//! ```
+
+use hetcore::config::GpuDesign;
+use hetcore::experiment::run_gpu;
+use hetsim_gpu::kernels;
+
+fn main() {
+    println!("GPU designs on the kernel suite (normalized to BaseCMOS)\n");
+    println!(
+        "{:<16} {:>11} {:>9} {:>9} {:>9} {:>11}",
+        "kernel", "design", "time", "energy", "ED^2", "RFC hits"
+    );
+    for kernel in kernels::all() {
+        let base = run_gpu(GpuDesign::BaseCmos, &kernel, 42);
+        for design in GpuDesign::ALL {
+            let o = run_gpu(design, &kernel, 42);
+            println!(
+                "{:<16} {:>11} {:>9.3} {:>9.3} {:>9.3} {:>11}",
+                if design == GpuDesign::BaseCmos { kernel.name } else { "" },
+                design.name(),
+                o.seconds / base.seconds,
+                o.energy.total_j() / base.energy.total_j(),
+                o.ed2() / base.ed2(),
+                "-",
+            );
+        }
+    }
+
+    // The register-file cache at work: BaseHet vs AdvHet on a
+    // dependency-dense kernel.
+    let kernel = kernels::profile("binomialoption").expect("known kernel");
+    let het = run_gpu(GpuDesign::BaseHet, &kernel, 42);
+    let adv = run_gpu(GpuDesign::AdvHet, &kernel, 42);
+    println!(
+        "\nbinomialoption: RF cache recovers {:.0}% of BaseHet's slowdown",
+        {
+            let base = run_gpu(GpuDesign::BaseCmos, &kernel, 42);
+            let lost = het.seconds - base.seconds;
+            let recovered = het.seconds - adv.seconds;
+            100.0 * recovered / lost
+        }
+    );
+}

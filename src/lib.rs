@@ -1,0 +1,15 @@
+//! Root re-exports: the workspace crates behind one dependency for the
+//! examples and integration tests.
+//!
+//! The real entry point of the reproduction is the [`hetcore`] crate; the
+//! simulators and models live in the `hetsim_*` substrate crates.
+
+#![warn(missing_docs)]
+
+pub use hetcore;
+pub use hetsim_cpu;
+pub use hetsim_device;
+pub use hetsim_gpu;
+pub use hetsim_mem;
+pub use hetsim_power;
+pub use hetsim_trace;
