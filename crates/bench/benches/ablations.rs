@@ -32,7 +32,9 @@ fn run_cpu_cycles(cfg: CoreConfig) -> u64 {
     let app = apps::profile("lu").expect("known app");
     let mut core = Core::new(cfg, 0);
     core.prewarm(0, app.memory.working_set_bytes);
-    core.run_warmed(TraceGenerator::new(&app, BENCH_SEED), 20_000, BENCH_INSTS).stats.cycles
+    core.run_warmed(TraceGenerator::new(&app, BENCH_SEED), 20_000, BENCH_INSTS)
+        .stats
+        .cycles
 }
 
 /// Fast-way size sweep: 2/4/8 KB fast partitions over a TFET slow rest.
@@ -68,7 +70,11 @@ fn ablation_asym_dl1(c: &mut Criterion) {
         println!(
             "  fast way {fast_kb} KB: fast-hit rate {:.3} (AdvHet cycles at 4 KB: {})",
             hits as f64 / total as f64,
-            if fast_kb == 4 { run_cpu_cycles(CpuDesign::AdvHet.core_config()) } else { 0 }
+            if fast_kb == 4 {
+                run_cpu_cycles(CpuDesign::AdvHet.core_config())
+            } else {
+                0
+            }
         );
     }
 
@@ -84,8 +90,11 @@ fn ablation_steering(c: &mut Criterion) {
         let mut cfg = CoreConfig::default();
         cfg.fus = FuPoolConfig::dual_speed();
         cfg.memory = MemoryConfig::tfet();
-        cfg.steering =
-            if window == 0 { SteeringPolicy::None } else { SteeringPolicy::DualSpeed { window } };
+        cfg.steering = if window == 0 {
+            SteeringPolicy::None
+        } else {
+            SteeringPolicy::DualSpeed { window }
+        };
         println!("  window {window}: {}", run_cpu_cycles(cfg));
     }
 
@@ -108,7 +117,10 @@ fn ablation_rfcache(c: &mut Criterion) {
         let mut cfg = GpuConfig::default();
         cfg.fma_latency = 6;
         cfg.rf_latency = 2;
-        cfg.rf_cache = (entries > 0).then_some(RfCacheConfig { entries, latency: 1 });
+        cfg.rf_cache = (entries > 0).then_some(RfCacheConfig {
+            entries,
+            latency: 1,
+        });
         let r = Gpu::new(cfg).run(&kernel, BENCH_SEED);
         println!(
             "  {entries:>2} entries: cycles {} (RFC hit rate {:.3})",
@@ -135,14 +147,18 @@ fn ablation_power_factor(c: &mut Criterion) {
         core.run_warmed(TraceGenerator::new(&app, BENCH_SEED), 20_000, BENCH_INSTS)
     };
     let base_run = run(CpuDesign::BaseCmos);
-    let base_energy = CpuDesign::BaseCmos
-        .energy_model()
-        .energy(&base_run.stats, &base_run.mem, base_run.seconds());
+    let base_energy = CpuDesign::BaseCmos.energy_model().energy(
+        &base_run.stats,
+        &base_run.mem,
+        base_run.seconds(),
+    );
     let adv_run = run(CpuDesign::AdvHet);
 
-    for assumption in
-        [PowerAssumption::Conservative, PowerAssumption::Measured, PowerAssumption::Ideal]
-    {
+    for assumption in [
+        PowerAssumption::Conservative,
+        PowerAssumption::Measured,
+        PowerAssumption::Ideal,
+    ] {
         // Same timing run, repriced under a different TFET assumption.
         let mut assignment = CpuDesign::AdvHet.energy_model().assignment().clone();
         assignment.assumption = assumption;

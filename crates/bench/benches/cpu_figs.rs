@@ -14,7 +14,10 @@ use hetsim_bench::{BENCH_INSTS, BENCH_SEED};
 use hetsim_trace::apps;
 
 fn print_artifacts() {
-    let suite = Suite { insts_per_app: BENCH_INSTS, seed: BENCH_SEED };
+    let suite = Suite {
+        insts_per_app: BENCH_INSTS,
+        seed: BENCH_SEED,
+    };
     let campaign = suite.cpu_campaign();
     println!("{}", suite.fig7(&campaign));
     println!("{}", suite.fig8(&campaign));

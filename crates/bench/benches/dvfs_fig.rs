@@ -9,7 +9,10 @@ use hetsim_device::dvfs::DvfsController;
 use hetsim_device::variation::apply_guardbands;
 
 fn bench_dvfs(c: &mut Criterion) {
-    let suite = Suite { insts_per_app: BENCH_INSTS, seed: BENCH_SEED };
+    let suite = Suite {
+        insts_per_app: BENCH_INSTS,
+        seed: BENCH_SEED,
+    };
     println!("{}", suite.fig14());
 
     c.bench_function("fig14_dvfs_pairing", |b| {

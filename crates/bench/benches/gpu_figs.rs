@@ -10,7 +10,10 @@ use hetsim_bench::BENCH_SEED;
 use hetsim_gpu::kernels;
 
 fn print_artifacts() {
-    let suite = Suite { insts_per_app: 0, seed: BENCH_SEED };
+    let suite = Suite {
+        insts_per_app: 0,
+        seed: BENCH_SEED,
+    };
     let campaign = suite.gpu_campaign();
     println!("{}", suite.fig10(&campaign));
     println!("{}", suite.fig11(&campaign));
@@ -23,8 +26,12 @@ fn bench_gpu(c: &mut Criterion) {
     let matmul = kernels::profile("matmul").expect("known kernel");
     let mut g = c.benchmark_group("gpu_design_points");
     g.sample_size(10);
-    for design in [GpuDesign::BaseCmos, GpuDesign::BaseHet, GpuDesign::AdvHet, GpuDesign::AdvHet2x]
-    {
+    for design in [
+        GpuDesign::BaseCmos,
+        GpuDesign::BaseHet,
+        GpuDesign::AdvHet,
+        GpuDesign::AdvHet2x,
+    ] {
         g.bench_function(design.name(), |b| {
             b.iter(|| black_box(run_gpu(design, &matmul, BENCH_SEED)))
         });

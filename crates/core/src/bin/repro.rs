@@ -3,72 +3,229 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--json] [table1|fig1..fig14|all|ext|ext-migration|ext-partrf|ext-sched]...
+//! repro [--quick] [--json] [--jobs N] [--cache-dir PATH] [--progress]
+//!       [table1|fig1..fig14|all|ext|ext-migration|ext-partrf|ext-sched]...
 //! ```
 //!
 //! With no experiment arguments, runs `all`. `--quick` shrinks the
 //! instruction budget for fast smoke runs (CI); full runs use the default
 //! budget of `Suite::default()`. `--json` emits machine-readable reports
 //! (one JSON array of report objects) instead of text tables.
+//!
+//! The campaigns run on the `hetsim-runner` engine: `--jobs N` sets the
+//! worker-thread count (default: all available cores; output is
+//! bit-identical for any `N`), `--cache-dir PATH` persists simulation
+//! outcomes as content-addressed JSON so reruns are near-free, and
+//! `--progress` narrates per-job completion and cache hits on stderr.
+//!
+//! Arguments are validated up front: any unknown argument (or any flag
+//! missing its value) fails the run before any experiment starts, no
+//! matter where it appears on the command line.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use hetcore::suite::{Experiment, Extension, Suite};
+use hetsim_runner::{NullSink, ProgressSink, Runner, StderrSink};
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn usage() -> String {
+    format!(
+        "usage: repro [--quick] [--json] [--jobs N] [--cache-dir PATH] [--progress] \
+         [EXPERIMENT]...\n\
+         experiments: all, ext, {}\n\
+         extensions:  {}",
+        Experiment::ALL
+            .iter()
+            .map(|e| e.cli_name())
+            .collect::<Vec<_>>()
+            .join(", "),
+        Extension::ALL
+            .iter()
+            .map(|e| e.cli_name())
+            .collect::<Vec<_>>()
+            .join(", "),
+    )
+}
+
+/// Everything `main` needs, parsed and validated as a whole.
+struct Options {
+    suite: Suite,
+    requested: Vec<Experiment>,
+    extensions: Vec<Extension>,
+    json: bool,
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
+    progress: bool,
+}
+
+/// Parses the full argument list before running anything, collecting
+/// *every* problem instead of stopping at the first: a typo'd
+/// experiment name combined with valid flags is rejected identically
+/// wherever it appears.
+fn parse(args: &[String]) -> Result<Options, Vec<String>> {
     let mut suite = Suite::default();
-    let mut requested: Vec<Experiment> = Vec::new();
-    let mut extensions: Vec<Extension> = Vec::new();
+    let mut requested = Vec::new();
+    let mut extensions = Vec::new();
     let mut run_all = false;
     let mut json = false;
+    let mut jobs = None;
+    let mut cache_dir = None;
+    let mut progress = false;
+    let mut errors = Vec::new();
 
-    for arg in &args {
-        match arg.as_str() {
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        // Flags taking a value accept both `--flag VALUE` and
+        // `--flag=VALUE`.
+        let (name, inline) = match arg.split_once('=') {
+            Some((n, v)) if n.starts_with("--") => (n, Some(v.to_string())),
+            _ => (arg, None),
+        };
+        let mut value = |errors: &mut Vec<String>| -> Option<String> {
+            if let Some(v) = inline.clone() {
+                return Some(v);
+            }
+            i += 1;
+            match args.get(i) {
+                Some(v) => Some(v.clone()),
+                None => {
+                    errors.push(format!("{name} requires a value"));
+                    None
+                }
+            }
+        };
+        match name {
             "--quick" => suite.insts_per_app = 60_000,
             "--json" => json = true,
+            "--progress" => progress = true,
+            "--jobs" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => jobs = Some(n),
+                        _ => errors.push(format!("--jobs expects an integer >= 1, got '{v}'")),
+                    }
+                }
+            }
+            "--cache-dir" => {
+                if let Some(v) = value(&mut errors) {
+                    cache_dir = Some(PathBuf::from(v));
+                }
+            }
             "all" => run_all = true,
             "ext" => extensions.extend(Extension::ALL),
             other => match Experiment::from_cli_name(other) {
                 Some(e) => requested.push(e),
-                None if Extension::from_cli_name(other).is_some() => {
-                    extensions.push(Extension::from_cli_name(other).expect("checked"));
-                }
-                None => {
-                    eprintln!("unknown experiment '{other}'");
-                    eprintln!(
-                        "expected: --quick, all, or one of {}",
-                        Experiment::ALL
-                            .iter()
-                            .map(|e| e.cli_name())
-                            .collect::<Vec<_>>()
-                            .join(", ")
-                    );
-                    return ExitCode::FAILURE;
-                }
+                None => match Extension::from_cli_name(other) {
+                    Some(e) => extensions.push(e),
+                    None => errors.push(format!("unknown experiment '{other}'")),
+                },
             },
         }
+        i += 1;
+    }
+
+    if !errors.is_empty() {
+        return Err(errors);
     }
     if (requested.is_empty() && extensions.is_empty()) || run_all {
         requested = Experiment::ALL.to_vec();
     }
+    let jobs = jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    Ok(Options {
+        suite,
+        requested,
+        extensions,
+        json,
+        jobs,
+        cache_dir,
+        progress,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(opts) => opts,
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("error: {e}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let Options {
+        suite,
+        requested,
+        extensions,
+        json,
+        jobs,
+        cache_dir,
+        progress,
+    } = opts;
+
+    let sink: Arc<dyn ProgressSink> = if progress {
+        Arc::new(StderrSink::default())
+    } else {
+        Arc::new(NullSink)
+    };
 
     // Share campaigns across the figures that need them.
     let needs_cpu = requested.iter().any(|e| {
-        matches!(e, Experiment::Fig7 | Experiment::Fig8 | Experiment::Fig9 | Experiment::Fig13)
+        matches!(
+            e,
+            Experiment::Fig7 | Experiment::Fig8 | Experiment::Fig9 | Experiment::Fig13
+        )
     });
     let needs_gpu = requested
         .iter()
         .any(|e| matches!(e, Experiment::Fig10 | Experiment::Fig11 | Experiment::Fig12));
 
-    let cpu = needs_cpu.then(|| {
-        eprintln!("running CPU campaign (11 chips x 14 applications)...");
-        suite.cpu_campaign()
-    });
-    let gpu = needs_gpu.then(|| {
-        eprintln!("running GPU campaign (5 designs x 20 kernels)...");
-        suite.gpu_campaign()
-    });
+    // CPU and GPU campaigns share one cache directory: their key spaces
+    // are separated by schema tags (see `hetcore::campaign`).
+    fn with_cache<T>(dir: &Option<PathBuf>, runner: Runner<T>) -> std::io::Result<Runner<T>>
+    where
+        T: Clone + Send + serde::Serialize + serde::Deserialize + hetsim_runner::SimMetrics,
+    {
+        match dir {
+            Some(d) => runner.with_cache_dir(d),
+            None => Ok(runner),
+        }
+    }
+    let cpu = match needs_cpu
+        .then(|| {
+            eprintln!("running CPU campaign (11 chips x 14 applications, {jobs} worker(s))...");
+            with_cache(&cache_dir, Runner::new(jobs))
+                .map(|r| suite.cpu_campaign_with(&r.with_sink(sink.clone())))
+        })
+        .transpose()
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot open cache directory: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let gpu = match needs_gpu
+        .then(|| {
+            eprintln!("running GPU campaign (5 designs x 20 kernels, {jobs} worker(s))...");
+            with_cache(&cache_dir, Runner::new(jobs))
+                .map(|r| suite.gpu_campaign_with(&r.with_sink(sink.clone())))
+        })
+        .transpose()
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot open cache directory: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let mut reports = Vec::new();
     for e in requested {

@@ -1,0 +1,169 @@
+//! Campaign jobs: content-addressed units of CPU/GPU simulation.
+//!
+//! Each design-point × application simulation becomes a
+//! [`Job`] whose [`JobKey`] hashes the *full* configuration:
+//!
+//! * a **schema tag** ([`CPU_SCHEMA`] / [`GPU_SCHEMA`]) separating the
+//!   CPU and GPU key spaces — bump it whenever the simulators or the
+//!   outcome layout change incompatibly, and stale on-disk caches
+//!   retire themselves;
+//! * the **design** name (Table IV row);
+//! * the **workload profile content** — every field of the profile via
+//!   its canonical `Debug` rendering, so editing an app's instruction
+//!   mix or miss rates invalidates its cache entries even though the
+//!   app name stays the same;
+//! * the **instruction budget**, **seed** and **core count**.
+//!
+//! Anything that can change an outcome must feed the key; nothing else
+//! should (wall-clock, worker count and progress options do not).
+
+use hetsim_runner::{config_object, Job, JobKey};
+use hetsim_trace::WorkloadProfile;
+use serde::value::Value;
+use serde::Serialize;
+
+use crate::config::{CpuDesign, GpuDesign};
+use crate::experiment::{run_cpu_multicore, run_gpu, CpuOutcome, GpuOutcome};
+
+/// Cache-key schema tag for CPU jobs. Bump on incompatible changes to
+/// the CPU simulator, energy model or [`CpuOutcome`] layout.
+pub const CPU_SCHEMA: &str = "cpu-v1";
+/// Cache-key schema tag for GPU jobs. Bump on incompatible changes to
+/// the GPU simulator, energy model or [`GpuOutcome`] layout.
+pub const GPU_SCHEMA: &str = "gpu-v1";
+
+/// The canonical key config of a multicore CPU experiment.
+pub fn cpu_job_key(
+    design: CpuDesign,
+    cores: u32,
+    app: &WorkloadProfile,
+    seed: u64,
+    insts: u64,
+) -> JobKey {
+    JobKey::of(&config_object(vec![
+        ("schema", Value::Str(CPU_SCHEMA.into())),
+        ("design", design.to_value()),
+        ("cores", cores.to_value()),
+        ("profile", Value::Str(format!("{app:?}"))),
+        ("seed", seed.to_value()),
+        ("insts", insts.to_value()),
+    ]))
+}
+
+/// A runnable, cacheable CPU experiment ([`run_cpu_multicore`]).
+pub fn cpu_job(
+    design: CpuDesign,
+    cores: u32,
+    app: &WorkloadProfile,
+    seed: u64,
+    insts: u64,
+) -> Job<CpuOutcome> {
+    let key = cpu_job_key(design, cores, app, seed, insts);
+    let label = format!("cpu/{}/{}x{}", app.name, design.name(), cores);
+    let app = app.clone();
+    Job::new(key, label, move || {
+        run_cpu_multicore(design, cores, &app, seed, insts)
+    })
+}
+
+/// The canonical key config of a GPU experiment.
+pub fn gpu_job_key(design: GpuDesign, kernel: &hetsim_gpu::KernelProfile, seed: u64) -> JobKey {
+    JobKey::of(&config_object(vec![
+        ("schema", Value::Str(GPU_SCHEMA.into())),
+        ("design", design.to_value()),
+        ("profile", Value::Str(format!("{kernel:?}"))),
+        ("seed", seed.to_value()),
+    ]))
+}
+
+/// A runnable, cacheable GPU experiment ([`run_gpu`]).
+pub fn gpu_job(
+    design: GpuDesign,
+    kernel: &hetsim_gpu::KernelProfile,
+    seed: u64,
+) -> Job<GpuOutcome> {
+    let key = gpu_job_key(design, kernel, seed);
+    let label = format!("gpu/{}/{}", kernel.name, design.name());
+    let kernel = kernel.clone();
+    Job::new(key, label, move || run_gpu(design, &kernel, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim_trace::apps;
+
+    #[test]
+    fn cpu_keys_cover_every_config_axis() {
+        let app = apps::profile("lu").expect("known");
+        let base = cpu_job_key(CpuDesign::AdvHet, 4, &app, 42, 300_000);
+        assert_ne!(
+            base,
+            cpu_job_key(CpuDesign::BaseHet, 4, &app, 42, 300_000),
+            "design"
+        );
+        assert_ne!(
+            base,
+            cpu_job_key(CpuDesign::AdvHet, 8, &app, 42, 300_000),
+            "cores"
+        );
+        assert_ne!(
+            base,
+            cpu_job_key(CpuDesign::AdvHet, 4, &app, 43, 300_000),
+            "seed"
+        );
+        assert_ne!(
+            base,
+            cpu_job_key(CpuDesign::AdvHet, 4, &app, 42, 300_001),
+            "insts"
+        );
+        let other = apps::profile("fft").expect("known");
+        assert_ne!(
+            base,
+            cpu_job_key(CpuDesign::AdvHet, 4, &other, 42, 300_000),
+            "app"
+        );
+    }
+
+    #[test]
+    fn profile_content_feeds_the_cpu_key() {
+        let app = apps::profile("lu").expect("known");
+        let mut edited = app.clone();
+        edited.parallel_fraction *= 0.5;
+        assert_ne!(
+            cpu_job_key(CpuDesign::AdvHet, 4, &app, 42, 300_000),
+            cpu_job_key(CpuDesign::AdvHet, 4, &edited, 42, 300_000),
+            "editing a profile must invalidate its cache entries"
+        );
+    }
+
+    #[test]
+    fn gpu_keys_cover_every_config_axis() {
+        let kernel = hetsim_gpu::kernels::profile("matmul").expect("known");
+        let base = gpu_job_key(GpuDesign::AdvHet, &kernel, 42);
+        assert_ne!(base, gpu_job_key(GpuDesign::BaseHet, &kernel, 42), "design");
+        assert_ne!(base, gpu_job_key(GpuDesign::AdvHet, &kernel, 43), "seed");
+        let mut edited = kernel.clone();
+        edited.mem_miss_rate += 0.01;
+        assert_ne!(
+            base,
+            gpu_job_key(GpuDesign::AdvHet, &edited, 42),
+            "kernel content"
+        );
+    }
+
+    #[test]
+    fn cpu_and_gpu_key_spaces_are_disjoint_by_schema() {
+        // Not a collision proof, just the schema-tag convention check:
+        // the two kinds of key config always differ in their first field.
+        assert_ne!(CPU_SCHEMA, GPU_SCHEMA);
+    }
+
+    #[test]
+    fn jobs_run_the_real_experiment() {
+        let app = apps::profile("lu").expect("known");
+        let job = cpu_job(CpuDesign::BaseCmos, 1, &app, 3, 5_000);
+        let direct = run_cpu_multicore(CpuDesign::BaseCmos, 1, &app, 3, 5_000);
+        assert_eq!((job.run)(), direct);
+    }
+}

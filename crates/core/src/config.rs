@@ -9,6 +9,7 @@ use hetsim_cpu::fu::FuPoolConfig;
 use hetsim_gpu::config::{GpuConfig, PartitionedRfConfig, RfCacheConfig};
 use hetsim_power::account::CpuEnergyModel;
 use hetsim_power::assignment::DeviceAssignment;
+use serde::{Deserialize, Serialize};
 
 /// The larger ROB of the Enh designs (160 -> 192).
 pub const ENH_ROB: u32 = 192;
@@ -30,7 +31,7 @@ pub const ENH_FP_REGS: u32 = 128;
 /// }
 /// assert_eq!(CpuDesign::AdvHet.name(), "AdvHet");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum CpuDesign {
     /// All-CMOS core: the baseline everything is normalized to.
     BaseCmos,
@@ -114,7 +115,9 @@ impl CpuDesign {
                 cfg.memory = MemoryConfig::advhet();
                 cfg.rob_entries = ENH_ROB;
                 cfg.fp_regs = ENH_FP_REGS;
-                cfg.steering = SteeringPolicy::DualSpeed { window: cfg.issue_width };
+                cfg.steering = SteeringPolicy::DualSpeed {
+                    window: cfg.issue_width,
+                };
             }
             CpuDesign::BaseL3 => {
                 cfg.rob_entries = ENH_ROB;
@@ -139,7 +142,9 @@ impl CpuDesign {
                 cfg.memory = MemoryConfig::tfet();
                 cfg.rob_entries = ENH_ROB;
                 cfg.fp_regs = ENH_FP_REGS;
-                cfg.steering = SteeringPolicy::DualSpeed { window: cfg.issue_width };
+                cfg.steering = SteeringPolicy::DualSpeed {
+                    window: cfg.issue_width,
+                };
             }
         }
         cfg
@@ -159,9 +164,7 @@ impl CpuDesign {
             CpuDesign::BaseL3 => CpuEnergyModel::new(DeviceAssignment::l3_only())
                 .with_structure(ENH_ROB, ENH_FP_REGS),
             CpuDesign::BaseHighVt => CpuEnergyModel::new(DeviceAssignment::high_vt_fus()),
-            CpuDesign::BaseHetFastAlu => {
-                CpuEnergyModel::new(DeviceAssignment::hetcore_fast_alu())
-            }
+            CpuDesign::BaseHetFastAlu => CpuEnergyModel::new(DeviceAssignment::hetcore_fast_alu()),
             CpuDesign::BaseHetEnh => CpuEnergyModel::new(DeviceAssignment::hetcore_cpu(false))
                 .with_structure(ENH_ROB, ENH_FP_REGS),
             CpuDesign::BaseHetSplit => CpuEnergyModel::new(DeviceAssignment::hetcore_cpu(false))
@@ -173,7 +176,7 @@ impl CpuDesign {
 
 /// GPU design points (Table IV, lower half). `AdvHet2x` is the
 /// fixed-power-budget design of Section VII-B1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum GpuDesign {
     /// All-CMOS GPU *with* the register-file cache (added for fairness).
     BaseCmos,
@@ -282,7 +285,9 @@ mod tests {
     #[test]
     fn all_cpu_configs_validate() {
         for d in CpuDesign::ALL {
-            d.core_config().validate().unwrap_or_else(|e| panic!("{}: {e}", d.name()));
+            d.core_config()
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", d.name()));
         }
     }
 
@@ -298,8 +303,14 @@ mod tests {
         assert_eq!(cfg.rob_entries, 192);
         assert_eq!(cfg.fp_regs, 128);
         assert!(cfg.fus.has_dual_speed_alus());
-        assert!(matches!(cfg.memory.dl1, Dl1Config::Asymmetric { slow_extra: 4 }));
-        assert!(matches!(cfg.steering, SteeringPolicy::DualSpeed { window: 4 }));
+        assert!(matches!(
+            cfg.memory.dl1,
+            Dl1Config::Asymmetric { slow_extra: 4 }
+        ));
+        assert!(matches!(
+            cfg.steering,
+            SteeringPolicy::DualSpeed { window: 4 }
+        ));
     }
 
     #[test]
@@ -307,7 +318,10 @@ mod tests {
         let cfg = CpuDesign::BaseCmosEnh.core_config();
         assert_eq!(cfg.rob_entries, 192);
         // 1 cycle fast way + 2 extra = 3 cycles for the rest.
-        assert!(matches!(cfg.memory.dl1, Dl1Config::Asymmetric { slow_extra: 2 }));
+        assert!(matches!(
+            cfg.memory.dl1,
+            Dl1Config::Asymmetric { slow_extra: 2 }
+        ));
         assert!(!cfg.fus.has_dual_speed_alus());
     }
 
@@ -324,7 +338,10 @@ mod tests {
 
     #[test]
     fn gpu_designs_match_table_iv() {
-        assert!(GpuDesign::BaseCmos.gpu_config().rf_cache.is_some(), "fairness RF cache");
+        assert!(
+            GpuDesign::BaseCmos.gpu_config().rf_cache.is_some(),
+            "fairness RF cache"
+        );
         assert!(GpuDesign::BaseHet.gpu_config().rf_cache.is_none());
         assert!(GpuDesign::AdvHet.gpu_config().rf_cache.is_some());
         assert_eq!(GpuDesign::BaseTfet.gpu_config().clock_hz, 0.5e9);

@@ -11,13 +11,15 @@ use hetsim_cpu::core::Core;
 use hetsim_cpu::multicore::{run_multicore, MulticoreResult};
 use hetsim_gpu::gpu::Gpu;
 use hetsim_power::account::{EnergyBreakdown, GpuActivity, GpuEnergy, GpuEnergyModel};
+use hetsim_runner::SimMetrics;
 use hetsim_trace::stream::TraceGenerator;
 use hetsim_trace::WorkloadProfile;
+use serde::{Deserialize, Serialize};
 
 use crate::config::{CpuDesign, GpuDesign};
 
 /// Outcome of one CPU experiment (single- or multi-core).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CpuOutcome {
     /// The design that ran.
     pub design: CpuDesign,
@@ -50,6 +52,18 @@ impl CpuOutcome {
     }
 }
 
+impl SimMetrics for CpuOutcome {
+    fn sim_seconds(&self) -> f64 {
+        self.seconds
+    }
+}
+
+impl SimMetrics for GpuOutcome {
+    fn sim_seconds(&self) -> f64 {
+        self.seconds
+    }
+}
+
 /// Runs `design` on a single core (used by unit tests and the quickstart;
 /// the paper's figures use [`run_cpu_multicore`] with 4 cores).
 pub fn run_cpu(design: CpuDesign, app: &WorkloadProfile, seed: u64, insts: u64) -> CpuOutcome {
@@ -59,7 +73,9 @@ pub fn run_cpu(design: CpuDesign, app: &WorkloadProfile, seed: u64, insts: u64) 
     let warmup = (insts / 4).min(25_000);
     let result = core.run_warmed(TraceGenerator::new(app, seed), warmup, insts);
     let seconds = result.seconds();
-    let energy = design.energy_model().energy(&result.stats, &result.mem, seconds);
+    let energy = design
+        .energy_model()
+        .energy(&result.stats, &result.mem, seconds);
     CpuOutcome {
         design,
         app: app.name.to_string(),
@@ -110,7 +126,7 @@ pub fn run_cpu_multicore(
 }
 
 /// Outcome of one GPU experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GpuOutcome {
     /// The design that ran.
     pub design: GpuDesign,
@@ -243,7 +259,10 @@ mod tests {
         let base = run_cpu_multicore(CpuDesign::BaseCmos, 4, &app, 7, 4 * N);
         let adv = run_cpu_multicore(CpuDesign::AdvHet, 4, &app, 7, 4 * N);
         let ratio = adv.power_w() / base.power_w();
-        assert!((0.35..0.75).contains(&ratio), "AdvHet/BaseCMOS power ratio {ratio}");
+        assert!(
+            (0.35..0.75).contains(&ratio),
+            "AdvHet/BaseCMOS power ratio {ratio}"
+        );
     }
 
     #[test]
@@ -267,7 +286,12 @@ mod tests {
         let kernel = kernels::profile("floydwarshall").expect("known");
         let base = run_gpu(GpuDesign::BaseCmos, &kernel, 4);
         let twox = run_gpu(GpuDesign::AdvHet2x, &kernel, 4);
-        assert!(twox.seconds < base.seconds, "{} vs {}", twox.seconds, base.seconds);
+        assert!(
+            twox.seconds < base.seconds,
+            "{} vs {}",
+            twox.seconds,
+            base.seconds
+        );
         assert!(twox.ed2() < base.ed2());
     }
 
@@ -280,7 +304,10 @@ mod tests {
         let het = run_gpu(GpuDesign::BaseHet, &kernel, 3);
         let adv = run_gpu(GpuDesign::AdvHet, &kernel, 3);
         let part = run_gpu(GpuDesign::AdvHetPartitionedRf, &kernel, 3);
-        assert!(part.seconds < het.seconds, "partitioned RF must recover time");
+        assert!(
+            part.seconds < het.seconds,
+            "partitioned RF must recover time"
+        );
         assert!(
             part.seconds < adv.seconds * 1.10,
             "and stay within ~10% of the RF cache: {} vs {}",

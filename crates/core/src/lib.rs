@@ -23,8 +23,14 @@
 //!
 //! * [`config`] — named CPU/GPU design points (Table IV).
 //! * [`experiment`] — running a design on a workload; time + energy.
+//! * [`campaign`] — content-addressed jobs for the design × app sweeps.
 //! * [`report`] — plain-text tables in the shape of the paper's figures.
 //! * [`suite`] — one entry point per paper table/figure.
+//!
+//! Campaigns execute on the `hetsim-runner` engine: a work-stealing
+//! thread pool plus a content-addressed result cache, with parallel
+//! runs bit-identical to serial ones (see `hetsim_runner`'s crate
+//! docs for the determinism contract).
 //!
 //! # Quickstart
 //!
@@ -43,14 +49,18 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod config;
 pub mod experiment;
 pub mod migration;
 pub mod report;
 pub mod suite;
 
+pub use campaign::{cpu_job, cpu_job_key, gpu_job, gpu_job_key, CPU_SCHEMA, GPU_SCHEMA};
 pub use config::{CpuDesign, GpuDesign};
-pub use experiment::{run_cpu, run_cpu_multicore, run_gpu, run_gpu_scheduled, CpuOutcome, GpuOutcome};
+pub use experiment::{
+    run_cpu, run_cpu_multicore, run_gpu, run_gpu_scheduled, CpuOutcome, GpuOutcome,
+};
 pub use migration::{iso_area_comparison, run_migration_cmp, MigrationConfig};
 pub use report::Report;
 pub use suite::Experiment;

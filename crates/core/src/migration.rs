@@ -144,7 +144,10 @@ pub fn run_migration_cmp(
     seed: u64,
     total_insts: u64,
 ) -> MigrationOutcome {
-    assert!(cfg.cmos_cores + cfg.tfet_cores > 0, "need at least one core");
+    assert!(
+        cfg.cmos_cores + cfg.tfet_cores > 0,
+        "need at least one core"
+    );
     profile.validate().expect("valid profile");
 
     let chunk = cfg.interval_insts.max(20_000);
@@ -199,7 +202,11 @@ pub fn run_migration_cmp(
     // folded, conservatively small, into core dynamic.
     energy.core_dynamic_j += intervals as f64 * threads * 0.5e-9 * fast.power_w;
 
-    MigrationOutcome { seconds: t_serial + t_parallel, energy, intervals }
+    MigrationOutcome {
+        seconds: t_serial + t_parallel,
+        energy,
+        intervals,
+    }
 }
 
 /// The Section VIII iso-area comparison: a 4-core AdvHet chip vs. the
@@ -210,8 +217,7 @@ pub fn iso_area_comparison(
     total_insts: u64,
 ) -> (CpuOutcome, MigrationOutcome) {
     let advhet = run_cpu_multicore(CpuDesign::AdvHet, 4, profile, seed, total_insts);
-    let migration =
-        run_migration_cmp(&MigrationConfig::default(), profile, seed, total_insts);
+    let migration = run_migration_cmp(&MigrationConfig::default(), profile, seed, total_insts);
     (advhet, migration)
 }
 
@@ -250,14 +256,23 @@ mod tests {
         let mig = run_migration_cmp(&MigrationConfig::default(), &app, 5, N);
         assert!(mig.seconds > base.seconds, "slower than an all-CMOS chip");
         assert!(mig.seconds < tfet.seconds, "faster than an all-TFET chip");
-        assert!(mig.energy.total_j() < base.energy.total_j(), "cheaper than all-CMOS");
-        assert!(mig.energy.total_j() > tfet.energy.total_j(), "dearer than all-TFET");
+        assert!(
+            mig.energy.total_j() < base.energy.total_j(),
+            "cheaper than all-CMOS"
+        );
+        assert!(
+            mig.energy.total_j() > tfet.energy.total_j(),
+            "dearer than all-TFET"
+        );
     }
 
     #[test]
     fn migration_penalty_costs_time() {
         let app = apps::profile("lu").expect("known app");
-        let cheap = MigrationConfig { migration_penalty_cycles: 0, ..MigrationConfig::default() };
+        let cheap = MigrationConfig {
+            migration_penalty_cycles: 0,
+            ..MigrationConfig::default()
+        };
         let dear = MigrationConfig {
             migration_penalty_cycles: 50_000,
             ..MigrationConfig::default()
@@ -271,11 +286,22 @@ mod tests {
     #[test]
     fn more_fast_cores_shift_the_tradeoff() {
         let app = apps::profile("radix").expect("known app");
-        let frugal = MigrationConfig { cmos_cores: 1, tfet_cores: 3, ..Default::default() };
-        let hungry = MigrationConfig { cmos_cores: 3, tfet_cores: 1, ..Default::default() };
+        let frugal = MigrationConfig {
+            cmos_cores: 1,
+            tfet_cores: 3,
+            ..Default::default()
+        };
+        let hungry = MigrationConfig {
+            cmos_cores: 3,
+            tfet_cores: 1,
+            ..Default::default()
+        };
         let f = run_migration_cmp(&frugal, &app, 5, N);
         let h = run_migration_cmp(&hungry, &app, 5, N);
         assert!(h.seconds < f.seconds, "more CMOS cores run faster");
-        assert!(h.energy.total_j() > f.energy.total_j(), "and burn more energy");
+        assert!(
+            h.energy.total_j() > f.energy.total_j(),
+            "and burn more energy"
+        );
     }
 }

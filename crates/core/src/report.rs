@@ -19,7 +19,11 @@ pub struct Report {
 impl Report {
     /// Creates an empty report.
     pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
-        Report { title: title.into(), columns, rows: Vec::new() }
+        Report {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -54,7 +58,10 @@ impl Report {
 
     /// The values of the mean row, if present.
     pub fn mean_row(&self) -> Option<&[f64]> {
-        self.rows.iter().find(|(l, _)| l == "mean").map(|(_, v)| v.as_slice())
+        self.rows
+            .iter()
+            .find(|(l, _)| l == "mean")
+            .map(|(_, v)| v.as_slice())
     }
 
     /// The mean value of a named column, if both exist.
@@ -75,7 +82,11 @@ impl fmt::Display for Report {
             .max()
             .unwrap_or(4)
             .max(4);
-        let col_w = self.columns.iter().map(|c| c.len().max(7)).collect::<Vec<_>>();
+        let col_w = self
+            .columns
+            .iter()
+            .map(|c| c.len().max(7))
+            .collect::<Vec<_>>();
         write!(f, "{:<label_w$}", "")?;
         for (c, w) in self.columns.iter().zip(&col_w) {
             write!(f, "  {c:>w$}")?;

@@ -13,10 +13,12 @@ use hetsim_device::tech::Technology;
 use hetsim_device::variation::{CMOS_GUARDBAND_V, TFET_GUARDBAND_V};
 use hetsim_device::vf::VfCurve;
 use hetsim_power::assignment::VoltageFactors;
+use hetsim_runner::{Job, Runner};
 use hetsim_trace::apps;
 
+use crate::campaign::{cpu_job, gpu_job};
 use crate::config::{CpuDesign, GpuDesign};
-use crate::experiment::{run_cpu_multicore, run_gpu, CpuOutcome, GpuOutcome};
+use crate::experiment::{CpuOutcome, GpuOutcome};
 use crate::report::{normalize, Report};
 
 /// A labeled metric extractor over a value type.
@@ -41,8 +43,11 @@ pub enum Extension {
 
 impl Extension {
     /// Every extension.
-    pub const ALL: [Extension; 3] =
-        [Extension::Migration, Extension::PartitionedRf, Extension::Scheduling];
+    pub const ALL: [Extension; 3] = [
+        Extension::Migration,
+        Extension::PartitionedRf,
+        Extension::Scheduling,
+    ];
 
     /// CLI name.
     pub fn cli_name(self) -> &'static str {
@@ -141,7 +146,10 @@ pub struct Suite {
 
 impl Default for Suite {
     fn default() -> Self {
-        Suite { insts_per_app: 300_000, seed: 42 }
+        Suite {
+            insts_per_app: 300_000,
+            seed: 42,
+        }
     }
 }
 
@@ -196,7 +204,10 @@ impl Suite {
             ("ALU power density (W/cm2)", |p| p.alu_power_density_w_cm2),
         ];
         for (label, f) in rows {
-            r.push_row(label, Technology::ALL.iter().map(|t| f(&t.params())).collect());
+            r.push_row(
+                label,
+                Technology::ALL.iter().map(|t| f(&t.params())).collect(),
+            );
         }
         r
     }
@@ -211,7 +222,10 @@ impl Suite {
         let mos = IvCurve::n_mosfet();
         for i in 0..=16 {
             let vg = 0.05 * i as f64;
-            r.push_row(format!("Vg={vg:.2}V"), vec![tfet.drain_current(vg), mos.drain_current(vg)]);
+            r.push_row(
+                format!("Vg={vg:.2}V"),
+                vec![tfet.drain_current(vg), mos.drain_current(vg)],
+            );
         }
         r
     }
@@ -253,33 +267,49 @@ impl Suite {
     // CPU evaluation (Figures 7-9, 13).
     // ---------------------------------------------------------------
 
-    /// Runs the full CPU campaign: every Table IV design on every
-    /// application as a 4-core chip, plus the 8-core AdvHet-2X chip.
+    /// Runs the full CPU campaign serially (see [`Suite::cpu_campaign_with`]).
     pub fn cpu_campaign(&self) -> CpuCampaign {
-        let mut outcomes = Vec::new();
-        let mut app_names = Vec::new();
-        for app in apps::all() {
-            let mut row = Vec::new();
+        self.cpu_campaign_with(&Runner::serial())
+    }
+
+    /// Runs the full CPU campaign — every Table IV design on every
+    /// application as a 4-core chip, plus the 8-core AdvHet-2X chip —
+    /// as one job batch on `runner`.
+    ///
+    /// Jobs are submitted in row-major (app, then design) order and the
+    /// runner merges results by submission index, so the campaign is
+    /// identical for any worker count.
+    pub fn cpu_campaign_with(&self, runner: &Runner<CpuOutcome>) -> CpuCampaign {
+        let all_apps = apps::all();
+        let mut jobs: Vec<Job<CpuOutcome>> = Vec::new();
+        for app in &all_apps {
             for design in CpuDesign::ALL {
-                row.push(run_cpu_multicore(
+                jobs.push(cpu_job(
                     design,
                     BASELINE_CORES,
-                    &app,
+                    app,
                     self.seed,
                     self.insts_per_app,
                 ));
             }
-            row.push(run_cpu_multicore(
+            jobs.push(cpu_job(
                 CpuDesign::AdvHet,
                 TWOX_CORES,
-                &app,
+                app,
                 self.seed,
                 self.insts_per_app,
             ));
-            app_names.push(app.name);
-            outcomes.push(row);
         }
-        CpuCampaign { outcomes, app_names }
+        let mut results = runner.run(jobs).into_iter();
+        let per_app = CpuDesign::ALL.len() + 1;
+        let outcomes = all_apps
+            .iter()
+            .map(|_| results.by_ref().take(per_app).collect())
+            .collect();
+        CpuCampaign {
+            outcomes,
+            app_names: all_apps.iter().map(|a| a.name).collect(),
+        }
     }
 
     /// The Figure 7/8/9 design columns (subset of the campaign).
@@ -296,7 +326,10 @@ impl Suite {
         let mut cols: Vec<(usize, String)> = order
             .iter()
             .map(|d| {
-                let idx = CpuDesign::ALL.iter().position(|x| x == d).expect("design in ALL");
+                let idx = CpuDesign::ALL
+                    .iter()
+                    .position(|x| x == d)
+                    .expect("design in ALL");
                 (idx, d.name().to_string())
             })
             .collect();
@@ -311,8 +344,12 @@ impl Suite {
         metric: impl Fn(&CpuOutcome) -> f64,
     ) -> Report {
         let cols = Self::fig789_designs();
-        let mut r =
-            Report::new(title, cols.iter().map(|(_, name)| name.clone()).collect::<Vec<_>>());
+        let mut r = Report::new(
+            title,
+            cols.iter()
+                .map(|(_, name)| name.clone())
+                .collect::<Vec<_>>(),
+        );
         let base_idx = 0; // BaseCMOS is the first column
         for (app, row) in campaign.app_names.iter().zip(&campaign.outcomes) {
             let values: Vec<f64> = cols.iter().map(|(i, _)| metric(&row[*i])).collect();
@@ -395,7 +432,10 @@ impl Suite {
         ];
         let mut r = Report::new(
             "Figure 13: sensitivity analysis (means, normalized to BaseCMOS)",
-            designs.iter().map(|d| d.name().to_string()).collect::<Vec<_>>(),
+            designs
+                .iter()
+                .map(|d| d.name().to_string())
+                .collect::<Vec<_>>(),
         );
         let metrics: [MetricRow<CpuOutcome>; 4] = [
             ("time", |o| o.seconds),
@@ -425,7 +465,11 @@ impl Suite {
     pub fn power_budget(&self, campaign: &CpuCampaign) -> Report {
         let mut r = Report::new(
             "Power budget (Section VII-A1): chip power, normalized to 4-core BaseCMOS",
-            vec!["BaseCMOS x4".into(), "AdvHet x4".into(), "AdvHet-2X x8".into()],
+            vec![
+                "BaseCMOS x4".into(),
+                "AdvHet x4".into(),
+                "AdvHet-2X x8".into(),
+            ],
         );
         let advhet_idx = CpuDesign::ALL
             .iter()
@@ -435,7 +479,11 @@ impl Suite {
             let base = row[0].power_w();
             r.push_row(
                 *app,
-                vec![1.0, row[advhet_idx].power_w() / base, row[CpuDesign::ALL.len()].power_w() / base],
+                vec![
+                    1.0,
+                    row[advhet_idx].power_w() / base,
+                    row[CpuDesign::ALL.len()].power_w() / base,
+                ],
             );
         }
         r.push_mean();
@@ -446,17 +494,32 @@ impl Suite {
     // GPU evaluation (Figures 10-12).
     // ---------------------------------------------------------------
 
-    /// Runs the full GPU campaign: every design on every kernel.
+    /// Runs the full GPU campaign serially (see [`Suite::gpu_campaign_with`]).
     pub fn gpu_campaign(&self) -> GpuCampaign {
-        let mut outcomes = Vec::new();
-        let mut kernel_names = Vec::new();
-        for kernel in hetsim_gpu::kernels::all() {
-            let row: Vec<GpuOutcome> =
-                GpuDesign::ALL.iter().map(|&d| run_gpu(d, &kernel, self.seed)).collect();
-            kernel_names.push(kernel.name);
-            outcomes.push(row);
+        self.gpu_campaign_with(&Runner::serial())
+    }
+
+    /// Runs the full GPU campaign — every design on every kernel — as
+    /// one job batch on `runner` (submission order: kernel-major).
+    pub fn gpu_campaign_with(&self, runner: &Runner<GpuOutcome>) -> GpuCampaign {
+        let kernels = hetsim_gpu::kernels::all();
+        let jobs: Vec<Job<GpuOutcome>> = kernels
+            .iter()
+            .flat_map(|kernel| {
+                GpuDesign::ALL
+                    .iter()
+                    .map(|&d| gpu_job(d, kernel, self.seed))
+            })
+            .collect();
+        let mut results = runner.run(jobs).into_iter();
+        let outcomes = kernels
+            .iter()
+            .map(|_| results.by_ref().take(GpuDesign::ALL.len()).collect())
+            .collect();
+        GpuCampaign {
+            outcomes,
+            kernel_names: kernels.iter().map(|k| k.name).collect(),
         }
-        GpuCampaign { outcomes, kernel_names }
     }
 
     fn gpu_metric_report(
@@ -467,7 +530,10 @@ impl Suite {
     ) -> Report {
         let mut r = Report::new(
             title,
-            GpuDesign::ALL.iter().map(|d| d.name().to_string()).collect::<Vec<_>>(),
+            GpuDesign::ALL
+                .iter()
+                .map(|d| d.name().to_string())
+                .collect::<Vec<_>>(),
         );
         for (kernel, row) in campaign.kernel_names.iter().zip(&campaign.outcomes) {
             let values: Vec<f64> = row.iter().map(&metric).collect();
@@ -546,7 +612,10 @@ impl Suite {
         let mut baseline = Vec::new();
         for (label, hz, volts) in points {
             let mut totals = [0.0f64; 2];
-            for (d, design) in [CpuDesign::BaseCmos, CpuDesign::AdvHet].into_iter().enumerate() {
+            for (d, design) in [CpuDesign::BaseCmos, CpuDesign::AdvHet]
+                .into_iter()
+                .enumerate()
+            {
                 for app_name in selected {
                     let app = apps::profile(app_name).expect("known app");
                     let mut cfg = design.core_config();
@@ -565,7 +634,10 @@ impl Suite {
             if baseline.is_empty() {
                 baseline = vec![totals[0]];
             }
-            r.push_row(label, vec![totals[0] / baseline[0], totals[1] / baseline[0]]);
+            r.push_row(
+                label,
+                vec![totals[0] / baseline[0], totals[1] / baseline[0]],
+            );
         }
         r
     }
@@ -601,7 +673,11 @@ impl Suite {
     pub fn ext_partitioned_rf(&self) -> Report {
         let mut r = Report::new(
             "Extension (Section VIII): GPU RF organizations (time, normalized to BaseCMOS)",
-            vec!["BaseHet".into(), "AdvHet (RF cache)".into(), "AdvHet (part. RF)".into()],
+            vec![
+                "BaseHet".into(),
+                "AdvHet (RF cache)".into(),
+                "AdvHet (part. RF)".into(),
+            ],
         );
         for kernel in hetsim_gpu::kernels::all() {
             let base = crate::experiment::run_gpu(GpuDesign::BaseCmos, &kernel, self.seed);
@@ -635,7 +711,10 @@ impl Suite {
                 crate::experiment::run_gpu_scheduled(GpuDesign::BaseHet, &kernel, self.seed, 6);
             r.push_row(
                 kernel.name,
-                vec![het_raw.seconds / base_raw.seconds, het_s.seconds / base_s.seconds],
+                vec![
+                    het_raw.seconds / base_raw.seconds,
+                    het_s.seconds / base_s.seconds,
+                ],
             );
         }
         r.push_mean();
@@ -655,7 +734,10 @@ mod tests {
     use super::*;
 
     fn quick() -> Suite {
-        Suite { insts_per_app: 20_000, seed: 7 }
+        Suite {
+            insts_per_app: 20_000,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -680,7 +762,11 @@ mod tests {
     fn fig3_reproduces_anchor_points() {
         let f = quick().fig3();
         // Row for 0.40 V: TFET = 1 GHz.
-        let row = f.rows.iter().find(|(l, _)| l == "Vdd=0.40V").expect("row exists");
+        let row = f
+            .rows
+            .iter()
+            .find(|(l, _)| l == "Vdd=0.40V")
+            .expect("row exists");
         assert!((row.1[1] - 1.0).abs() < 1e-6);
     }
 
@@ -689,7 +775,12 @@ mod tests {
         let f = quick().fig14();
         // AdvHet saves energy at every operating point.
         for (label, vals) in &f.rows {
-            assert!(vals[1] < vals[0], "{label}: AdvHet {} vs BaseCMOS {}", vals[1], vals[0]);
+            assert!(
+                vals[1] < vals[0],
+                "{label}: AdvHet {} vs BaseCMOS {}",
+                vals[1],
+                vals[0]
+            );
         }
         // Guardbands raise energy for both designs.
         let nominal = &f.rows[0].1;

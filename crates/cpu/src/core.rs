@@ -304,8 +304,7 @@ impl Core {
                     // to the utilization-balancing objective (the single
                     // CMOS ALU must not saturate; the majority of ops keep
                     // flowing to the TFET ALUs).
-                    let balance_ok =
-                        self.stats.alu_fast_ops * 9 <= (self.stats.alu_ops() + 16) * 4;
+                    let balance_ok = self.stats.alu_fast_ops * 9 <= (self.stats.alu_ops() + 16) * 4;
                     let prefer_fast = window > 0
                         && inst.op == OpClass::IntAlu
                         && balance_ok
@@ -329,9 +328,8 @@ impl Core {
                             int_inflight += 1;
                         }
                     }
-                    let to_src = |d: Option<u32>| {
-                        d.and_then(|dist| seq.checked_sub(u64::from(dist)))
-                    };
+                    let to_src =
+                        |d: Option<u32>| d.and_then(|dist| seq.checked_sub(u64::from(dist)));
                     rob.push_back(InFlight {
                         seq,
                         op: inst.op,
@@ -387,7 +385,12 @@ impl Core {
 
     /// Whether `src` (an absolute producer seq) has produced its value by
     /// `cycle`. Producers no longer in the ROB have committed.
-    fn source_ready(rob: &VecDeque<InFlight>, first_seq: u64, src: Option<u64>, cycle: u64) -> bool {
+    fn source_ready(
+        rob: &VecDeque<InFlight>,
+        first_seq: u64,
+        src: Option<u64>,
+        cycle: u64,
+    ) -> bool {
         let Some(seq) = src else { return true };
         if seq < first_seq {
             return true; // committed
@@ -403,7 +406,9 @@ impl Core {
     /// consume the value produced by the instruction just popped?
     fn consumer_in_window(lookahead: &VecDeque<Inst>, window: u32) -> bool {
         for k in 1..=window {
-            let Some(next) = lookahead.get((k - 1) as usize) else { break };
+            let Some(next) = lookahead.get((k - 1) as usize) else {
+                break;
+            };
             if next.src1_dist == Some(k) || next.src2_dist == Some(k) {
                 return true;
             }
@@ -474,7 +479,9 @@ impl Core {
         fp_inflight: &mut u32,
     ) {
         if inst.op == OpClass::Store {
-            let _ = self.hierarchy.store(inst.addr.expect("stores carry addresses"));
+            let _ = self
+                .hierarchy
+                .store(inst.addr.expect("stores carry addresses"));
         }
         if inst.op.is_mem() {
             *lsq_occ -= 1;
@@ -611,9 +618,16 @@ mod tests {
     #[test]
     fn small_working_set_hits_dl1() {
         let r = run_app("blackscholes", CoreConfig::default(), 6);
-        assert!(r.mem.dl1_hit_rate() > 0.8, "hit rate {}", r.mem.dl1_hit_rate());
+        assert!(
+            r.mem.dl1_hit_rate() > 0.8,
+            "hit rate {}",
+            r.mem.dl1_hit_rate()
+        );
         let c = run_app("canneal", CoreConfig::default(), 6);
-        assert!(r.mem.dl1_hit_rate() > c.mem.dl1_hit_rate() + 0.3, "blackscholes must be far more cache-friendly than canneal");
+        assert!(
+            r.mem.dl1_hit_rate() > c.mem.dl1_hit_rate() + 0.3,
+            "blackscholes must be far more cache-friendly than canneal"
+        );
     }
 
     #[test]

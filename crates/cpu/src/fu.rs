@@ -29,12 +29,18 @@ pub struct FuTiming {
 impl FuTiming {
     /// Fully pipelined unit with the given latency.
     pub const fn pipelined(latency: u32) -> Self {
-        FuTiming { latency, issue_interval: 1 }
+        FuTiming {
+            latency,
+            issue_interval: 1,
+        }
     }
 
     /// Unpipelined unit: next issue waits out the full latency.
     pub const fn unpipelined(latency: u32) -> Self {
-        FuTiming { latency, issue_interval: latency }
+        FuTiming {
+            latency,
+            issue_interval: latency,
+        }
     }
 }
 
@@ -72,7 +78,10 @@ impl FuPoolConfig {
             int_muldiv_units: 2,
             fp_add: FuTiming::pipelined(2),
             fp_mul: FuTiming::pipelined(4),
-            fp_div: FuTiming { latency: 8, issue_interval: 8 },
+            fp_div: FuTiming {
+                latency: 8,
+                issue_interval: 8,
+            },
             fpu_units: 2,
             lsu_units: 2,
         }
@@ -87,7 +96,10 @@ impl FuPoolConfig {
             int_muldiv_units: 2,
             fp_add: FuTiming::pipelined(4),
             fp_mul: FuTiming::pipelined(8),
-            fp_div: FuTiming { latency: 16, issue_interval: 16 },
+            fp_div: FuTiming {
+                latency: 16,
+                issue_interval: 16,
+            },
             fpu_units: 2,
             lsu_units: 2,
         }
@@ -123,7 +135,10 @@ impl FuPoolConfig {
             int_muldiv_units: 2,
             fp_add: FuTiming::pipelined(3),
             fp_mul: FuTiming::pipelined(6),
-            fp_div: FuTiming { latency: 12, issue_interval: 12 },
+            fp_div: FuTiming {
+                latency: 12,
+                issue_interval: 12,
+            },
             fpu_units: 2,
             lsu_units: 2,
         }
@@ -138,7 +153,11 @@ impl FuPoolConfig {
 
     /// Latency of the fastest ALU.
     pub fn fast_alu_latency(&self) -> u32 {
-        self.alus.iter().map(|t| t.latency).min().expect("at least one ALU")
+        self.alus
+            .iter()
+            .map(|t| t.latency)
+            .min()
+            .expect("at least one ALU")
     }
 }
 
@@ -205,15 +224,29 @@ impl FuPool {
                     on_fast_alu: false,
                 })
             }
-            OpClass::FpAdd => Self::issue_on(&mut self.fpu_free, self.cfg.fp_add, cycle)
-                .map(|l| Issued { latency: l, on_fast_alu: false }),
-            OpClass::FpMul => Self::issue_on(&mut self.fpu_free, self.cfg.fp_mul, cycle)
-                .map(|l| Issued { latency: l, on_fast_alu: false }),
-            OpClass::FpDiv => Self::issue_on(&mut self.fpu_free, self.cfg.fp_div, cycle)
-                .map(|l| Issued { latency: l, on_fast_alu: false }),
+            OpClass::FpAdd => {
+                Self::issue_on(&mut self.fpu_free, self.cfg.fp_add, cycle).map(|l| Issued {
+                    latency: l,
+                    on_fast_alu: false,
+                })
+            }
+            OpClass::FpMul => {
+                Self::issue_on(&mut self.fpu_free, self.cfg.fp_mul, cycle).map(|l| Issued {
+                    latency: l,
+                    on_fast_alu: false,
+                })
+            }
+            OpClass::FpDiv => {
+                Self::issue_on(&mut self.fpu_free, self.cfg.fp_div, cycle).map(|l| Issued {
+                    latency: l,
+                    on_fast_alu: false,
+                })
+            }
             OpClass::Load | OpClass::Store => {
-                Self::issue_on(&mut self.lsu_free, FuTiming::pipelined(1), cycle)
-                    .map(|l| Issued { latency: l, on_fast_alu: false })
+                Self::issue_on(&mut self.lsu_free, FuTiming::pipelined(1), cycle).map(|l| Issued {
+                    latency: l,
+                    on_fast_alu: false,
+                })
             }
             // Branches resolve on an ALU.
             OpClass::Branch => self.issue_alu(cycle, prefer_fast),
@@ -269,16 +302,28 @@ mod tests {
         for _ in 0..4 {
             assert!(p.try_issue(OpClass::IntAlu, 5, false).is_some());
         }
-        assert!(p.try_issue(OpClass::IntAlu, 5, false).is_none(), "only 4 ALUs");
-        assert!(p.try_issue(OpClass::IntAlu, 6, false).is_some(), "pipelined: free next cycle");
+        assert!(
+            p.try_issue(OpClass::IntAlu, 5, false).is_none(),
+            "only 4 ALUs"
+        );
+        assert!(
+            p.try_issue(OpClass::IntAlu, 6, false).is_some(),
+            "pipelined: free next cycle"
+        );
     }
 
     #[test]
     fn int_div_is_unpipelined() {
         let mut p = FuPool::new(FuPoolConfig::cmos());
         assert!(p.try_issue(OpClass::IntDiv, 0, false).is_some());
-        assert!(p.try_issue(OpClass::IntDiv, 0, false).is_some(), "two units");
-        assert!(p.try_issue(OpClass::IntDiv, 1, false).is_none(), "both busy for 4 cycles");
+        assert!(
+            p.try_issue(OpClass::IntDiv, 0, false).is_some(),
+            "two units"
+        );
+        assert!(
+            p.try_issue(OpClass::IntDiv, 1, false).is_none(),
+            "both busy for 4 cycles"
+        );
         assert!(p.try_issue(OpClass::IntDiv, 4, false).is_some());
     }
 
@@ -286,13 +331,15 @@ mod tests {
     fn fp_div_issue_interval_matches_table_iii() {
         let mut cmos = FuPool::new(FuPoolConfig::cmos());
         cmos.try_issue(OpClass::FpDiv, 0, false).expect("free");
-        cmos.try_issue(OpClass::FpDiv, 0, false).expect("second unit");
+        cmos.try_issue(OpClass::FpDiv, 0, false)
+            .expect("second unit");
         assert!(cmos.try_issue(OpClass::FpDiv, 7, false).is_none());
         assert!(cmos.try_issue(OpClass::FpDiv, 8, false).is_some());
 
         let mut tfet = FuPool::new(FuPoolConfig::tfet());
         tfet.try_issue(OpClass::FpDiv, 0, false).expect("free");
-        tfet.try_issue(OpClass::FpDiv, 0, false).expect("second unit");
+        tfet.try_issue(OpClass::FpDiv, 0, false)
+            .expect("second unit");
         assert!(tfet.try_issue(OpClass::FpDiv, 15, false).is_none());
         assert!(tfet.try_issue(OpClass::FpDiv, 16, false).is_some());
     }
@@ -324,7 +371,11 @@ mod tests {
     fn steering_falls_back_when_cluster_busy() {
         let mut p = FuPool::new(FuPoolConfig::dual_speed());
         // Occupy the single fast ALU.
-        assert!(p.try_issue(OpClass::IntAlu, 0, true).expect("free").on_fast_alu);
+        assert!(
+            p.try_issue(OpClass::IntAlu, 0, true)
+                .expect("free")
+                .on_fast_alu
+        );
         // A second fast-preferring op lands on a slow ALU (mis-steer).
         let second = p.try_issue(OpClass::IntAlu, 0, true).expect("fallback");
         assert!(!second.on_fast_alu);

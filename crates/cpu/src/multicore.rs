@@ -40,7 +40,10 @@ impl MulticoreResult {
 
     /// Seconds of the parallel phase (the slowest core).
     pub fn parallel_seconds(&self) -> f64 {
-        self.parallel.iter().map(RunResult::seconds).fold(0.0, f64::max)
+        self.parallel
+            .iter()
+            .map(RunResult::seconds)
+            .fold(0.0, f64::max)
     }
 
     /// End-to-end execution time.
@@ -92,7 +95,10 @@ pub fn run_multicore(
         .filter(|_| per_core > 0)
         .map(|t| {
             let mut core = Core::new(core_cfg.clone(), t);
-            core.prewarm(u64::from(t) * hetsim_trace::stream::THREAD_ADDRESS_STRIDE, ws);
+            core.prewarm(
+                u64::from(t) * hetsim_trace::stream::THREAD_ADDRESS_STRIDE,
+                ws,
+            );
             core.run_warmed(
                 TraceGenerator::for_thread(profile, seed.wrapping_add(1), t),
                 warmup(per_core),
@@ -101,7 +107,12 @@ pub fn run_multicore(
         })
         .collect();
 
-    MulticoreResult { cores, serial, parallel, clock_hz: core_cfg.clock_hz }
+    MulticoreResult {
+        cores,
+        serial,
+        parallel,
+        clock_hz: core_cfg.clock_hz,
+    }
 }
 
 #[cfg(test)]
@@ -134,7 +145,10 @@ mod tests {
             speedup < amdahl_limit,
             "speedup {speedup} cannot beat the Amdahl limit {amdahl_limit}"
         );
-        assert!(speedup > 2.0, "8 cores at f=0.9 should exceed 2x: {speedup}");
+        assert!(
+            speedup > 2.0,
+            "8 cores at f=0.9 should exceed 2x: {speedup}"
+        );
     }
 
     #[test]
@@ -146,7 +160,10 @@ mod tests {
         // integer division remainder.
         let total = r.total_committed();
         assert!(total <= N);
-        assert!(N - total < u64::from(r.cores), "lost more than rounding: {total}/{N}");
+        assert!(
+            N - total < u64::from(r.cores),
+            "lost more than rounding: {total}/{N}"
+        );
     }
 
     #[test]

@@ -97,7 +97,10 @@ impl TournamentPredictor {
     ///
     /// Panics if table sizes are not powers of two.
     pub fn new(cfg: PredictorConfig) -> Self {
-        assert!(cfg.local_entries.is_power_of_two(), "local table must be 2^n");
+        assert!(
+            cfg.local_entries.is_power_of_two(),
+            "local table must be 2^n"
+        );
         assert!(cfg.btb_entries.is_power_of_two(), "BTB must be 2^n");
         let local_pattern_entries = 1usize << cfg.local_history_bits;
         let global_entries = 1usize << cfg.global_history_bits;
@@ -141,7 +144,10 @@ impl TournamentPredictor {
         let use_global = self.chooser[self.chooser_index(pc)].predict();
         let taken = if use_global { global } else { local };
         let target_known = !taken || self.btb_hit(pc);
-        Prediction { taken, target_known }
+        Prediction {
+            taken,
+            target_known,
+        }
     }
 
     /// Trains the predictor with the architectural outcome and updates the
@@ -273,7 +279,10 @@ mod tests {
             p.update(pc, actual);
         }
         let acc = correct as f64 / n as f64;
-        assert!((0.85..0.95).contains(&acc), "accuracy {acc} should approach bias 0.9");
+        assert!(
+            (0.85..0.95).contains(&acc),
+            "accuracy {acc} should approach bias 0.9"
+        );
     }
 
     #[test]

@@ -187,8 +187,16 @@ mod tests {
 
     #[test]
     fn merge_takes_max_cycles_and_sums_events() {
-        let mut a = CoreStats { cycles: 100, committed: 10, ..CoreStats::default() };
-        let b = CoreStats { cycles: 80, committed: 20, ..CoreStats::default() };
+        let mut a = CoreStats {
+            cycles: 100,
+            committed: 10,
+            ..CoreStats::default()
+        };
+        let b = CoreStats {
+            cycles: 80,
+            committed: 20,
+            ..CoreStats::default()
+        };
         a.merge(&b);
         assert_eq!(a.cycles, 100);
         assert_eq!(a.committed, 30);

@@ -55,7 +55,10 @@ impl AluPowerModel {
     ///
     /// Panics if `af` is outside `[0, 1]`.
     pub fn total_power(&self, af: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&af), "activity factor must be in [0,1], got {af}");
+        assert!(
+            (0.0..=1.0).contains(&af),
+            "activity factor must be in [0,1], got {af}"
+        );
         af * self.peak_ops_per_s * self.energy_per_op_j + self.leakage_w
     }
 }
@@ -80,7 +83,10 @@ pub struct ActivityPoint {
 ///
 /// Panics unless `0 < af_min < 1` and `points >= 2`.
 pub fn figure2_series(af_min: f64, points: usize) -> Vec<ActivityPoint> {
-    assert!(af_min > 0.0 && af_min < 1.0, "af_min must be in (0,1), got {af_min}");
+    assert!(
+        af_min > 0.0 && af_min < 1.0,
+        "af_min must be in (0,1), got {af_min}"
+    );
     assert!(points >= 2, "need at least two points");
     let cmos = AluPowerModel::si_cmos_dual_vt();
     let tfet = AluPowerModel::hetjtfet();
@@ -91,7 +97,12 @@ pub fn figure2_series(af_min: f64, points: usize) -> Vec<ActivityPoint> {
             let af = 10f64.powf(log_min * (1.0 - t));
             let cmos_w = cmos.total_power(af);
             let tfet_w = tfet.total_power(af);
-            ActivityPoint { af, cmos_w, tfet_w, ratio: cmos_w / tfet_w }
+            ActivityPoint {
+                af,
+                cmos_w,
+                tfet_w,
+                ratio: cmos_w / tfet_w,
+            }
         })
         .collect()
 }
@@ -106,7 +117,11 @@ mod tests {
         // leakage nudges the total ratio slightly above it.
         let p = figure2_series(1e-4, 2);
         let full = p.last().expect("non-empty");
-        assert!((3.5..5.0).contains(&full.ratio), "af=1 ratio {}", full.ratio);
+        assert!(
+            (3.5..5.0).contains(&full.ratio),
+            "af=1 ratio {}",
+            full.ratio
+        );
     }
 
     #[test]

@@ -83,6 +83,10 @@ mod tests {
         let twox = chip(8, hetcore_core());
         assert!((twox - 8.4).abs() < 1e-12);
         assert_eq!(cores_within(8.4, hetcore_core()), 8);
-        assert_eq!(cores_within(4.0, hetcore_core()), 3, "strict iso-area would fit 3");
+        assert_eq!(
+            cores_within(4.0, hetcore_core()),
+            3,
+            "strict iso-area would fit 3"
+        );
     }
 }

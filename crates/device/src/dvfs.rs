@@ -74,7 +74,11 @@ impl DvfsController {
     pub fn operating_point(&self, hz: f64) -> Option<OperatingPoint> {
         let v_cmos = self.cmos.voltage_for(hz)?;
         let v_tfet = self.tfet.voltage_for(hz / 2.0)?;
-        Some(OperatingPoint { frequency_hz: hz, v_cmos, v_tfet })
+        Some(OperatingPoint {
+            frequency_hz: hz,
+            v_cmos,
+            v_tfet,
+        })
     }
 
     /// Voltage deltas (V) on each rail to move from `from` to frequency
@@ -111,7 +115,9 @@ mod tests {
     fn turbo_deltas_match_paper() {
         // "to turbo-boost to 2.5 GHz, we need dV_CMOS=75mV and dV_TFET=90mV".
         let d = DvfsController::new();
-        let (dc, dt) = d.voltage_deltas(&d.nominal(), 2.5e9).expect("turbo reachable");
+        let (dc, dt) = d
+            .voltage_deltas(&d.nominal(), 2.5e9)
+            .expect("turbo reachable");
         assert!((dc - 0.075).abs() < 2e-3, "dV_CMOS {dc}");
         assert!((dt - 0.090).abs() < 2e-3, "dV_TFET {dt}");
     }
@@ -120,7 +126,9 @@ mod tests {
     fn slowdown_deltas_match_paper() {
         // Section VII-D: 1.5 GHz needs dV_CMOS=-70mV and dV_TFET=-80mV.
         let d = DvfsController::new();
-        let (dc, dt) = d.voltage_deltas(&d.nominal(), 1.5e9).expect("slow reachable");
+        let (dc, dt) = d
+            .voltage_deltas(&d.nominal(), 1.5e9)
+            .expect("slow reachable");
         assert!((dc + 0.070).abs() < 2e-3, "dV_CMOS {dc}");
         assert!((dt + 0.080).abs() < 2e-3, "dV_TFET {dt}");
     }
@@ -144,7 +152,10 @@ mod tests {
         let d = DvfsController::new();
         let fmax = d.max_frequency();
         assert!(fmax >= 2.5e9, "turbo must be reachable, fmax={fmax}");
-        assert!(fmax <= 3.5e9, "TFET saturation should cap fmax, fmax={fmax}");
+        assert!(
+            fmax <= 3.5e9,
+            "TFET saturation should cap fmax, fmax={fmax}"
+        );
     }
 
     #[test]

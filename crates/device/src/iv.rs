@@ -71,7 +71,10 @@ impl IvCurve {
     ///
     /// Panics if `vg` is negative or not finite.
     pub fn drain_current(&self, vg: f64) -> f64 {
-        assert!(vg.is_finite() && vg >= 0.0, "gate voltage must be >= 0, got {vg}");
+        assert!(
+            vg.is_finite() && vg >= 0.0,
+            "gate voltage must be >= 0, got {vg}"
+        );
         let ss_v = self.ss_mv_per_decade / 1000.0;
         if vg <= self.v_on {
             // Exponential sub-threshold region.

@@ -55,7 +55,11 @@ pub fn derive_chain() -> OverheadChain {
     let power_increase = v_ratio2 - 1.0;
     let derated_ratio = IDEAL_DYNAMIC_POWER_RATIO / (1.0 + power_increase);
 
-    OverheadChain { vtfet_bump_v, power_increase, derated_ratio }
+    OverheadChain {
+        vtfet_bump_v,
+        power_increase,
+        derated_ratio,
+    }
 }
 
 #[cfg(test)]

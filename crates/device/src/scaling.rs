@@ -167,8 +167,11 @@ mod tests {
 
     #[test]
     fn leakage_ratio_is_10x_for_all_assumptions() {
-        for a in [PowerAssumption::Ideal, PowerAssumption::Measured, PowerAssumption::Conservative]
-        {
+        for a in [
+            PowerAssumption::Ideal,
+            PowerAssumption::Measured,
+            PowerAssumption::Conservative,
+        ] {
             assert_eq!(a.leakage_power_ratio(), 10.0);
         }
     }

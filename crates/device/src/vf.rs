@@ -83,7 +83,11 @@ impl VfCurve {
         let volts: Vec<f64> = anchors.iter().map(|a| a.0).collect();
         let freqs: Vec<f64> = anchors.iter().map(|a| a.1).collect();
         let slopes = pchip_slopes(&volts, &freqs);
-        VfCurve { volts, freqs, slopes }
+        VfCurve {
+            volts,
+            freqs,
+            slopes,
+        }
     }
 
     /// The published curve for `tech`.
@@ -120,7 +124,10 @@ impl VfCurve {
     /// the curves are only meaningful over their published span.
     pub fn frequency_at(&self, vdd: f64) -> f64 {
         let v = vdd.clamp(self.min_voltage(), self.max_voltage());
-        let i = match self.volts.binary_search_by(|p| p.partial_cmp(&v).expect("finite")) {
+        let i = match self
+            .volts
+            .binary_search_by(|p| p.partial_cmp(&v).expect("finite"))
+        {
             Ok(i) => return self.freqs[i],
             Err(i) => i - 1, // v > volts[0] guaranteed by clamp
         };

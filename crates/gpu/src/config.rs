@@ -19,7 +19,10 @@ pub struct RfCacheConfig {
 
 impl Default for RfCacheConfig {
     fn default() -> Self {
-        RfCacheConfig { entries: 6, latency: 1 }
+        RfCacheConfig {
+            entries: 6,
+            latency: 1,
+        }
     }
 }
 
@@ -92,7 +95,10 @@ impl GpuConfig {
             return Err("GPU dimensions must be positive".into());
         }
         if !WAVEFRONT_THREADS.is_multiple_of(self.lanes_per_cu) {
-            return Err(format!("{} lanes must divide the 64-thread wavefront", self.lanes_per_cu));
+            return Err(format!(
+                "{} lanes must divide the 64-thread wavefront",
+                self.lanes_per_cu
+            ));
         }
         if self.clock_hz <= 0.0 {
             return Err(format!("clock must be positive: {}", self.clock_hz));
@@ -120,7 +126,13 @@ mod tests {
         assert_eq!(c.clock_hz, 1.0e9);
         assert_eq!(c.fma_latency, 3);
         assert_eq!(c.rf_latency, 1);
-        assert_eq!(c.rf_cache, Some(RfCacheConfig { entries: 6, latency: 1 }));
+        assert_eq!(
+            c.rf_cache,
+            Some(RfCacheConfig {
+                entries: 6,
+                latency: 1
+            })
+        );
         c.validate().expect("default validates");
     }
 

@@ -159,7 +159,11 @@ pub fn run_cu(
                     .iter()
                     .filter(|w| w.pc < kernel.len())
                     .map(|w| {
-                        let dep = if kernel[w.pc].dep_on_prev { w.prev_done } else { 0 };
+                        let dep = if kernel[w.pc].dep_on_prev {
+                            w.prev_done
+                        } else {
+                            0
+                        };
                         w.next_issue.max(dep)
                     })
                     .min()
@@ -247,7 +251,10 @@ mod tests {
         let eight = run_cu(&GpuConfig::default(), &insts, &p, 8, 1);
         // 8 waves do 8x the work in far less than 8x the time.
         let scaling = eight.cycles as f64 / one.cycles as f64;
-        assert!(scaling < 4.0, "8x work should take <4x time, took {scaling:.2}x");
+        assert!(
+            scaling < 4.0,
+            "8x work should take <4x time, took {scaling:.2}x"
+        );
     }
 
     #[test]
@@ -280,7 +287,10 @@ mod tests {
         cached.rf_cache = Some(crate::config::RfCacheConfig::default());
         let without = run_cu(&base, &insts, &p, 8, 1).cycles;
         let with = run_cu(&cached, &insts, &p, 8, 1).cycles;
-        assert!(with <= without, "RF cache must not slow things down: {with} vs {without}");
+        assert!(
+            with <= without,
+            "RF cache must not slow things down: {with} vs {without}"
+        );
     }
 
     #[test]

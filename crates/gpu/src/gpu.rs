@@ -89,7 +89,11 @@ impl Gpu {
             );
             stats.merge(&cu_stats);
         }
-        GpuRunResult { stats, clock_hz: self.cfg.clock_hz, compute_units: cus }
+        GpuRunResult {
+            stats,
+            clock_hz: self.cfg.clock_hz,
+            compute_units: cus,
+        }
     }
 }
 

@@ -154,7 +154,12 @@ impl KernelProfile {
                 recent.insert(0, d);
                 recent.truncate(8);
             }
-            insts.push(GpuInst { op, dep_on_prev: rng.gen_bool(self.dep_prob), srcs, dst });
+            insts.push(GpuInst {
+                op,
+                dep_on_prev: rng.gen_bool(self.dep_prob),
+                srcs,
+                dst,
+            });
         }
         insts
     }

@@ -41,11 +41,31 @@ pub fn all() -> Vec<KernelProfile> {
         // Dense GEMM: compute-bound, tiled through LDS, high reuse.
         mk("matmul", 800, 128, 0.62, 0.10, 0.18, 0.55, 0.50, 0.06),
         // Transpose: pure data movement, coalescing-hostile.
-        mk("matrixtranspose", 400, 128, 0.30, 0.40, 0.18, 0.50, 0.30, 0.17),
+        mk(
+            "matrixtranspose",
+            400,
+            128,
+            0.30,
+            0.40,
+            0.18,
+            0.50,
+            0.30,
+            0.17,
+        ),
         // Binary search: short, divergent, memory-latency-bound.
         mk("binarysearch", 250, 64, 0.38, 0.32, 0.05, 0.80, 0.30, 0.25),
         // Binomial option pricing: deep FP recurrences.
-        mk("binomialoption", 900, 96, 0.68, 0.08, 0.12, 0.70, 0.50, 0.05),
+        mk(
+            "binomialoption",
+            900,
+            96,
+            0.68,
+            0.08,
+            0.12,
+            0.70,
+            0.50,
+            0.05,
+        ),
         // Bitonic sort: compare-exchange network, strided memory.
         mk("bitonicsort", 500, 128, 0.44, 0.30, 0.08, 0.60, 0.35, 0.15),
         // 8x8 DCT: blocked FP with LDS staging.
@@ -55,7 +75,17 @@ pub fn all() -> Vec<KernelProfile> {
         // Fast Walsh transform: butterflies over global memory.
         mk("fastwalsh", 500, 128, 0.48, 0.30, 0.06, 0.60, 0.35, 0.15),
         // Floyd-Warshall: O(n^3) over an adjacency matrix in memory.
-        mk("floydwarshall", 550, 128, 0.40, 0.36, 0.05, 0.55, 0.30, 0.20),
+        mk(
+            "floydwarshall",
+            550,
+            128,
+            0.40,
+            0.36,
+            0.05,
+            0.55,
+            0.30,
+            0.20,
+        ),
         // Histogram: LDS-atomic heavy, scatter reads.
         mk("histogram", 400, 128, 0.34, 0.24, 0.30, 0.55, 0.30, 0.11),
         // Reduction: tree reduction through LDS.
@@ -64,9 +94,29 @@ pub fn all() -> Vec<KernelProfile> {
         mk("sobel", 600, 96, 0.56, 0.24, 0.10, 0.60, 0.45, 0.07),
         // Black-Scholes option pricing (GPU port): pure FP, no memory
         // pressure, deep exp/log chains.
-        mk("blackscholesgpu", 850, 96, 0.72, 0.08, 0.05, 0.60, 0.55, 0.05),
+        mk(
+            "blackscholesgpu",
+            850,
+            96,
+            0.72,
+            0.08,
+            0.05,
+            0.60,
+            0.55,
+            0.05,
+        ),
         // Mersenne Twister RNG: integer-ish VALU recurrences.
-        mk("mersennetwister", 600, 128, 0.64, 0.14, 0.08, 0.65, 0.45, 0.08),
+        mk(
+            "mersennetwister",
+            600,
+            128,
+            0.64,
+            0.14,
+            0.08,
+            0.65,
+            0.45,
+            0.08,
+        ),
         // Monte Carlo (Asian options): RNG + FP accumulation.
         mk("montecarlo", 900, 96, 0.66, 0.10, 0.08, 0.55, 0.50, 0.06),
         // N-body: all-pairs forces, compute-dense with broadcast reuse.

@@ -44,8 +44,8 @@ pub mod gpu;
 pub mod kernel;
 pub mod kernels;
 pub mod partitioned;
-pub mod schedule;
 pub mod rfcache;
+pub mod schedule;
 pub mod stats;
 
 pub use config::GpuConfig;

@@ -28,7 +28,10 @@ impl Default for PartitionedRfConfig {
     /// plus the pilot registers the HPCA'17 design pins: 16 of the 48-ish
     /// live registers.
     fn default() -> Self {
-        PartitionedRfConfig { fast_regs: 16, fast_latency: 1 }
+        PartitionedRfConfig {
+            fast_regs: 16,
+            fast_latency: 1,
+        }
     }
 }
 
@@ -63,7 +66,10 @@ impl FastRegSet {
                 fast_count += 1;
             }
         }
-        FastRegSet { is_fast, fast_count }
+        FastRegSet {
+            is_fast,
+            fast_count,
+        }
     }
 
     /// Whether register `reg` lives in the fast partition.
@@ -83,7 +89,9 @@ mod tests {
     use crate::kernels;
 
     fn kernel() -> Vec<GpuInst> {
-        kernels::profile("matmul").expect("known kernel").generate(3)
+        kernels::profile("matmul")
+            .expect("known kernel")
+            .generate(3)
     }
 
     #[test]
@@ -120,7 +128,13 @@ mod tests {
     #[test]
     fn zero_usage_registers_are_never_pinned() {
         let insts = kernel();
-        let set = FastRegSet::allocate(&insts, PartitionedRfConfig { fast_regs: 255, fast_latency: 1 });
+        let set = FastRegSet::allocate(
+            &insts,
+            PartitionedRfConfig {
+                fast_regs: 255,
+                fast_latency: 1,
+            },
+        );
         // Registers beyond the kernel's working set are unused and unpinned.
         assert!(!set.is_fast(200));
     }

@@ -29,7 +29,14 @@ impl RfCache {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "RF cache needs at least one entry");
-        RfCache { entries: Vec::with_capacity(capacity), capacity, hits: 0, misses: 0, evictions: 0, writes: 0 }
+        RfCache {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            writes: 0,
+        }
     }
 
     /// Looks up a source register. Returns whether it hits the cache.

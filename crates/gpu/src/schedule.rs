@@ -85,7 +85,11 @@ pub fn schedule_kernel(kernel: &[GpuInst], window: usize) -> Scheduled {
         i += 1;
     }
 
-    Scheduled { insts, separated, unseparated }
+    Scheduled {
+        insts,
+        separated,
+        unseparated,
+    }
 }
 
 #[cfg(test)]
@@ -108,8 +112,11 @@ mod tests {
         let scheduled = schedule_kernel(&insts, 4);
         assert_eq!(scheduled.insts.len(), insts.len());
         let count = |v: &[GpuInst], op| v.iter().filter(|i| i.op == op).count();
-        for op in [crate::kernel::GpuOp::Valu, crate::kernel::GpuOp::Mem, crate::kernel::GpuOp::Lds]
-        {
+        for op in [
+            crate::kernel::GpuOp::Valu,
+            crate::kernel::GpuOp::Mem,
+            crate::kernel::GpuOp::Lds,
+        ] {
             assert_eq!(count(&scheduled.insts, op), count(&insts, op));
         }
     }
@@ -121,7 +128,10 @@ mod tests {
         let before = dep(&insts);
         let scheduled = schedule_kernel(&insts, 4);
         let after = dep(&scheduled.insts);
-        assert!(after < before, "scheduling must separate pairs: {before} -> {after}");
+        assert!(
+            after < before,
+            "scheduling must separate pairs: {before} -> {after}"
+        );
         assert!(scheduled.separated > 0);
     }
 

@@ -76,8 +76,16 @@ mod tests {
 
     #[test]
     fn merge_maxes_cycles_and_sums_work() {
-        let mut a = GpuStats { cycles: 100, wavefront_insts: 50, ..GpuStats::default() };
-        let b = GpuStats { cycles: 150, wavefront_insts: 70, ..GpuStats::default() };
+        let mut a = GpuStats {
+            cycles: 100,
+            wavefront_insts: 50,
+            ..GpuStats::default()
+        };
+        let b = GpuStats {
+            cycles: 150,
+            wavefront_insts: 70,
+            ..GpuStats::default()
+        };
         a.merge(&b);
         assert_eq!(a.cycles, 150);
         assert_eq!(a.wavefront_insts, 120);

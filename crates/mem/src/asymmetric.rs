@@ -99,7 +99,11 @@ impl AsymmetricCache {
         self.fast.stats_record_demand(is_write, fast_hit);
         if fast_hit {
             self.fast.mark_used(addr, is_write);
-            return AsymOutcome { hit: AsymHit::Fast, latency: self.fast_latency, writeback: None };
+            return AsymOutcome {
+                hit: AsymHit::Fast,
+                latency: self.fast_latency,
+                writeback: None,
+            };
         }
 
         let slow_hit = self.slow.probe(addr);
@@ -117,7 +121,11 @@ impl AsymmetricCache {
             writeback = self.promote(line_addr, is_write);
             AsymHit::Miss
         };
-        AsymOutcome { hit, latency: self.fast_latency + self.slow_latency, writeback }
+        AsymOutcome {
+            hit,
+            latency: self.fast_latency + self.slow_latency,
+            writeback,
+        }
     }
 
     /// Installs `addr` into the FastCache, demoting any evicted fast line
@@ -204,7 +212,10 @@ mod tests {
 
     fn tiny() -> AsymmetricCache {
         // Fast: 2 sets x 1 way; slow: 2 sets x 2 ways; 64 B lines.
-        AsymmetricCache::new(CacheConfig::new(128, 1, 64, 1), CacheConfig::new(256, 2, 64, 4))
+        AsymmetricCache::new(
+            CacheConfig::new(128, 1, 64, 1),
+            CacheConfig::new(256, 2, 64, 4),
+        )
     }
 
     #[test]
@@ -223,7 +234,7 @@ mod tests {
         let mut c = tiny();
         c.access(0x000, false); // fills fast slot for set 0
         c.access(0x080, false); // same fast slot: demotes 0x000 to slow
-        // 0x000 should now hit slow and be promoted back.
+                                // 0x000 should now hit slow and be promoted back.
         let out = c.access(0x000, false);
         assert_eq!(out.hit, AsymHit::Slow);
         assert_eq!(out.latency, 5);
@@ -253,9 +264,13 @@ mod tests {
         c.access(0x000, true); // dirty in fast
         c.access(0x080, false); // demote dirty 0x000 to slow
         c.access(0x100, false); // set 0 again: demote 0x080; slow set 0 holds 0x000+0x080
-        // Next set-0 line: 0x180 — slow set 0 overflows, evicting LRU (0x000 dirty).
+                                // Next set-0 line: 0x180 — slow set 0 overflows, evicting LRU (0x000 dirty).
         let out = c.access(0x180, false);
-        assert_eq!(out.writeback, Some(0x000), "dirty line must be written back");
+        assert_eq!(
+            out.writeback,
+            Some(0x000),
+            "dirty line must be written back"
+        );
     }
 
     #[test]

@@ -29,15 +29,26 @@ impl CacheConfig {
     /// Panics unless `line_bytes` is a power of two and the geometry yields
     /// at least one set.
     pub fn new(size_bytes: u64, ways: u32, line_bytes: u64, latency: u32) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways >= 1, "need at least one way");
         assert!(
             size_bytes >= u64::from(ways) * line_bytes,
             "cache of {size_bytes} B can't hold {ways} ways of {line_bytes} B lines"
         );
         let sets = size_bytes / (u64::from(ways) * line_bytes);
-        assert!(sets.is_power_of_two(), "set count must be a power of two, got {sets}");
-        CacheConfig { size_bytes, ways, line_bytes, latency }
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two, got {sets}"
+        );
+        CacheConfig {
+            size_bytes,
+            ways,
+            line_bytes,
+            latency,
+        }
     }
 
     /// Number of sets.
@@ -84,7 +95,11 @@ impl Cache {
     /// Creates an empty cache.
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = vec![Vec::with_capacity(cfg.ways as usize); cfg.sets() as usize];
-        Cache { cfg, sets, stats: CacheStats::default() }
+        Cache {
+            cfg,
+            sets,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache geometry.
@@ -122,11 +137,17 @@ impl Cache {
             let mut line = lines.remove(pos);
             line.dirty |= is_write;
             lines.insert(0, line);
-            return AccessOutcome { hit: true, writeback: None };
+            return AccessOutcome {
+                hit: true,
+                writeback: None,
+            };
         }
         self.stats.misses += 1;
         let writeback = self.install(set, tag, is_write);
-        AccessOutcome { hit: false, writeback }
+        AccessOutcome {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Checks residency without updating LRU or stats.
@@ -211,7 +232,10 @@ impl Cache {
         let (set, tag) = self.set_and_tag(addr);
         let pos = self.sets[set].iter().position(|l| l.tag == tag)?;
         let line = self.sets[set].remove(pos);
-        Some(RemovedLine { addr: self.line_addr(set, tag), dirty: line.dirty })
+        Some(RemovedLine {
+            addr: self.line_addr(set, tag),
+            dirty: line.dirty,
+        })
     }
 
     /// Number of resident lines.

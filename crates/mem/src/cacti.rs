@@ -31,9 +31,16 @@ impl SramGeometry {
     ///
     /// Panics on a degenerate geometry.
     pub fn new(size_bytes: u64, ways: u32, line_bytes: u64) -> Self {
-        assert!(size_bytes >= u64::from(ways) * line_bytes, "at least one set");
+        assert!(
+            size_bytes >= u64::from(ways) * line_bytes,
+            "at least one set"
+        );
         assert!(ways >= 1 && line_bytes >= 1);
-        SramGeometry { size_bytes, ways, line_bytes }
+        SramGeometry {
+            size_bytes,
+            ways,
+            line_bytes,
+        }
     }
 
     /// Number of sets.
@@ -97,7 +104,11 @@ pub fn estimate(geometry: SramGeometry) -> SramEstimate {
         k::E_FIXED + k::E_WAY * ways * (geometry.line_bytes as f64 / 64.0) + k::E_WIRE * wire;
     let leakage_mw = k::L_PER_KIB * bytes / 1024.0;
 
-    SramEstimate { access_ps, read_energy_pj, leakage_mw }
+    SramEstimate {
+        access_ps,
+        read_energy_pj,
+        leakage_mw,
+    }
 }
 
 /// Latency of `geometry` in cycles at `clock_hz`, rounded up.

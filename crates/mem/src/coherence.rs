@@ -32,8 +32,11 @@ pub struct CoherenceAction {
 
 impl CoherenceAction {
     /// No remote involvement.
-    pub const NONE: CoherenceAction =
-        CoherenceAction { extra_latency: 0, invalidations: 0, owner_forward: false };
+    pub const NONE: CoherenceAction = CoherenceAction {
+        extra_latency: 0,
+        invalidations: 0,
+        owner_forward: false,
+    };
 }
 
 /// Ring-hop cost charged per remote intervention (cycles).
@@ -69,8 +72,13 @@ impl Directory {
         let bit = 1u64 << core;
         match self.lines.get_mut(&line_addr) {
             None => {
-                self.lines
-                    .insert(line_addr, DirEntry { state: LineState::ModifiedOrExclusive, sharers: bit });
+                self.lines.insert(
+                    line_addr,
+                    DirEntry {
+                        state: LineState::ModifiedOrExclusive,
+                        sharers: bit,
+                    },
+                );
                 CoherenceAction::NONE
             }
             Some(entry) => {
@@ -103,8 +111,13 @@ impl Directory {
         let bit = 1u64 << core;
         match self.lines.get_mut(&line_addr) {
             None => {
-                self.lines
-                    .insert(line_addr, DirEntry { state: LineState::ModifiedOrExclusive, sharers: bit });
+                self.lines.insert(
+                    line_addr,
+                    DirEntry {
+                        state: LineState::ModifiedOrExclusive,
+                        sharers: bit,
+                    },
+                );
                 CoherenceAction::NONE
             }
             Some(entry) => {
@@ -149,7 +162,9 @@ impl Directory {
 
     /// Number of cores currently holding `line_addr`.
     pub fn sharer_count(&self, line_addr: u64) -> u32 {
-        self.lines.get(&line_addr).map_or(0, |e| e.sharers.count_ones())
+        self.lines
+            .get(&line_addr)
+            .map_or(0, |e| e.sharers.count_ones())
     }
 }
 

@@ -24,7 +24,10 @@ impl Dram {
     pub fn at_clock(clock_hz: f64) -> Self {
         assert!(clock_hz > 0.0, "clock must be positive, got {clock_hz}");
         let latency_cycles = (DRAM_ROUND_TRIP_S * clock_hz).round() as u32;
-        Dram { latency_cycles: latency_cycles.max(1), accesses: 0 }
+        Dram {
+            latency_cycles: latency_cycles.max(1),
+            accesses: 0,
+        }
     }
 
     /// Performs one access; returns the round-trip latency in core cycles.

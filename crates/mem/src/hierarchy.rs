@@ -147,7 +147,10 @@ impl Hierarchy {
                     self.writeback_to_l2(victim);
                 }
                 if out.hit {
-                    DataAccess { latency: lat, level: HitLevel::Dl1 }
+                    DataAccess {
+                        latency: lat,
+                        level: HitLevel::Dl1,
+                    }
                 } else {
                     self.lower_levels(addr, is_write)
                 }
@@ -158,8 +161,14 @@ impl Hierarchy {
                     self.writeback_to_l2(victim);
                 }
                 match out.hit {
-                    AsymHit::Fast => DataAccess { latency: out.latency, level: HitLevel::Dl1Fast },
-                    AsymHit::Slow => DataAccess { latency: out.latency, level: HitLevel::Dl1 },
+                    AsymHit::Fast => DataAccess {
+                        latency: out.latency,
+                        level: HitLevel::Dl1Fast,
+                    },
+                    AsymHit::Slow => DataAccess {
+                        latency: out.latency,
+                        level: HitLevel::Dl1,
+                    },
                     AsymHit::Miss => self.lower_levels(addr, is_write),
                 }
             }
@@ -173,17 +182,26 @@ impl Hierarchy {
             self.writeback_to_l3(victim);
         }
         if l2_out.hit {
-            return DataAccess { latency: self.l2.config().latency, level: HitLevel::L2 };
+            return DataAccess {
+                latency: self.l2.config().latency,
+                level: HitLevel::L2,
+            };
         }
         let l3_out = self.l3.access(addr, false);
         if l3_out.writeback.is_some() {
             self.dram_writes += 1;
         }
         if l3_out.hit {
-            return DataAccess { latency: self.l3.config().latency, level: HitLevel::L3 };
+            return DataAccess {
+                latency: self.l3.config().latency,
+                level: HitLevel::L3,
+            };
         }
         let dram_lat = self.dram.access();
-        DataAccess { latency: self.l3.config().latency + dram_lat, level: HitLevel::Dram }
+        DataAccess {
+            latency: self.l3.config().latency + dram_lat,
+            level: HitLevel::Dram,
+        }
     }
 
     fn writeback_to_l2(&mut self, victim: u64) {

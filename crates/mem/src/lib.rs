@@ -26,8 +26,8 @@
 #![warn(missing_docs)]
 
 pub mod asymmetric;
-pub mod cacti;
 pub mod cache;
+pub mod cacti;
 pub mod coherence;
 pub mod dram;
 pub mod hierarchy;

@@ -132,8 +132,22 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = CacheStats { accesses: 10, writes: 2, hits: 7, misses: 3, fills: 3, writebacks: 1 };
-        let b = CacheStats { accesses: 5, writes: 1, hits: 5, misses: 0, fills: 0, writebacks: 0 };
+        let mut a = CacheStats {
+            accesses: 10,
+            writes: 2,
+            hits: 7,
+            misses: 3,
+            fills: 3,
+            writebacks: 1,
+        };
+        let b = CacheStats {
+            accesses: 5,
+            writes: 1,
+            hits: 5,
+            misses: 0,
+            fills: 0,
+            writebacks: 0,
+        };
         a.merge(&b);
         assert_eq!(a.accesses, 15);
         assert_eq!(a.hits, 12);

@@ -16,7 +16,11 @@ struct RefLru {
 impl RefLru {
     fn new(size: u64, ways: u32, line: u64) -> Self {
         let sets = (size / (u64::from(ways) * line)) as usize;
-        RefLru { sets: vec![Vec::new(); sets], ways: ways as usize, line }
+        RefLru {
+            sets: vec![Vec::new(); sets],
+            ways: ways as usize,
+            line,
+        }
     }
 
     fn set_of(&self, addr: u64) -> usize {

@@ -9,6 +9,7 @@
 
 use hetsim_cpu::CoreStats;
 use hetsim_mem::MemStats;
+use serde::{Deserialize, Serialize};
 
 use crate::assignment::{DeviceAssignment, UnitImpl};
 use crate::mcpat::{
@@ -21,7 +22,7 @@ const PJ: f64 = 1.0e-12;
 const MW: f64 = 1.0e-3;
 
 /// The Figure 8 energy breakdown for one run (joules).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct EnergyBreakdown {
     /// Core (incl. L1s) dynamic energy.
     pub core_dynamic_j: f64,
@@ -106,7 +107,12 @@ pub struct CpuEnergyModel {
 impl CpuEnergyModel {
     /// Model with the Table III baseline structure sizes.
     pub fn new(assignment: DeviceAssignment) -> Self {
-        CpuEnergyModel { assignment, dual_speed_alu: false, rob_entries: 160, fp_regs: 80 }
+        CpuEnergyModel {
+            assignment,
+            dual_speed_alu: false,
+            rob_entries: 160,
+            fp_regs: 80,
+        }
     }
 
     /// Declares the dual-speed ALU cluster (AdvHet, BaseHet-Split).
@@ -274,7 +280,7 @@ pub struct GpuActivity {
 }
 
 /// GPU energy result (Figure 11 reports dynamic vs. leakage).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct GpuEnergy {
     /// Dynamic energy (J).
     pub dynamic_j: f64,
@@ -316,17 +322,18 @@ impl GpuEnergyModel {
         dynamic += act.wavefront_insts as f64
             * b.fetch_schedule_pj
             * a.gpu_dynamic_factor(GpuUnit::FetchSchedule);
-        dynamic += act.thread_fma_ops as f64 * b.simd_fma_pj * a.gpu_dynamic_factor(GpuUnit::SimdFma);
         dynamic +=
-            act.vector_rf_accesses as f64 * b.vector_rf_pj * a.gpu_dynamic_factor(GpuUnit::VectorRf);
+            act.thread_fma_ops as f64 * b.simd_fma_pj * a.gpu_dynamic_factor(GpuUnit::SimdFma);
+        dynamic += act.vector_rf_accesses as f64
+            * b.vector_rf_pj
+            * a.gpu_dynamic_factor(GpuUnit::VectorRf);
         dynamic +=
             act.rf_cache_accesses as f64 * b.rf_cache_pj * a.gpu_dynamic_factor(GpuUnit::RfCache);
         // The fast partition of a partitioned RF is CMOS by construction
         // (Section VIII) but also a 16x smaller array than the 256-entry
         // vector RF: per-access energy scales with the activated array
         // (CACTI-lite's way/wire terms), modeled as 0.3x the full RF.
-        dynamic +=
-            act.rf_fast_accesses as f64 * 0.3 * b.vector_rf_pj * a.voltages.cmos_dynamic;
+        dynamic += act.rf_fast_accesses as f64 * 0.3 * b.vector_rf_pj * a.voltages.cmos_dynamic;
         dynamic += act.lds_accesses as f64 * b.lds_pj * a.gpu_dynamic_factor(GpuUnit::Lds);
         dynamic += act.mem_insts as f64 * b.mem_pipe_pj * a.gpu_dynamic_factor(GpuUnit::MemPipe);
 
@@ -407,7 +414,10 @@ mod tests {
         let tfet =
             CpuEnergyModel::new(DeviceAssignment::all_tfet()).energy(&stats, &mem, 2.0 * base_s);
         let ratio = tfet.total_j() / cmos.total_j();
-        assert!((0.18..0.30).contains(&ratio), "BaseTFET energy ratio {ratio}");
+        assert!(
+            (0.18..0.30).contains(&ratio),
+            "BaseTFET energy ratio {ratio}"
+        );
     }
 
     #[test]
@@ -416,8 +426,11 @@ mod tests {
         let base_s = stats.cycles as f64 / 2.0e9;
         let cmos = CpuEnergyModel::new(DeviceAssignment::all_cmos()).energy(&stats, &mem, base_s);
         // BaseHet is ~40% slower.
-        let het = CpuEnergyModel::new(DeviceAssignment::hetcore_cpu(false))
-            .energy(&stats, &mem, 1.4 * base_s);
+        let het = CpuEnergyModel::new(DeviceAssignment::hetcore_cpu(false)).energy(
+            &stats,
+            &mem,
+            1.4 * base_s,
+        );
         let ratio = het.total_j() / cmos.total_j();
         assert!((0.5..0.75).contains(&ratio), "BaseHet energy ratio {ratio}");
     }
@@ -456,7 +469,9 @@ mod tests {
         // Dual-speed leaks more than all-TFET ALUs, less than all-CMOS.
         let t = tfet_model.idle_energy(1.0).core_leakage_j;
         let d = dual_model.idle_energy(1.0).core_leakage_j;
-        let c = CpuEnergyModel::new(DeviceAssignment::all_cmos()).idle_energy(1.0).core_leakage_j;
+        let c = CpuEnergyModel::new(DeviceAssignment::all_cmos())
+            .idle_energy(1.0)
+            .core_leakage_j;
         assert!(t < d && d < c);
     }
 

@@ -67,7 +67,12 @@ pub struct VoltageFactors {
 
 impl Default for VoltageFactors {
     fn default() -> Self {
-        VoltageFactors { cmos_dynamic: 1.0, tfet_dynamic: 1.0, cmos_leakage: 1.0, tfet_leakage: 1.0 }
+        VoltageFactors {
+            cmos_dynamic: 1.0,
+            tfet_dynamic: 1.0,
+            cmos_leakage: 1.0,
+            tfet_leakage: 1.0,
+        }
     }
 }
 
@@ -287,7 +292,11 @@ mod tests {
     fn basetfet_uses_4x_energy_factor() {
         let a = DeviceAssignment::all_tfet();
         assert!((a.cpu_dynamic_factor(CpuUnit::Fpu) - 0.25).abs() < 1e-12);
-        assert_eq!(a.cpu_impl(CpuUnit::Fetch), UnitImpl::Tfet, "everything is TFET");
+        assert_eq!(
+            a.cpu_impl(CpuUnit::Fetch),
+            UnitImpl::Tfet,
+            "everything is TFET"
+        );
     }
 
     #[test]

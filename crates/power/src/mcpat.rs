@@ -200,10 +200,16 @@ mod tests {
     #[test]
     fn caches_dominate_total_leakage() {
         // Section IV-B3: "Caches contribute the majority of the leakage".
-        let caches: f64 = [CpuUnit::Il1, CpuUnit::Dl1, CpuUnit::Dl1Fast, CpuUnit::L2, CpuUnit::L3]
-            .iter()
-            .map(|&u| cpu_leakage_mw(u))
-            .sum();
+        let caches: f64 = [
+            CpuUnit::Il1,
+            CpuUnit::Dl1,
+            CpuUnit::Dl1Fast,
+            CpuUnit::L2,
+            CpuUnit::L3,
+        ]
+        .iter()
+        .map(|&u| cpu_leakage_mw(u))
+        .sum();
         let total: f64 = CpuUnit::ALL.iter().map(|&u| cpu_leakage_mw(u)).sum();
         assert!(caches / total > 0.5, "cache share {}", caches / total);
     }
@@ -218,17 +224,39 @@ mod tests {
     #[test]
     fn fast_way_is_much_cheaper_than_dl1() {
         let ratio = CPU_BASELINE.dl1_fast_pj / CPU_BASELINE.dl1_pj;
-        assert!((0.1..0.35).contains(&ratio), "fast/DL1 energy ratio {ratio}");
+        assert!(
+            (0.1..0.35).contains(&ratio),
+            "fast/DL1 energy ratio {ratio}"
+        );
     }
 
     #[test]
     fn all_constants_positive() {
         let b = CPU_BASELINE;
         for v in [
-            b.fetch_pj, b.decode_pj, b.rename_pj, b.rob_pj, b.iq_pj, b.lsq_pj,
-            b.int_rf_read_pj, b.int_rf_write_pj, b.fp_rf_read_pj, b.fp_rf_write_pj,
-            b.alu_pj, b.int_mul_pj, b.int_div_pj, b.fp_add_pj, b.fp_mul_pj, b.fp_div_pj,
-            b.lsu_pj, b.il1_pj, b.dl1_pj, b.dl1_fast_pj, b.l2_pj, b.l3_pj, b.dram_pj,
+            b.fetch_pj,
+            b.decode_pj,
+            b.rename_pj,
+            b.rob_pj,
+            b.iq_pj,
+            b.lsq_pj,
+            b.int_rf_read_pj,
+            b.int_rf_write_pj,
+            b.fp_rf_read_pj,
+            b.fp_rf_write_pj,
+            b.alu_pj,
+            b.int_mul_pj,
+            b.int_div_pj,
+            b.fp_add_pj,
+            b.fp_mul_pj,
+            b.fp_div_pj,
+            b.lsu_pj,
+            b.il1_pj,
+            b.dl1_pj,
+            b.dl1_fast_pj,
+            b.l2_pj,
+            b.l3_pj,
+            b.dram_pj,
         ] {
             assert!(v > 0.0);
         }
@@ -243,9 +271,12 @@ mod tests {
     #[test]
     fn gpu_rf_is_a_large_consumer() {
         // The RF should be a significant leakage block (it's a huge SRAM).
-        assert!(gpu_leakage_mw(GpuUnit::VectorRf) >= 0.25 * {
-            let total: f64 = GpuUnit::ALL.iter().map(|&u| gpu_leakage_mw(u)).sum();
-            total
-        });
+        assert!(
+            gpu_leakage_mw(GpuUnit::VectorRf)
+                >= 0.25 * {
+                    let total: f64 = GpuUnit::ALL.iter().map(|&u| gpu_leakage_mw(u)).sum();
+                    total
+                }
+        );
     }
 }

@@ -81,7 +81,12 @@ impl CpuUnit {
     pub fn tfet_in_basehet(self) -> bool {
         matches!(
             self,
-            CpuUnit::Alu | CpuUnit::IntMulDiv | CpuUnit::Fpu | CpuUnit::Dl1 | CpuUnit::L2 | CpuUnit::L3
+            CpuUnit::Alu
+                | CpuUnit::IntMulDiv
+                | CpuUnit::Fpu
+                | CpuUnit::Dl1
+                | CpuUnit::L2
+                | CpuUnit::L3
         )
     }
 }
@@ -148,11 +153,17 @@ mod tests {
 
     #[test]
     fn basehet_tfet_set_matches_table_ii() {
-        let tfet: Vec<_> = CpuUnit::ALL.iter().filter(|u| u.tfet_in_basehet()).collect();
+        let tfet: Vec<_> = CpuUnit::ALL
+            .iter()
+            .filter(|u| u.tfet_in_basehet())
+            .collect();
         assert_eq!(tfet.len(), 6); // ALU, IntMulDiv, FPU, DL1, L2, L3
         assert!(!CpuUnit::Fetch.tfet_in_basehet(), "front end stays CMOS");
         assert!(!CpuUnit::Il1.tfet_in_basehet(), "IL1 stays CMOS");
-        assert!(!CpuUnit::Dl1Fast.tfet_in_basehet(), "fast way is the CMOS way");
+        assert!(
+            !CpuUnit::Dl1Fast.tfet_in_basehet(),
+            "fast way is the CMOS way"
+        );
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! The content-addressed result cache.
+//!
+//! Two layers, both keyed by [`JobKey`]:
+//!
+//! * an **in-process store** (`HashMap` behind a mutex) that memoizes
+//!   every outcome produced or loaded during this process — repeated
+//!   figures within one `repro` invocation never re-simulate;
+//! * an optional **on-disk layer** (`--cache-dir`): one JSON file per
+//!   key, `<hex-key>.json`, written atomically (temp file + rename) so
+//!   concurrent campaigns sharing a directory never observe torn
+//!   writes. Corrupted, truncated or type-incompatible files are
+//!   treated as misses and re-simulated — a cache can never make a
+//!   campaign wrong, only slow.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::job::JobKey;
+
+/// Counters describing how a cache behaved over some window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the in-process store.
+    pub memory_hits: u64,
+    /// Lookups answered from the on-disk layer.
+    pub disk_hits: u64,
+    /// Lookups that found nothing (the job must run).
+    pub misses: u64,
+    /// Disk files that existed but failed to parse (counted as misses).
+    pub corrupt_files: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.memory_hits + self.disk_hits + self.misses
+    }
+
+    /// Hits (memory + disk).
+    pub fn hits(&self) -> u64 {
+        self.memory_hits + self.disk_hits
+    }
+
+    /// Hit rate in `[0, 1]`; `0` when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// Which cache layer answered a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLayer {
+    /// The in-process store.
+    Memory,
+    /// The on-disk JSON layer.
+    Disk,
+}
+
+/// A two-layer (memory + optional disk) result cache.
+pub struct ResultCache<T> {
+    memory: Mutex<HashMap<JobKey, T>>,
+    dir: Option<PathBuf>,
+    stats: Mutex<CacheStats>,
+}
+
+impl<T: Clone + Serialize + Deserialize> ResultCache<T> {
+    /// An in-process-only cache.
+    pub fn in_memory() -> Self {
+        ResultCache {
+            memory: Mutex::new(HashMap::new()),
+            dir: None,
+            stats: Mutex::default(),
+        }
+    }
+
+    /// A cache backed by `dir` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be
+    /// created.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache {
+            memory: Mutex::new(HashMap::new()),
+            dir: Some(dir),
+            stats: Mutex::default(),
+        })
+    }
+
+    /// The disk path for `key`, if this cache has a disk layer.
+    pub fn path_of(&self, key: JobKey) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.json", key.hex())))
+    }
+
+    /// Looks up `key`, trying memory then disk.
+    pub fn get(&self, key: JobKey) -> Option<T> {
+        self.get_traced(key).map(|(value, _)| value)
+    }
+
+    /// Like [`ResultCache::get`], also reporting which layer answered.
+    pub fn get_traced(&self, key: JobKey) -> Option<(T, CacheLayer)> {
+        if let Some(hit) = self.memory.lock().expect("cache lock").get(&key).cloned() {
+            self.stats.lock().expect("stats lock").memory_hits += 1;
+            return Some((hit, CacheLayer::Memory));
+        }
+        if let Some(path) = self.path_of(key) {
+            match load_json::<T>(&path) {
+                LoadResult::Loaded(value) => {
+                    self.stats.lock().expect("stats lock").disk_hits += 1;
+                    self.memory
+                        .lock()
+                        .expect("cache lock")
+                        .insert(key, value.clone());
+                    return Some((value, CacheLayer::Disk));
+                }
+                LoadResult::Corrupt => {
+                    // A torn or stale file: count it, then fall through
+                    // to a miss so the job re-simulates and overwrites.
+                    let mut stats = self.stats.lock().expect("stats lock");
+                    stats.corrupt_files += 1;
+                }
+                LoadResult::Absent => {}
+            }
+        }
+        self.stats.lock().expect("stats lock").misses += 1;
+        None
+    }
+
+    /// Stores `value` under `key` in both layers.
+    ///
+    /// Disk write failures are swallowed: the cache is an accelerator,
+    /// and a full disk must not fail a campaign that already computed
+    /// its result.
+    pub fn put(&self, key: JobKey, value: &T) {
+        self.memory
+            .lock()
+            .expect("cache lock")
+            .insert(key, value.clone());
+        if let Some(path) = self.path_of(key) {
+            let _ = store_json(&path, value);
+        }
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock().expect("stats lock")
+    }
+
+    /// Resets the counters (e.g. between campaigns sharing a runner).
+    pub fn reset_stats(&self) {
+        *self.stats.lock().expect("stats lock") = CacheStats::default();
+    }
+}
+
+enum LoadResult<T> {
+    Loaded(T),
+    Corrupt,
+    Absent,
+}
+
+fn load_json<T: Deserialize>(path: &Path) -> LoadResult<T> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return LoadResult::Absent,
+        Err(_) => return LoadResult::Corrupt,
+    };
+    match serde_json::from_str::<T>(&text) {
+        Ok(value) => LoadResult::Loaded(value),
+        Err(_) => LoadResult::Corrupt,
+    }
+}
+
+/// Atomic write: temp file in the same directory, then rename.
+fn store_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    let text = serde_json::to_string(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hetsim-runner-cache-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_cache_hits_after_put() {
+        let cache: ResultCache<u64> = ResultCache::in_memory();
+        let key = JobKey::from_bytes(b"k");
+        assert_eq!(cache.get(key), None);
+        cache.put(key, &99);
+        assert_eq!(cache.get(key), Some(99));
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.memory_hits), (1, 1));
+    }
+
+    #[test]
+    fn disk_cache_survives_process_boundaries() {
+        let dir = tmp_dir("persist");
+        let key = JobKey::from_bytes(b"persisted");
+        {
+            let cache: ResultCache<Vec<f64>> = ResultCache::on_disk(&dir).expect("mkdir");
+            cache.put(key, &vec![1.5, 2.5]);
+        }
+        // A fresh cache (fresh memory layer) must load from disk.
+        let cache: ResultCache<Vec<f64>> = ResultCache::on_disk(&dir).expect("mkdir");
+        assert_eq!(cache.get(key), Some(vec![1.5, 2.5]));
+        assert_eq!(cache.stats().disk_hits, 1);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn corrupted_file_is_a_counted_miss() {
+        let dir = tmp_dir("corrupt");
+        let cache: ResultCache<Vec<f64>> = ResultCache::on_disk(&dir).expect("mkdir");
+        let key = JobKey::from_bytes(b"torn");
+        std::fs::write(cache.path_of(key).expect("disk layer"), "[1.5, 2.").expect("write");
+        assert_eq!(cache.get(key), None);
+        let stats = cache.stats();
+        assert_eq!((stats.corrupt_files, stats.misses), (1, 1));
+        // Re-simulation overwrites the torn file and the cache heals.
+        cache.put(key, &vec![3.0]);
+        assert_eq!(cache.get(key), Some(vec![3.0]));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn hit_rate_is_well_defined() {
+        let empty = CacheStats::default();
+        assert_eq!(empty.hit_rate(), 0.0);
+        let half = CacheStats {
+            memory_hits: 1,
+            disk_hits: 1,
+            misses: 2,
+            corrupt_files: 0,
+        };
+        assert!((half.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,242 @@
+//! Structured progress and throughput events.
+//!
+//! The runner narrates a campaign through a [`ProgressSink`]: batch
+//! start, per-job completion (with cache provenance), and a final
+//! [`RunnerStats`] summary carrying the cache hit rate and the
+//! simulated-seconds-per-wall-second throughput metric. Sinks must be
+//! `Send + Sync` — completion events arrive from worker threads.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::cache::CacheStats;
+
+/// How a job's outcome was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Freshly simulated on a worker.
+    Executed,
+    /// Answered from the in-process store.
+    MemoryCache,
+    /// Answered from the on-disk cache.
+    DiskCache,
+}
+
+/// One progress event.
+#[derive(Debug, Clone)]
+pub enum ProgressEvent {
+    /// A batch was submitted: `total` jobs, `workers` threads.
+    BatchStarted {
+        /// Jobs in the batch.
+        total: usize,
+        /// Worker threads executing it.
+        workers: usize,
+    },
+    /// A job started executing on a worker (cache misses only).
+    JobStarted {
+        /// Index of the job in the batch.
+        index: usize,
+        /// The job's label.
+        label: String,
+    },
+    /// A job finished (by execution or cache hit).
+    JobFinished {
+        /// Index of the job in the batch.
+        index: usize,
+        /// The job's label.
+        label: String,
+        /// How the outcome was obtained.
+        provenance: Provenance,
+        /// Jobs finished so far, including this one.
+        done: usize,
+        /// Jobs in the batch.
+        total: usize,
+    },
+    /// The batch completed.
+    BatchFinished {
+        /// Summary counters for the batch.
+        stats: RunnerStats,
+    },
+}
+
+/// Summary counters for one batch (or a whole campaign).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunnerStats {
+    /// Jobs submitted.
+    pub jobs: u64,
+    /// Jobs actually simulated (cache misses).
+    pub executed: u64,
+    /// Jobs answered by either cache layer.
+    pub cache_hits: u64,
+    /// Cache-layer detail.
+    pub cache: CacheStats,
+    /// Simulated seconds covered by the batch's outcomes.
+    pub sim_seconds: f64,
+    /// Wall-clock time the batch took.
+    pub wall: Duration,
+}
+
+impl RunnerStats {
+    /// Cache hit rate over the batch in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.jobs as f64
+        }
+    }
+
+    /// Simulated seconds per wall-clock second (the runner's
+    /// throughput metric); `0` for an instantaneous batch.
+    pub fn sim_seconds_per_wall_second(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            self.sim_seconds / wall
+        } else {
+            0.0
+        }
+    }
+
+    /// Folds another batch's counters into this one.
+    pub fn merge(&mut self, other: &RunnerStats) {
+        self.jobs += other.jobs;
+        self.executed += other.executed;
+        self.cache_hits += other.cache_hits;
+        self.cache.memory_hits += other.cache.memory_hits;
+        self.cache.disk_hits += other.cache.disk_hits;
+        self.cache.misses += other.cache.misses;
+        self.cache.corrupt_files += other.cache.corrupt_files;
+        self.sim_seconds += other.sim_seconds;
+        self.wall += other.wall;
+    }
+}
+
+/// A consumer of progress events.
+pub trait ProgressSink: Send + Sync {
+    /// Receives one event. Called from worker threads; implementations
+    /// should be quick and must not panic.
+    fn event(&self, event: &ProgressEvent);
+}
+
+/// Discards every event (the default sink).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl ProgressSink for NullSink {
+    fn event(&self, _event: &ProgressEvent) {}
+}
+
+/// Renders events as single-line updates on stderr (the `repro
+/// --progress` sink). Uses a mutex so concurrent completions never
+/// interleave half-lines.
+#[derive(Debug, Default)]
+pub struct StderrSink {
+    lock: Mutex<()>,
+}
+
+impl ProgressSink for StderrSink {
+    fn event(&self, event: &ProgressEvent) {
+        let _guard = self.lock.lock().expect("stderr sink lock");
+        match event {
+            ProgressEvent::BatchStarted { total, workers } => {
+                eprintln!("[runner] {total} jobs on {workers} worker(s)");
+            }
+            ProgressEvent::JobStarted { .. } => {}
+            ProgressEvent::JobFinished {
+                label,
+                provenance,
+                done,
+                total,
+                ..
+            } => {
+                let tag = match provenance {
+                    Provenance::Executed => "ran",
+                    Provenance::MemoryCache => "mem",
+                    Provenance::DiskCache => "disk",
+                };
+                eprintln!("[runner] {done}/{total} {label} ({tag})");
+            }
+            ProgressEvent::BatchFinished { stats } => {
+                eprintln!(
+                    "[runner] done: {} jobs, {} executed, {} cached ({:.0}% hit rate), \
+                     {:.2} sim-ms in {:.2} s wall ({:.1} sim-ms/s)",
+                    stats.jobs,
+                    stats.executed,
+                    stats.cache_hits,
+                    stats.hit_rate() * 100.0,
+                    stats.sim_seconds * 1e3,
+                    stats.wall.as_secs_f64(),
+                    stats.sim_seconds_per_wall_second() * 1e3,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_throughput_handle_zero_denominators() {
+        let stats = RunnerStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        assert_eq!(stats.sim_seconds_per_wall_second(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_all_counters() {
+        let mut a = RunnerStats {
+            jobs: 2,
+            executed: 1,
+            cache_hits: 1,
+            cache: CacheStats {
+                memory_hits: 1,
+                disk_hits: 0,
+                misses: 1,
+                corrupt_files: 0,
+            },
+            sim_seconds: 0.5,
+            wall: Duration::from_secs(1),
+        };
+        let b = RunnerStats {
+            jobs: 3,
+            executed: 3,
+            cache_hits: 0,
+            cache: CacheStats {
+                memory_hits: 0,
+                disk_hits: 0,
+                misses: 3,
+                corrupt_files: 1,
+            },
+            sim_seconds: 1.5,
+            wall: Duration::from_secs(2),
+        };
+        a.merge(&b);
+        assert_eq!(a.jobs, 5);
+        assert_eq!(a.executed, 4);
+        assert_eq!(a.cache.misses, 4);
+        assert_eq!(a.cache.corrupt_files, 1);
+        assert!((a.sim_seconds - 2.0).abs() < 1e-12);
+        assert_eq!(a.wall, Duration::from_secs(3));
+    }
+
+    #[test]
+    fn stderr_sink_formats_without_panicking() {
+        let sink = StderrSink::default();
+        sink.event(&ProgressEvent::BatchStarted {
+            total: 2,
+            workers: 2,
+        });
+        sink.event(&ProgressEvent::JobFinished {
+            index: 0,
+            label: "lu/AdvHet".into(),
+            provenance: Provenance::DiskCache,
+            done: 1,
+            total: 2,
+        });
+        sink.event(&ProgressEvent::BatchFinished {
+            stats: RunnerStats::default(),
+        });
+    }
+}

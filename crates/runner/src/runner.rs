@@ -1,0 +1,311 @@
+//! The [`Runner`]: cache lookup, pool dispatch, deterministic merge.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CacheLayer, ResultCache};
+use crate::job::Job;
+use crate::pool::{run_batch, Task};
+use crate::progress::{NullSink, ProgressEvent, ProgressSink, Provenance, RunnerStats};
+use crate::SimMetrics;
+
+/// The campaign-execution engine: a worker count, a result cache and a
+/// progress sink.
+///
+/// A batch of [`Job`]s submitted through [`Runner::run`] is answered in
+/// three steps:
+///
+/// 1. **lookup** — every key is probed in the cache (memory, then
+///    disk); hits fill their result slot immediately and emit a
+///    `JobFinished` event with cache provenance;
+/// 2. **execute** — the remaining misses run on the work-stealing pool
+///    ([`run_batch`]), each storing its outcome back into the cache;
+/// 3. **merge** — results are returned in submission order, so the
+///    output is independent of worker count and scheduling.
+///
+/// The runner keeps cumulative [`RunnerStats`] across batches (a
+/// campaign is usually several figures' worth of batches on one
+/// runner).
+pub struct Runner<T> {
+    workers: usize,
+    cache: ResultCache<T>,
+    sink: Arc<dyn ProgressSink>,
+    total: Mutex<RunnerStats>,
+    last: Mutex<RunnerStats>,
+}
+
+impl<T> Runner<T>
+where
+    T: Clone + Send + Serialize + Deserialize + SimMetrics,
+{
+    /// A runner with `workers` threads (clamped to at least 1) and an
+    /// in-memory cache.
+    pub fn new(workers: usize) -> Self {
+        Runner {
+            workers: workers.max(1),
+            cache: ResultCache::in_memory(),
+            sink: Arc::new(NullSink),
+            total: Mutex::default(),
+            last: Mutex::default(),
+        }
+    }
+
+    /// A single-threaded runner — the reference execution order.
+    pub fn serial() -> Self {
+        Runner::new(1)
+    }
+
+    /// A runner sized by `std::thread::available_parallelism` (1 if
+    /// that cannot be determined).
+    pub fn parallel() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Runner::new(workers)
+    }
+
+    /// Adds an on-disk cache layer rooted at `dir` (created if
+    /// missing). Results already memoized in memory are kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be
+    /// created.
+    pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        self.cache = ResultCache::on_disk(dir)?;
+        Ok(self)
+    }
+
+    /// Replaces the progress sink.
+    pub fn with_sink(mut self, sink: Arc<dyn ProgressSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// The worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs a batch, returning outcomes in submission order.
+    pub fn run(&self, jobs: Vec<Job<T>>) -> Vec<T> {
+        let started = Instant::now();
+        let n = jobs.len();
+        self.cache.reset_stats();
+        self.sink.event(&ProgressEvent::BatchStarted {
+            total: n,
+            workers: self.workers,
+        });
+
+        // Step 1: probe the cache for every job, in submission order.
+        let done = AtomicUsize::new(0);
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        let mut misses: Vec<(usize, Job<T>)> = Vec::new();
+        for (index, job) in jobs.into_iter().enumerate() {
+            match self.cache.get_traced(job.key) {
+                Some((value, layer)) => {
+                    let provenance = match layer {
+                        CacheLayer::Memory => Provenance::MemoryCache,
+                        CacheLayer::Disk => Provenance::DiskCache,
+                    };
+                    self.sink.event(&ProgressEvent::JobFinished {
+                        index,
+                        label: job.label,
+                        provenance,
+                        done: done.fetch_add(1, Ordering::SeqCst) + 1,
+                        total: n,
+                    });
+                    slots.push(Some(value));
+                }
+                None => {
+                    slots.push(None);
+                    misses.push((index, job));
+                }
+            }
+        }
+
+        // Step 2: execute the misses on the pool. Each task announces
+        // itself, simulates, stores the outcome, and reports.
+        let executed = misses.len() as u64;
+        let cache = &self.cache;
+        let sink = &self.sink;
+        let done = &done;
+        let tasks: Vec<Task<'_, (usize, T)>> = misses
+            .into_iter()
+            .map(|(index, job)| {
+                let Job { key, label, run } = job;
+                Box::new(move || {
+                    sink.event(&ProgressEvent::JobStarted {
+                        index,
+                        label: label.clone(),
+                    });
+                    let value = run();
+                    cache.put(key, &value);
+                    sink.event(&ProgressEvent::JobFinished {
+                        index,
+                        label,
+                        provenance: Provenance::Executed,
+                        done: done.fetch_add(1, Ordering::SeqCst) + 1,
+                        total: n,
+                    });
+                    (index, value)
+                }) as Task<'_, (usize, T)>
+            })
+            .collect();
+        for (index, value) in run_batch(self.workers, tasks) {
+            slots[index] = Some(value);
+        }
+
+        // Step 3: merge by submission index.
+        let results: Vec<T> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or_else(|| panic!("job {i} produced no outcome")))
+            .collect();
+
+        let stats = RunnerStats {
+            jobs: n as u64,
+            executed,
+            cache_hits: n as u64 - executed,
+            cache: self.cache.stats(),
+            sim_seconds: results.iter().map(SimMetrics::sim_seconds).sum(),
+            wall: started.elapsed(),
+        };
+        self.sink.event(&ProgressEvent::BatchFinished { stats });
+        *self.last.lock().expect("stats lock") = stats;
+        self.total.lock().expect("stats lock").merge(&stats);
+        results
+    }
+
+    /// Counters for the most recent batch.
+    pub fn last_stats(&self) -> RunnerStats {
+        *self.last.lock().expect("stats lock")
+    }
+
+    /// Cumulative counters across every batch this runner has run.
+    pub fn total_stats(&self) -> RunnerStats {
+        *self.total.lock().expect("stats lock")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Out(f64);
+
+    impl Serialize for Out {
+        fn to_value(&self) -> serde::value::Value {
+            self.0.to_value()
+        }
+    }
+
+    impl Deserialize for Out {
+        fn from_value(v: &serde::value::Value) -> Result<Self, serde::Error> {
+            f64::from_value(v).map(Out)
+        }
+    }
+
+    impl SimMetrics for Out {
+        fn sim_seconds(&self) -> f64 {
+            self.0
+        }
+    }
+
+    fn batch(counter: &'static AtomicU64, n: u64) -> Vec<Job<Out>> {
+        (0..n)
+            .map(|i| {
+                Job::keyed(&("test-v1", i), format!("job{i}"), move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    Out(i as f64)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_agree() {
+        static RUNS: AtomicU64 = AtomicU64::new(0);
+        let serial = Runner::serial().run(batch(&RUNS, 31));
+        let parallel = Runner::new(8).run(batch(&RUNS, 31));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn second_batch_is_answered_from_memory() {
+        static RUNS: AtomicU64 = AtomicU64::new(0);
+        let runner = Runner::new(4);
+        runner.run(batch(&RUNS, 10));
+        assert_eq!(RUNS.load(Ordering::SeqCst), 10);
+        runner.run(batch(&RUNS, 10));
+        assert_eq!(
+            RUNS.load(Ordering::SeqCst),
+            10,
+            "warm batch must execute nothing"
+        );
+        let last = runner.last_stats();
+        assert_eq!((last.executed, last.cache_hits), (0, 10));
+        assert_eq!(last.cache.memory_hits, 10);
+        assert!((last.hit_rate() - 1.0).abs() < 1e-12);
+        let total = runner.total_stats();
+        assert_eq!((total.jobs, total.executed), (20, 10));
+    }
+
+    #[test]
+    fn disk_cache_feeds_a_fresh_runner() {
+        static RUNS: AtomicU64 = AtomicU64::new(0);
+        let dir =
+            std::env::temp_dir().join(format!("hetsim-runner-runner-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = Runner::new(2).with_cache_dir(&dir).expect("cache dir");
+        let a = cold.run(batch(&RUNS, 6));
+        assert_eq!(RUNS.load(Ordering::SeqCst), 6);
+        let warm = Runner::new(2).with_cache_dir(&dir).expect("cache dir");
+        let b = warm.run(batch(&RUNS, 6));
+        assert_eq!(
+            RUNS.load(Ordering::SeqCst),
+            6,
+            "disk-warm batch must execute nothing"
+        );
+        assert_eq!(a, b);
+        assert_eq!(warm.last_stats().cache.disk_hits, 6);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn progress_events_cover_every_job() {
+        struct Counting(AtomicU64, AtomicU64);
+        impl ProgressSink for Counting {
+            fn event(&self, event: &ProgressEvent) {
+                match event {
+                    ProgressEvent::JobFinished { .. } => {
+                        self.0.fetch_add(1, Ordering::SeqCst);
+                    }
+                    ProgressEvent::BatchFinished { .. } => {
+                        self.1.fetch_add(1, Ordering::SeqCst);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        static RUNS: AtomicU64 = AtomicU64::new(0);
+        let sink = Arc::new(Counting(AtomicU64::new(0), AtomicU64::new(0)));
+        let runner = Runner::new(4).with_sink(sink.clone());
+        runner.run(batch(&RUNS, 12));
+        assert_eq!(sink.0.load(Ordering::SeqCst), 12);
+        assert_eq!(sink.1.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn sim_seconds_accumulate_in_stats() {
+        static RUNS: AtomicU64 = AtomicU64::new(0);
+        let runner = Runner::serial();
+        runner.run(batch(&RUNS, 4)); // outcomes 0.0 + 1.0 + 2.0 + 3.0
+        assert!((runner.last_stats().sim_seconds - 6.0).abs() < 1e-12);
+    }
+}

@@ -69,7 +69,14 @@ impl AddressGenerator {
     pub fn new(behavior: MemoryBehavior, base: u64) -> Self {
         behavior.validate().expect("valid memory behavior");
         let block_bytes = BLOCK_BYTES.min(behavior.working_set_bytes);
-        AddressGenerator { behavior, base, seq_cursor: 0, block_base: 0, block_bytes, pass: 0 }
+        AddressGenerator {
+            behavior,
+            base,
+            seq_cursor: 0,
+            block_base: 0,
+            block_bytes,
+            pass: 0,
+        }
     }
 
     /// Generates the next data address.
@@ -91,7 +98,8 @@ impl AddressGenerator {
         } else if r < self.behavior.spatial + (1.0 - self.behavior.spatial) * self.behavior.temporal
         {
             // Hot-region access.
-            let off = rng.gen_range(0..self.behavior.hot_region_bytes / ACCESS_BYTES) * ACCESS_BYTES;
+            let off =
+                rng.gen_range(0..self.behavior.hot_region_bytes / ACCESS_BYTES) * ACCESS_BYTES;
             self.base + off
         } else if rng.gen_bool(MEDIUM_REGION_SHARE) {
             // Irregular access to medium-locality data (index structures,
@@ -151,7 +159,10 @@ mod tests {
             }
             prev = a;
         }
-        assert!(sequential as f64 / n as f64 > 0.85, "sequential {sequential}/{n}");
+        assert!(
+            sequential as f64 / n as f64 > 0.85,
+            "sequential {sequential}/{n}"
+        );
     }
 
     #[test]
@@ -176,9 +187,7 @@ mod tests {
         let mut g = AddressGenerator::new(behavior(0.0, 0.9), 0);
         let mut rng = StdRng::seed_from_u64(3);
         let n = 10_000;
-        let hot = (0..n)
-            .filter(|_| g.next_addr(&mut rng) < 4096)
-            .count();
+        let hot = (0..n).filter(|_| g.next_addr(&mut rng) < 4096).count();
         assert!(hot as f64 / n as f64 > 0.8, "hot {hot}/{n}");
     }
 

@@ -47,7 +47,12 @@ const fn mk(
             temporal,
             hot_region_bytes: 8 * KB,
         },
-        branches: BranchBehavior { sites: 128, bias, loop_fraction, loop_period },
+        branches: BranchBehavior {
+            sites: 128,
+            bias,
+            loop_fraction,
+            loop_period,
+        },
         parallel_fraction,
         default_length: FULL_RUN,
     }
@@ -65,7 +70,17 @@ const fn mix(
     store: f64,
     branch: f64,
 ) -> InstMix {
-    InstMix { int_alu, int_mul, int_div, fp_add, fp_mul, fp_div, load, store, branch }
+    InstMix {
+        int_alu,
+        int_mul,
+        int_div,
+        fp_add,
+        fp_mul,
+        fp_div,
+        load,
+        store,
+        branch,
+    }
 }
 
 /// The fourteen named application profiles, in the paper's order.
@@ -302,7 +317,12 @@ mod tests {
     #[test]
     fn mixes_sum_to_one() {
         for p in all() {
-            assert!((p.mix.total() - 1.0).abs() < 1e-9, "{} sums to {}", p.name, p.mix.total());
+            assert!(
+                (p.mix.total() - 1.0).abs() < 1e-9,
+                "{} sums to {}",
+                p.name,
+                p.mix.total()
+            );
         }
     }
 

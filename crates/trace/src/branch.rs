@@ -61,11 +61,18 @@ impl BranchModel {
                 if rng.gen_bool(behavior.loop_fraction) {
                     SiteState::Loop { count: 0 }
                 } else {
-                    SiteState::Biased { taken_dominant: rng.gen_bool(0.5) }
+                    SiteState::Biased {
+                        taken_dominant: rng.gen_bool(0.5),
+                    }
                 }
             })
             .collect();
-        BranchModel { behavior, sites, cursor: 0, call_depth: 0 }
+        BranchModel {
+            behavior,
+            sites,
+            cursor: 0,
+            call_depth: 0,
+        }
     }
 
     /// Generates the next dynamic branch instance.
@@ -84,7 +91,12 @@ impl BranchModel {
         if self.call_depth < 24 && rng.gen_bool(CALL_RETURN_FRACTION) {
             let pc = CODE_BASE + 0xE000 + u64::from(self.call_depth) * 4;
             self.call_depth += 1;
-            return BranchInfo { pc, taken: true, is_call: true, is_return: false };
+            return BranchInfo {
+                pc,
+                taken: true,
+                is_call: true,
+                is_return: false,
+            };
         }
 
         let idx = self.cursor;
@@ -109,7 +121,12 @@ impl BranchModel {
                 }
             }
         };
-        BranchInfo { pc, taken, is_call: false, is_return: false }
+        BranchInfo {
+            pc,
+            taken,
+            is_call: false,
+            is_return: false,
+        }
     }
 }
 
@@ -119,14 +136,24 @@ mod tests {
     use rand::SeedableRng;
 
     fn behavior() -> BranchBehavior {
-        BranchBehavior { sites: 32, bias: 0.95, loop_fraction: 0.5, loop_period: 10 }
+        BranchBehavior {
+            sites: 32,
+            bias: 0.95,
+            loop_fraction: 0.5,
+            loop_period: 10,
+        }
     }
 
     #[test]
     fn loop_sites_follow_period() {
         let mut rng = StdRng::seed_from_u64(11);
         let mut m = BranchModel::new(
-            BranchBehavior { sites: 1, bias: 0.95, loop_fraction: 1.0, loop_period: 4 },
+            BranchBehavior {
+                sites: 1,
+                bias: 0.95,
+                loop_fraction: 1.0,
+                loop_period: 4,
+            },
             &mut rng,
         );
         // Collect outcomes of the single (loop) site, skipping call/returns.
@@ -137,14 +164,22 @@ mod tests {
                 outcomes.push(b.taken);
             }
         }
-        assert_eq!(outcomes, vec![true, true, true, false, true, true, true, false]);
+        assert_eq!(
+            outcomes,
+            vec![true, true, true, false, true, true, true, false]
+        );
     }
 
     #[test]
     fn biased_sites_follow_dominant_direction() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut m = BranchModel::new(
-            BranchBehavior { sites: 8, bias: 0.9, loop_fraction: 0.0, loop_period: 10 },
+            BranchBehavior {
+                sites: 8,
+                bias: 0.9,
+                loop_fraction: 0.0,
+                loop_period: 10,
+            },
             &mut rng,
         );
         // Per-site dominant-direction agreement should be ~bias.
@@ -194,7 +229,9 @@ mod tests {
         let gen = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut m = BranchModel::new(behavior(), &mut rng);
-            (0..1000).map(|_| m.next_branch(&mut rng)).collect::<Vec<_>>()
+            (0..1000)
+                .map(|_| m.next_branch(&mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(gen(42), gen(42));
         assert_ne!(gen(42), gen(43));

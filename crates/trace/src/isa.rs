@@ -95,7 +95,13 @@ pub struct Inst {
 impl Inst {
     /// A dependency-free instruction of class `op`.
     pub fn simple(op: OpClass) -> Self {
-        Inst { op, src1_dist: None, src2_dist: None, addr: None, branch: None }
+        Inst {
+            op,
+            src1_dist: None,
+            src2_dist: None,
+            addr: None,
+            branch: None,
+        }
     }
 
     /// Iterator over the producer distances that are present.

@@ -132,10 +132,16 @@ impl BranchBehavior {
             return Err("need at least one branch site".to_string());
         }
         if !(0.5..=1.0).contains(&self.bias) {
-            return Err(format!("bias is a dominant-direction probability in [0.5,1]: {}", self.bias));
+            return Err(format!(
+                "bias is a dominant-direction probability in [0.5,1]: {}",
+                self.bias
+            ));
         }
         if !(0.0..=1.0).contains(&self.loop_fraction) {
-            return Err(format!("loop fraction must be in [0,1]: {}", self.loop_fraction));
+            return Err(format!(
+                "loop fraction must be in [0,1]: {}",
+                self.loop_fraction
+            ));
         }
         if self.loop_period < 2 {
             return Err("loop period must be at least 2".to_string());
@@ -177,10 +183,16 @@ impl WorkloadProfile {
         self.memory.validate()?;
         self.branches.validate()?;
         if self.mean_dep_distance < 1.0 || self.mean_dep_distance.is_nan() {
-            return Err(format!("mean dependency distance must be >= 1: {}", self.mean_dep_distance));
+            return Err(format!(
+                "mean dependency distance must be >= 1: {}",
+                self.mean_dep_distance
+            ));
         }
         if !(0.0..=1.0).contains(&self.parallel_fraction) {
-            return Err(format!("parallel fraction must be in [0,1]: {}", self.parallel_fraction));
+            return Err(format!(
+                "parallel fraction must be in [0,1]: {}",
+                self.parallel_fraction
+            ));
         }
         if self.default_length == 0 {
             return Err("default length must be positive".to_string());
@@ -215,7 +227,12 @@ mod tests {
                 temporal: 0.3,
                 hot_region_bytes: 4096,
             },
-            branches: BranchBehavior { sites: 64, bias: 0.95, loop_fraction: 0.4, loop_period: 16 },
+            branches: BranchBehavior {
+                sites: 64,
+                bias: 0.95,
+                loop_fraction: 0.4,
+                loop_period: 16,
+            },
             parallel_fraction: 0.95,
             default_length: 100_000,
         }

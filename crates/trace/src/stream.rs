@@ -152,8 +152,7 @@ impl TraceGenerator {
             .wrapping_add(u64::from(thread).wrapping_mul(0xBF58_476D_1CE4_E5B9));
         let mut rng = StdRng::seed_from_u64(thread_seed);
         let branches = BranchModel::new(profile.branches, &mut rng);
-        let addr =
-            AddressGenerator::new(profile.memory, u64::from(thread) * THREAD_ADDRESS_STRIDE);
+        let addr = AddressGenerator::new(profile.memory, u64::from(thread) * THREAD_ADDRESS_STRIDE);
         let k = profile.mean_dep_distance;
         let int_chains = ((k / 2.5).round() as usize).clamp(1, 5);
         let fp_chains = ((k * 3.0).round() as usize).clamp(8, 24);
@@ -237,8 +236,7 @@ impl Iterator for TraceGenerator {
         match op {
             OpClass::Load => {
                 inst.addr = Some(self.addr.next_addr(&mut self.rng));
-                if self.rng.gen_bool(SPILL_RELOAD_PROB) || self.rng.gen_bool(self.addr_dependence)
-                {
+                if self.rng.gen_bool(SPILL_RELOAD_PROB) || self.rng.gen_bool(self.addr_dependence) {
                     // Spill reload or pointer chase: the spine value
                     // round-trips through memory — the load reads and
                     // extends an integer chain, so the DL1 round trip
@@ -260,8 +258,11 @@ impl Iterator for TraceGenerator {
                 // Data value from an FP or integer chain; address off the
                 // spine. Stores terminate a value's life and extend no
                 // chain.
-                inst.src1_dist =
-                    if self.rng.gen_bool(0.5) { self.fp_src() } else { self.int_src() };
+                inst.src1_dist = if self.rng.gen_bool(0.5) {
+                    self.fp_src()
+                } else {
+                    self.int_src()
+                };
                 if self.rng.gen_bool(self.addr_dependence) {
                     inst.src2_dist = self.int_src();
                 }
@@ -335,10 +336,22 @@ mod tests {
 
     #[test]
     fn threads_use_disjoint_address_regions() {
-        let t0: Vec<_> = TraceGenerator::for_thread(&fft(), 1, 0).take(2000).collect();
-        let t1: Vec<_> = TraceGenerator::for_thread(&fft(), 1, 1).take(2000).collect();
-        let max0 = t0.iter().filter_map(|i| i.addr).max().expect("some mem ops");
-        let min1 = t1.iter().filter_map(|i| i.addr).min().expect("some mem ops");
+        let t0: Vec<_> = TraceGenerator::for_thread(&fft(), 1, 0)
+            .take(2000)
+            .collect();
+        let t1: Vec<_> = TraceGenerator::for_thread(&fft(), 1, 1)
+            .take(2000)
+            .collect();
+        let max0 = t0
+            .iter()
+            .filter_map(|i| i.addr)
+            .max()
+            .expect("some mem ops");
+        let min1 = t1
+            .iter()
+            .filter_map(|i| i.addr)
+            .min()
+            .expect("some mem ops");
         assert!(max0 < THREAD_ADDRESS_STRIDE);
         assert!(min1 >= THREAD_ADDRESS_STRIDE);
     }
@@ -348,9 +361,7 @@ mod tests {
         let profile = fft();
         let n = 100_000;
         let trace: Vec<_> = TraceGenerator::new(&profile, 3).take(n).collect();
-        let frac = |op: OpClass| {
-            trace.iter().filter(|i| i.op == op).count() as f64 / n as f64
-        };
+        let frac = |op: OpClass| trace.iter().filter(|i| i.op == op).count() as f64 / n as f64;
         assert!((frac(OpClass::Load) - profile.mix.load).abs() < 0.01);
         assert!((frac(OpClass::Branch) - profile.mix.branch).abs() < 0.01);
         let fp = frac(OpClass::FpAdd) + frac(OpClass::FpMul) + frac(OpClass::FpDiv);

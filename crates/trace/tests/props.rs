@@ -8,16 +8,16 @@ use hetsim_trace::{apps, OpClass};
 
 fn arbitrary_profile() -> impl Strategy<Value = WorkloadProfile> {
     (
-        1.0f64..16.0,          // mean_dep_distance
-        0.0f64..1.0,           // spatial
-        0.0f64..1.0,           // temporal
-        0.5f64..1.0,           // bias
-        0.0f64..1.0,           // loop fraction
-        2u32..64,              // loop period
-        16u64..(4 << 20),      // working set
+        1.0f64..16.0,     // mean_dep_distance
+        0.0f64..1.0,      // spatial
+        0.0f64..1.0,      // temporal
+        0.5f64..1.0,      // bias
+        0.0f64..1.0,      // loop fraction
+        2u32..64,         // loop period
+        16u64..(4 << 20), // working set
     )
-        .prop_map(|(k, spatial, temporal, bias, loop_fraction, loop_period, ws)| {
-            WorkloadProfile {
+        .prop_map(
+            |(k, spatial, temporal, bias, loop_fraction, loop_period, ws)| WorkloadProfile {
                 name: "prop",
                 suite: "prop",
                 mix: InstMix {
@@ -37,12 +37,17 @@ fn arbitrary_profile() -> impl Strategy<Value = WorkloadProfile> {
                     spatial,
                     temporal,
                     hot_region_bytes: 8 * 1024,
-                    },
-                branches: BranchBehavior { sites: 64, bias, loop_fraction, loop_period },
+                },
+                branches: BranchBehavior {
+                    sites: 64,
+                    bias,
+                    loop_fraction,
+                    loop_period,
+                },
                 parallel_fraction: 0.9,
                 default_length: 10_000,
-            }
-        })
+            },
+        )
 }
 
 proptest! {

@@ -1,0 +1,410 @@
+//! Offline drop-in subset of the `serde` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small serialization framework under the `serde` name. It
+//! keeps the parts this repository uses — `#[derive(Serialize,
+//! Deserialize)]` on plain structs and unit-variant enums, and the
+//! `serde_json` string functions — while replacing serde's
+//! visitor-based data model with a much simpler one: every type
+//! converts to and from a tree of [`value::Value`] nodes.
+//!
+//! The derive macros (re-exported from `serde_derive` under the
+//! `derive` feature, like upstream) generate `to_value`/`from_value`
+//! implementations: structs map to objects with one entry per field in
+//! declaration order, unit enums map to their variant name as a string.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree all (de)serialization goes through.
+pub mod value {
+    /// A JSON-shaped value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// A negative or small signed integer.
+        Int(i64),
+        /// A non-negative integer.
+        UInt(u64),
+        /// A floating-point number.
+        Float(f64),
+        /// A string.
+        Str(String),
+        /// An ordered sequence.
+        Array(Vec<Value>),
+        /// An ordered map (insertion order preserved, so output is
+        /// deterministic).
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The entries of an object, if this is one.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(entries) => Some(entries),
+                _ => None,
+            }
+        }
+
+        /// The elements of an array, if this is one.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The string contents, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// A numeric view, accepting any of the three number shapes.
+        pub fn as_f64(&self) -> Option<f64> {
+            match *self {
+                Value::Int(v) => Some(v as f64),
+                Value::UInt(v) => Some(v as f64),
+                Value::Float(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// A non-negative integer view.
+        pub fn as_u64(&self) -> Option<u64> {
+            match *self {
+                Value::UInt(v) => Some(v),
+                Value::Int(v) if v >= 0 => Some(v as u64),
+                _ => None,
+            }
+        }
+
+        /// A signed integer view.
+        pub fn as_i64(&self) -> Option<i64> {
+            match *self {
+                Value::Int(v) => Some(v),
+                Value::UInt(v) => i64::try_from(v).ok(),
+                _ => None,
+            }
+        }
+
+        /// The boolean, if this is one.
+        pub fn as_bool(&self) -> Option<bool> {
+            match *self {
+                Value::Bool(b) => Some(b),
+                _ => None,
+            }
+        }
+
+        /// Looks up an object field by key.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object()?
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+        }
+    }
+}
+
+use value::Value;
+
+/// A (de)serialization error: a message describing the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ----------------------------------------------------------------------
+// Primitive impls.
+// ----------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, got {v:?}")))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(format!("expected unsigned int, got {v:?}")))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let raw = v
+            .as_u64()
+            .ok_or_else(|| Error::custom(format!("expected unsigned int, got {v:?}")))?;
+        usize::try_from(raw).map_err(|_| Error::custom(format!("{raw} out of range for usize")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = i64::from(*self);
+                if wide >= 0 { Value::UInt(wide as u64) } else { Value::Int(wide) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!("expected int, got {v:?}")))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| Error::custom(format!("expected array, got {v:?}")))?;
+                let want = 0usize $(+ { let _ = $idx; 1 })+;
+                if items.len() != want {
+                    return Err(Error::custom(format!(
+                        "expected {want}-tuple, got {} elements", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+/// Support machinery for the derive macros — not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Looks up and deserializes one struct field.
+    pub fn field<T: Deserialize>(v: &Value, name: &str, ty: &str) -> Result<T, Error> {
+        let entry = v
+            .get(name)
+            .ok_or_else(|| Error::custom(format!("missing field `{name}` for {ty}")))?;
+        T::from_value(entry).map_err(|e| Error::custom(format!("field `{name}` of {ty}: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::value::Value;
+    use super::{Deserialize, Serialize};
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).expect("u64"), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).expect("f64"), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).expect("string"),
+            "hi"
+        );
+        assert!(bool::from_value(&true.to_value()).expect("bool"));
+    }
+
+    #[test]
+    fn nested_containers_round_trip() {
+        let rows: Vec<(String, Vec<f64>)> =
+            vec![("a".into(), vec![1.0, 2.0]), ("b".into(), vec![3.0])];
+        let back = Vec::<(String, Vec<f64>)>::from_value(&rows.to_value()).expect("round trip");
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn option_uses_null() {
+        let none: Option<u32> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).expect("null"), None);
+        assert_eq!(
+            Option::<u32>::from_value(&Value::UInt(3)).expect("some"),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn type_mismatch_reports_error() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(Vec::<f64>::from_value(&Value::Bool(true)).is_err());
+    }
+}

@@ -40,7 +40,11 @@ fn main() {
                 AsymHit::Slow => slow += 1,
                 AsymHit::Miss => miss += 1,
             }
-            asym_cycles += if out.hit == AsymHit::Miss { MISS_COST } else { u64::from(out.latency) };
+            asym_cycles += if out.hit == AsymHit::Miss {
+                MISS_COST
+            } else {
+                u64::from(out.latency)
+            };
 
             let c = cmos.access(addr, is_write);
             cmos_cycles += if c.hit { 2 } else { MISS_COST };

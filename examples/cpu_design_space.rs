@@ -16,7 +16,10 @@ fn main() {
 
     for app_name in apps {
         let app = apps::profile(app_name).expect("known app");
-        println!("== {} (4-core chips, {} total instructions) ==", app.name, insts);
+        println!(
+            "== {} (4-core chips, {} total instructions) ==",
+            app.name, insts
+        );
         println!(
             "{:<16} {:>10} {:>10} {:>10} {:>10}",
             "design", "time", "energy", "ED", "ED^2"

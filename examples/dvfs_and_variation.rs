@@ -25,7 +25,10 @@ fn main() {
     );
 
     println!("Paired DVFS operating points (TFET rail targets f/2):");
-    println!("{:>8} {:>9} {:>9} {:>10} {:>10}", "f (GHz)", "V_CMOS", "V_TFET", "dV_CMOS", "dV_TFET");
+    println!(
+        "{:>8} {:>9} {:>9} {:>10} {:>10}",
+        "f (GHz)", "V_CMOS", "V_TFET", "dV_CMOS", "dV_TFET"
+    );
     for f in [1.5e9, 1.75e9, 2.0e9, 2.25e9, 2.5e9] {
         let p = dvfs.operating_point(f).expect("reachable frequency");
         println!(
@@ -41,11 +44,20 @@ fn main() {
     println!("   the shallower TFET curve needs larger swings)\n");
 
     let fmax = dvfs.max_frequency();
-    println!("Maximum paired frequency (TFET saturation-limited): {:.2} GHz\n", fmax / 1e9);
+    println!(
+        "Maximum paired frequency (TFET saturation-limited): {:.2} GHz\n",
+        fmax / 1e9
+    );
 
     let gb = apply_guardbands(&nominal);
     let (ec, et) = guardband_energy_factors(&nominal);
     println!("Process-variation guardbands at 15 nm (Section III-E):");
-    println!("  V_CMOS {:.3} -> {:.3} V (dynamic energy x{ec:.2})", nominal.v_cmos, gb.v_cmos);
-    println!("  V_TFET {:.3} -> {:.3} V (dynamic energy x{et:.2})", nominal.v_tfet, gb.v_tfet);
+    println!(
+        "  V_CMOS {:.3} -> {:.3} V (dynamic energy x{ec:.2})",
+        nominal.v_cmos, gb.v_cmos
+    );
+    println!(
+        "  V_TFET {:.3} -> {:.3} V (dynamic energy x{et:.2})",
+        nominal.v_tfet, gb.v_tfet
+    );
 }

@@ -21,7 +21,10 @@ use hetsim_trace::apps;
 fn main() {
     // ---- 1. Thread migration vs. AdvHet (Section VIII) ----
     println!("Iso-area: 4-core AdvHet vs 2 CMOS + 2 TFET cores w/ barrier-aware migration");
-    println!("{:<14} {:>12} {:>12} {:>12} {:>12}", "app", "AdvHet t", "migration t", "AdvHet E", "migration E");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "app", "AdvHet t", "migration t", "AdvHet E", "migration E"
+    );
     for app_name in ["lu", "fft", "barnes", "streamcluster"] {
         let app = apps::profile(app_name).expect("known app");
         let (adv, mig) = iso_area_comparison(&app, 11, 200_000);
@@ -39,7 +42,10 @@ fn main() {
 
     // ---- 2. Partitioned RF vs. RF cache ----
     println!("GPU: RF cache (Table IV AdvHet) vs partitioned RF (Section VIII):");
-    println!("{:<16} {:>12} {:>12} {:>12}", "kernel", "BaseHet t", "RF-cache t", "PartRF t");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12}",
+        "kernel", "BaseHet t", "RF-cache t", "PartRF t"
+    );
     for kernel_name in ["binomialoption", "matmul", "reduction"] {
         let kernel = kernels::profile(kernel_name).expect("known kernel");
         let het = run_gpu(GpuDesign::BaseHet, &kernel, 42);
@@ -58,7 +64,10 @@ fn main() {
     // ---- 3. Compiler latency hiding (future work) ----
     println!("GPU: compiler latency-hiding pass (future work, IV-C4).");
     println!("BaseHet slowdown vs BaseCMOS, with the scheduler applied to both:");
-    println!("{:<16} {:>14} {:>16}", "kernel", "raw slowdown", "sched. slowdown");
+    println!(
+        "{:<16} {:>14} {:>16}",
+        "kernel", "raw slowdown", "sched. slowdown"
+    );
     for kernel_name in ["binomialoption", "dct", "sobel"] {
         let kernel = kernels::profile(kernel_name).expect("known kernel");
         let base_raw = run_gpu(GpuDesign::BaseCmos, &kernel, 42);

@@ -21,7 +21,11 @@ fn main() {
             let o = run_gpu(design, &kernel, 42);
             println!(
                 "{:<16} {:>11} {:>9.3} {:>9.3} {:>9.3} {:>11}",
-                if design == GpuDesign::BaseCmos { kernel.name } else { "" },
+                if design == GpuDesign::BaseCmos {
+                    kernel.name
+                } else {
+                    ""
+                },
                 design.name(),
                 o.seconds / base.seconds,
                 o.energy.total_j() / base.energy.total_j(),

@@ -15,7 +15,10 @@ fn main() {
     let app = apps::profile("lu").expect("lu is part of the suite");
     let insts = 120_000;
 
-    println!("HetCore quickstart: {} ({} instructions)\n", app.name, insts);
+    println!(
+        "HetCore quickstart: {} ({} instructions)\n",
+        app.name, insts
+    );
     println!(
         "{:<12} {:>12} {:>12} {:>12} {:>10}",
         "design", "time (us)", "energy (uJ)", "power (W)", "ED^2 norm"
@@ -23,8 +26,12 @@ fn main() {
 
     let base = run_cpu(CpuDesign::BaseCmos, &app, 42, insts);
     let base_ed2 = base.ed2();
-    for design in [CpuDesign::BaseCmos, CpuDesign::BaseTfet, CpuDesign::BaseHet, CpuDesign::AdvHet]
-    {
+    for design in [
+        CpuDesign::BaseCmos,
+        CpuDesign::BaseTfet,
+        CpuDesign::BaseHet,
+        CpuDesign::AdvHet,
+    ] {
         let o = run_cpu(design, &app, 42, insts);
         println!(
             "{:<12} {:>12.2} {:>12.3} {:>12.3} {:>10.3}",

@@ -12,4 +12,5 @@ pub use hetsim_device;
 pub use hetsim_gpu;
 pub use hetsim_mem;
 pub use hetsim_power;
+pub use hetsim_runner;
 pub use hetsim_trace;

@@ -15,7 +15,10 @@ use hetcore_repro::hetsim_trace::apps;
 fn migration_comparison_is_iso_area_and_advhet_wins() {
     let advhet_chip = area::chip(4, area::hetcore_core());
     let migration_chip = area::chip(2, area::cmos_core()) + area::chip(2, area::tfet_core());
-    assert!(migration_chip <= advhet_chip, "the baseline gets the area benefit");
+    assert!(
+        migration_chip <= advhet_chip,
+        "the baseline gets the area benefit"
+    );
 
     let app = apps::profile("fft").expect("known app");
     let (adv, mig) = hetcore_repro::hetcore::migration::iso_area_comparison(&app, 3, 120_000);
@@ -28,8 +31,14 @@ fn migration_comparison_is_iso_area_and_advhet_wins() {
 #[test]
 fn finer_barrier_intervals_cost_migration_time() {
     let app = apps::profile("lu").expect("known app");
-    let coarse = MigrationConfig { interval_insts: 50_000, ..MigrationConfig::default() };
-    let fine = MigrationConfig { interval_insts: 5_000, ..MigrationConfig::default() };
+    let coarse = MigrationConfig {
+        interval_insts: 50_000,
+        ..MigrationConfig::default()
+    };
+    let fine = MigrationConfig {
+        interval_insts: 5_000,
+        ..MigrationConfig::default()
+    };
     let c = run_migration_cmp(&coarse, &app, 3, 200_000);
     let f = run_migration_cmp(&fine, &app, 3, 200_000);
     assert!(f.intervals > c.intervals);
@@ -46,7 +55,10 @@ fn partitioned_rf_recovers_across_the_suite() {
         het += run_gpu(GpuDesign::BaseHet, &kernel, 5).seconds;
         part += run_gpu(GpuDesign::AdvHetPartitionedRf, &kernel, 5).seconds;
     }
-    assert!(part < het, "partitioned RF mean time {part} vs BaseHet {het}");
+    assert!(
+        part < het,
+        "partitioned RF mean time {part} vs BaseHet {het}"
+    );
 }
 
 /// Compiler scheduling shrinks the hetero design's *relative* slowdown
@@ -62,7 +74,10 @@ fn scheduling_shrinks_the_relative_hetero_gap() {
         sched_gap += run_gpu_scheduled(GpuDesign::BaseHet, &k, 7, 6).seconds
             / run_gpu_scheduled(GpuDesign::BaseCmos, &k, 7, 6).seconds;
     }
-    assert!(sched_gap < raw_gap, "scheduled gap {sched_gap} vs raw {raw_gap}");
+    assert!(
+        sched_gap < raw_gap,
+        "scheduled gap {sched_gap} vs raw {raw_gap}"
+    );
 }
 
 /// The extension registry round-trips CLI names and stays disjoint from
@@ -77,7 +92,10 @@ fn extension_registry_is_well_formed() {
         );
     }
     // The suite's extension reports are well-formed at a quick budget.
-    let s = Suite { insts_per_app: 30_000, seed: 3 };
+    let s = Suite {
+        insts_per_app: 30_000,
+        seed: 3,
+    };
     let m = s.ext_migration();
     assert_eq!(m.rows.len(), 15, "14 apps + mean");
     assert!(m.mean_of("migration time").expect("column exists") > 1.0);

@@ -25,7 +25,10 @@ fn cpu_time_ordering_matches_figure7() {
         assert!(base < adv, "{app_name}: BaseCMOS {base} < AdvHet {adv}");
         assert!(adv < het, "{app_name}: AdvHet {adv} < BaseHet {het}");
         assert!(het < tfet, "{app_name}: BaseHet {het} < BaseTFET {tfet}");
-        assert!(twox < base, "{app_name}: AdvHet-2X {twox} < BaseCMOS {base}");
+        assert!(
+            twox < base,
+            "{app_name}: AdvHet-2X {twox} < BaseCMOS {base}"
+        );
     }
 }
 
@@ -40,7 +43,10 @@ fn cpu_energy_ordering_matches_figure8() {
         let het = e(CpuDesign::BaseHet);
         let tfet = e(CpuDesign::BaseTfet);
         assert!(tfet < adv, "{app_name}: BaseTFET {tfet} < AdvHet {adv}");
-        assert!(adv <= het * 1.02, "{app_name}: AdvHet {adv} <= BaseHet {het}");
+        assert!(
+            adv <= het * 1.02,
+            "{app_name}: AdvHet {adv} <= BaseHet {het}"
+        );
         assert!(het < base, "{app_name}: BaseHet {het} < BaseCMOS {base}");
     }
 }
@@ -56,14 +62,26 @@ fn cpu_headline_magnitudes_are_in_band() {
     let tfet = run_cpu_multicore(CpuDesign::BaseTfet, 4, &app, SEED, INSTS);
 
     let adv_slowdown = adv.seconds / base.seconds;
-    assert!((1.0..1.35).contains(&adv_slowdown), "AdvHet slowdown {adv_slowdown}");
+    assert!(
+        (1.0..1.35).contains(&adv_slowdown),
+        "AdvHet slowdown {adv_slowdown}"
+    );
     let adv_energy = adv.energy.total_j() / base.energy.total_j();
-    assert!((0.45..0.75).contains(&adv_energy), "AdvHet energy ratio {adv_energy}");
+    assert!(
+        (0.45..0.75).contains(&adv_energy),
+        "AdvHet energy ratio {adv_energy}"
+    );
 
     let tfet_slowdown = tfet.seconds / base.seconds;
-    assert!((1.6..2.2).contains(&tfet_slowdown), "BaseTFET slowdown {tfet_slowdown}");
+    assert!(
+        (1.6..2.2).contains(&tfet_slowdown),
+        "BaseTFET slowdown {tfet_slowdown}"
+    );
     let tfet_energy = tfet.energy.total_j() / base.energy.total_j();
-    assert!((0.15..0.32).contains(&tfet_energy), "BaseTFET energy ratio {tfet_energy}");
+    assert!(
+        (0.15..0.32).contains(&tfet_energy),
+        "BaseTFET energy ratio {tfet_energy}"
+    );
 }
 
 /// Section VII-A1: the fixed-power-budget chip. 8 AdvHet cores beat 4
@@ -74,9 +92,17 @@ fn advhet_2x_dominates_under_power_budget() {
     let base = run_cpu_multicore(CpuDesign::BaseCmos, 4, &app, SEED, INSTS);
     let twox = run_cpu_multicore(CpuDesign::AdvHet, 8, &app, SEED, INSTS);
 
-    assert!(twox.seconds < base.seconds, "time {} vs {}", twox.seconds, base.seconds);
+    assert!(
+        twox.seconds < base.seconds,
+        "time {} vs {}",
+        twox.seconds,
+        base.seconds
+    );
     assert!(twox.energy.total_j() < base.energy.total_j());
-    assert!(twox.ed2() < 0.6 * base.ed2(), "ED^2 should fall dramatically");
+    assert!(
+        twox.ed2() < 0.6 * base.ed2(),
+        "ED^2 should fall dramatically"
+    );
     // The premise: the AdvHet-2X chip stays within the BaseCMOS budget
     // (generously banded; the paper argues ~equal power).
     assert!(
@@ -100,11 +126,20 @@ fn gpu_orderings_match_figures_10_to_12() {
 
         assert!(base.seconds < adv.seconds, "{kernel_name}: time ordering");
         assert!(adv.seconds <= het.seconds, "{kernel_name}: RF cache helps");
-        assert!(het.seconds < tfet.seconds, "{kernel_name}: BaseTFET slowest");
+        assert!(
+            het.seconds < tfet.seconds,
+            "{kernel_name}: BaseTFET slowest"
+        );
         assert!(twox.seconds < base.seconds, "{kernel_name}: 2X fastest");
 
-        assert!(tfet.energy.total_j() < adv.energy.total_j(), "{kernel_name}: energy");
-        assert!(adv.energy.total_j() < base.energy.total_j(), "{kernel_name}: energy");
+        assert!(
+            tfet.energy.total_j() < adv.energy.total_j(),
+            "{kernel_name}: energy"
+        );
+        assert!(
+            adv.energy.total_j() < base.energy.total_j(),
+            "{kernel_name}: energy"
+        );
         assert!(twox.ed2() < base.ed2(), "{kernel_name}: 2X ED^2 wins");
     }
 }

@@ -26,8 +26,18 @@ fn event_counts_are_conserved_for_every_design() {
             + s.loads
             + s.stores
             + s.branches;
-        assert_eq!(by_class, s.committed, "{}: class counts must partition", design.name());
-        assert_eq!(s.issues, s.committed, "{}: every inst issues once", design.name());
+        assert_eq!(
+            by_class,
+            s.committed,
+            "{}: class counts must partition",
+            design.name()
+        );
+        assert_eq!(
+            s.issues,
+            s.committed,
+            "{}: every inst issues once",
+            design.name()
+        );
         assert_eq!(
             s.loads + s.stores,
             r.mem.dl1_accesses(),
@@ -68,7 +78,9 @@ fn full_stack_determinism() {
     let run = || {
         let mut core = Core::new(CpuDesign::AdvHet.core_config(), 0);
         let r = core.run(TraceGenerator::new(&app, 5), INSTS);
-        let e = CpuDesign::AdvHet.energy_model().energy(&r.stats, &r.mem, r.seconds());
+        let e = CpuDesign::AdvHet
+            .energy_model()
+            .energy(&r.stats, &r.mem, r.seconds());
         (r.stats, r.mem, e.total_j())
     };
     let (s1, m1, e1) = run();

@@ -4,7 +4,10 @@
 use hetcore_repro::hetcore::suite::{cpu_campaign_columns, Experiment, Suite};
 
 fn quick() -> Suite {
-    Suite { insts_per_app: 40_000, seed: 7 }
+    Suite {
+        insts_per_app: 40_000,
+        seed: 7,
+    }
 }
 
 #[test]
@@ -14,7 +17,10 @@ fn device_reports_are_well_formed() {
     assert_eq!(t1.columns.len(), 4);
     assert_eq!(t1.rows.len(), 9);
     let f1 = s.fig1();
-    assert_eq!(f1.columns, vec!["HetJTFET".to_string(), "MOSFET".to_string()]);
+    assert_eq!(
+        f1.columns,
+        vec!["HetJTFET".to_string(), "MOSFET".to_string()]
+    );
     let f2 = s.fig2();
     assert_eq!(f2.columns.len(), 3);
     let f3 = s.fig3();
@@ -42,7 +48,10 @@ fn cpu_campaign_covers_all_designs_and_apps() {
     for f in [&f7, &f8, &f9] {
         assert_eq!(f.rows.len(), 15, "14 apps + mean");
         for (label, vals) in &f.rows {
-            assert!((vals[0] - 1.0).abs() < 1e-12, "{label}: BaseCMOS column is 1");
+            assert!(
+                (vals[0] - 1.0).abs() < 1e-12,
+                "{label}: BaseCMOS column is 1"
+            );
         }
     }
 
@@ -65,7 +74,10 @@ fn cpu_campaign_covers_all_designs_and_apps() {
     let fb = s.fig8_breakdown(&c);
     assert_eq!(fb.rows.len(), 6);
     let total: f64 = fb.rows.iter().map(|(_, v)| v[0]).sum();
-    assert!((total - 1.0).abs() < 1e-9, "BaseCMOS components sum to 1, got {total}");
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "BaseCMOS components sum to 1, got {total}"
+    );
 }
 
 #[test]
@@ -78,8 +90,14 @@ fn power_budget_premise_holds() {
     let p = s.power_budget(&c);
     let advhet4 = p.mean_of("AdvHet x4").expect("column");
     let twox8 = p.mean_of("AdvHet-2X x8").expect("column");
-    assert!((0.35..0.7).contains(&advhet4), "AdvHet power share {advhet4}");
-    assert!((0.7..1.3).contains(&twox8), "8-core 2X chip sits near the budget: {twox8}");
+    assert!(
+        (0.35..0.7).contains(&advhet4),
+        "AdvHet power share {advhet4}"
+    );
+    assert!(
+        (0.7..1.3).contains(&twox8),
+        "8-core 2X chip sits near the budget: {twox8}"
+    );
 }
 
 #[test]
@@ -112,8 +130,14 @@ fn fig14_shapes_hold() {
     for (label, vals) in &f.rows {
         assert!(vals[1] < vals[0], "{label}");
     }
-    assert!(f.rows[3].1[0] > f.rows[0].1[0], "variation raises BaseCMOS energy");
-    assert!(f.rows[3].1[1] > f.rows[0].1[1], "variation raises AdvHet energy");
+    assert!(
+        f.rows[3].1[0] > f.rows[0].1[0],
+        "variation raises BaseCMOS energy"
+    );
+    assert!(
+        f.rows[3].1[1] > f.rows[0].1[1],
+        "variation raises AdvHet energy"
+    );
     // Boost costs energy; slowdown saves it (per unit of baseline).
     assert!(f.rows[1].1[0] > f.rows[0].1[0]);
 }
