@@ -3,14 +3,23 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--json] [--jobs N] [--cache-dir PATH] [--progress]
+//! repro [--quick] [--insts N] [--format table|json|csv] [--stats-out PATH]
+//!       [--jobs N] [--cache-dir PATH] [--progress]
 //!       [table1|fig1..fig14|all|ext|ext-migration|ext-partrf|ext-sched]...
 //! ```
 //!
 //! With no experiment arguments, runs `all`. `--quick` shrinks the
-//! instruction budget for fast smoke runs (CI); full runs use the default
-//! budget of `Suite::default()`. `--json` emits machine-readable reports
-//! (one JSON array of report objects) instead of text tables.
+//! instruction budget for fast smoke runs (CI); `--insts N` sets it
+//! exactly (and wins over `--quick`); full runs use the default budget
+//! of `Suite::default()`.
+//!
+//! `--format` picks the report rendering: `table` (default) prints the
+//! paper-shaped text tables, `json` emits one JSON array of report
+//! objects, `csv` emits one CSV block per report (full precision).
+//! `--json` is a shorthand for `--format json`. Independently,
+//! `--stats-out PATH` writes the run's complete counter telemetry —
+//! every per-design pipeline/memory/GPU counter plus the runner's
+//! execution stats — as JSON to `PATH` (see `hetcore::telemetry`).
 //!
 //! The campaigns run on the `hetsim-runner` engine: `--jobs N` sets the
 //! worker-thread count (default: all available cores; output is
@@ -27,12 +36,24 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use hetcore::suite::{Experiment, Extension, Suite};
+use hetcore::telemetry::StatsDump;
 use hetsim_runner::{NullSink, ProgressSink, Runner, StderrSink};
+
+/// How reports are rendered on stdout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// Paper-shaped text tables (the default).
+    Table,
+    /// One JSON array of report objects.
+    Json,
+    /// One CSV block per report.
+    Csv,
+}
 
 fn usage() -> String {
     format!(
-        "usage: repro [--quick] [--json] [--jobs N] [--cache-dir PATH] [--progress] \
-         [EXPERIMENT]...\n\
+        "usage: repro [--quick] [--insts N] [--format table|json|csv] [--stats-out PATH] \
+         [--jobs N] [--cache-dir PATH] [--progress] [EXPERIMENT]...\n\
          experiments: all, ext, {}\n\
          extensions:  {}",
         Experiment::ALL
@@ -53,7 +74,8 @@ struct Options {
     suite: Suite,
     requested: Vec<Experiment>,
     extensions: Vec<Extension>,
-    json: bool,
+    format: Format,
+    stats_out: Option<PathBuf>,
     jobs: usize,
     cache_dir: Option<PathBuf>,
     progress: bool,
@@ -68,7 +90,9 @@ fn parse(args: &[String]) -> Result<Options, Vec<String>> {
     let mut requested = Vec::new();
     let mut extensions = Vec::new();
     let mut run_all = false;
-    let mut json = false;
+    let mut format = Format::Table;
+    let mut insts = None;
+    let mut stats_out = None;
     let mut jobs = None;
     let mut cache_dir = None;
     let mut progress = false;
@@ -98,7 +122,34 @@ fn parse(args: &[String]) -> Result<Options, Vec<String>> {
         };
         match name {
             "--quick" => suite.insts_per_app = 60_000,
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.as_str() {
+                        "table" => format = Format::Table,
+                        "json" => format = Format::Json,
+                        "csv" => format = Format::Csv,
+                        other => {
+                            errors.push(format!(
+                                "--format expects table, json or csv, got '{other}'"
+                            ));
+                        }
+                    }
+                }
+            }
+            "--insts" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<u64>() {
+                        Ok(n) if n >= 1 => insts = Some(n),
+                        _ => errors.push(format!("--insts expects an integer >= 1, got '{v}'")),
+                    }
+                }
+            }
+            "--stats-out" => {
+                if let Some(v) = value(&mut errors) {
+                    stats_out = Some(PathBuf::from(v));
+                }
+            }
             "--progress" => progress = true,
             "--jobs" => {
                 if let Some(v) = value(&mut errors) {
@@ -132,6 +183,10 @@ fn parse(args: &[String]) -> Result<Options, Vec<String>> {
     if (requested.is_empty() && extensions.is_empty()) || run_all {
         requested = Experiment::ALL.to_vec();
     }
+    if let Some(n) = insts {
+        // An explicit budget wins over --quick wherever it appears.
+        suite.insts_per_app = n;
+    }
     let jobs = jobs.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -141,7 +196,8 @@ fn parse(args: &[String]) -> Result<Options, Vec<String>> {
         suite,
         requested,
         extensions,
-        json,
+        format,
+        stats_out,
         jobs,
         cache_dir,
         progress,
@@ -164,7 +220,8 @@ fn main() -> ExitCode {
         suite,
         requested,
         extensions,
-        json,
+        format,
+        stats_out,
         jobs,
         cache_dir,
         progress,
@@ -198,34 +255,36 @@ fn main() -> ExitCode {
             None => Ok(runner),
         }
     }
-    let cpu = match needs_cpu
-        .then(|| {
-            eprintln!("running CPU campaign (11 chips x 14 applications, {jobs} worker(s))...");
-            with_cache(&cache_dir, Runner::new(jobs))
-                .map(|r| suite.cpu_campaign_with(&r.with_sink(sink.clone())))
-        })
+    // Runners outlive their campaigns: their cumulative stats feed the
+    // --stats-out telemetry dump after the reports are rendered.
+    let cpu_runner = match needs_cpu
+        .then(|| with_cache(&cache_dir, Runner::new(jobs)).map(|r| r.with_sink(sink.clone())))
         .transpose()
     {
-        Ok(c) => c,
+        Ok(r) => r,
         Err(e) => {
             eprintln!("error: cannot open cache directory: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let gpu = match needs_gpu
-        .then(|| {
-            eprintln!("running GPU campaign (5 designs x 20 kernels, {jobs} worker(s))...");
-            with_cache(&cache_dir, Runner::new(jobs))
-                .map(|r| suite.gpu_campaign_with(&r.with_sink(sink.clone())))
-        })
+    let gpu_runner = match needs_gpu
+        .then(|| with_cache(&cache_dir, Runner::new(jobs)).map(|r| r.with_sink(sink.clone())))
         .transpose()
     {
-        Ok(c) => c,
+        Ok(r) => r,
         Err(e) => {
             eprintln!("error: cannot open cache directory: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let cpu = cpu_runner.as_ref().map(|r| {
+        eprintln!("running CPU campaign (11 chips x 14 applications, {jobs} worker(s))...");
+        suite.cpu_campaign_with(r)
+    });
+    let gpu = gpu_runner.as_ref().map(|r| {
+        eprintln!("running GPU campaign (5 designs x 20 kernels, {jobs} worker(s))...");
+        suite.gpu_campaign_with(r)
+    });
 
     let mut reports = Vec::new();
     for e in requested {
@@ -243,14 +302,14 @@ fn main() -> ExitCode {
             Experiment::Fig13 => suite.fig13(cpu.as_ref().expect("campaign ran")),
             Experiment::Fig14 => suite.fig14(),
         };
-        if !json {
+        if format == Format::Table {
             println!("{report}");
         }
         reports.push(report);
         if e == Experiment::Fig8 {
             // The stacked-bar detail of Figure 8.
             let detail = suite.fig8_breakdown(cpu.as_ref().expect("campaign ran"));
-            if !json {
+            if format == Format::Table {
                 println!("{detail}");
             }
             reports.push(detail);
@@ -262,19 +321,45 @@ fn main() -> ExitCode {
             Extension::PartitionedRf => suite.ext_partitioned_rf(),
             Extension::Scheduling => suite.ext_scheduling(),
         };
-        if !json {
+        if format == Format::Table {
             println!("{report}");
         }
         reports.push(report);
     }
-    if json {
-        match serde_json::to_string_pretty(&reports) {
+    match format {
+        Format::Table => {}
+        Format::Json => match serde_json::to_string_pretty(&reports) {
             Ok(s) => println!("{s}"),
             Err(e) => {
                 eprintln!("failed to serialize reports: {e}");
                 return ExitCode::FAILURE;
             }
+        },
+        Format::Csv => {
+            for report in &reports {
+                println!("{}", report.to_csv());
+            }
         }
+    }
+    if let Some(path) = stats_out {
+        let mut dump = StatsDump::new();
+        if let Some(c) = &cpu {
+            dump = dump.with_cpu_campaign(c);
+        }
+        if let Some(c) = &gpu {
+            dump = dump.with_gpu_campaign(c);
+        }
+        if let Some(r) = &cpu_runner {
+            dump = dump.with_runner("cpu", r.total_stats());
+        }
+        if let Some(r) = &gpu_runner {
+            dump = dump.with_runner("gpu", r.total_stats());
+        }
+        if let Err(e) = std::fs::write(&path, dump.to_json()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote counter telemetry to {}", path.display());
     }
     ExitCode::SUCCESS
 }

@@ -27,10 +27,12 @@ use crate::experiment::{run_cpu_multicore, run_gpu, CpuOutcome, GpuOutcome};
 
 /// Cache-key schema tag for CPU jobs. Bump on incompatible changes to
 /// the CPU simulator, energy model or [`CpuOutcome`] layout.
-pub const CPU_SCHEMA: &str = "cpu-v1";
+/// (`v2`: outcomes gained chip-level `stats`/`mem` counter sets.)
+pub const CPU_SCHEMA: &str = "cpu-v2";
 /// Cache-key schema tag for GPU jobs. Bump on incompatible changes to
 /// the GPU simulator, energy model or [`GpuOutcome`] layout.
-pub const GPU_SCHEMA: &str = "gpu-v1";
+/// (`v2`: outcomes gained the run's `stats` counter set.)
+pub const GPU_SCHEMA: &str = "gpu-v2";
 
 /// The canonical key config of a multicore CPU experiment.
 pub fn cpu_job_key(

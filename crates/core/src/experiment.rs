@@ -9,7 +9,10 @@
 
 use hetsim_cpu::core::Core;
 use hetsim_cpu::multicore::{run_multicore, MulticoreResult};
+use hetsim_cpu::stats::CoreStats;
 use hetsim_gpu::gpu::Gpu;
+use hetsim_gpu::stats::GpuStats;
+use hetsim_mem::stats::MemStats;
 use hetsim_power::account::{EnergyBreakdown, GpuActivity, GpuEnergy, GpuEnergyModel};
 use hetsim_runner::SimMetrics;
 use hetsim_trace::stream::TraceGenerator;
@@ -33,6 +36,11 @@ pub struct CpuOutcome {
     pub cores: u32,
     /// Instructions committed across all cores/phases.
     pub committed: u64,
+    /// Chip-level pipeline counters: all phases and cores merged
+    /// (`cycles` is the end-to-end cycle count, serial + parallel).
+    pub stats: CoreStats,
+    /// Chip-level memory-system counters, merged across cores/phases.
+    pub mem: MemStats,
 }
 
 impl CpuOutcome {
@@ -56,11 +64,27 @@ impl SimMetrics for CpuOutcome {
     fn sim_seconds(&self) -> f64 {
         self.seconds
     }
+
+    fn counters(&self) -> Vec<(String, u64)> {
+        let mut pairs = Vec::new();
+        self.stats
+            .visit("core.", &mut |name, value| pairs.push((name.into(), value)));
+        self.mem
+            .visit("mem.", &mut |name, value| pairs.push((name.into(), value)));
+        pairs
+    }
 }
 
 impl SimMetrics for GpuOutcome {
     fn sim_seconds(&self) -> f64 {
         self.seconds
+    }
+
+    fn counters(&self) -> Vec<(String, u64)> {
+        let mut pairs = Vec::new();
+        self.stats
+            .visit("gpu.", &mut |name, value| pairs.push((name.into(), value)));
+        pairs
     }
 }
 
@@ -83,6 +107,8 @@ pub fn run_cpu(design: CpuDesign, app: &WorkloadProfile, seed: u64, insts: u64) 
         energy,
         cores: 1,
         committed: result.stats.committed,
+        stats: result.stats,
+        mem: result.mem,
     }
 }
 
@@ -115,6 +141,26 @@ pub fn run_cpu_multicore(
         energy.merge(&model.energy(&r.stats, &r.mem, t_parallel));
     }
 
+    // Chip-level counters: merge every phase's cores, then fix up the
+    // cycle count — phases run back-to-back, so the chip's cycles are
+    // the serial phase plus the slowest parallel core (merge alone
+    // would take the max across phases, losing the serial span).
+    let mut stats = CoreStats::default();
+    let mut mem = MemStats::default();
+    let mut serial_cycles = 0;
+    if let Some(serial) = &mc.serial {
+        stats.merge(&serial.stats);
+        mem.merge(&serial.mem);
+        serial_cycles = serial.stats.cycles;
+    }
+    let mut parallel_cycles = 0;
+    for r in &mc.parallel {
+        stats.merge(&r.stats);
+        mem.merge(&r.mem);
+        parallel_cycles = parallel_cycles.max(r.stats.cycles);
+    }
+    stats.cycles = serial_cycles + parallel_cycles;
+
     CpuOutcome {
         design,
         app: app.name.to_string(),
@@ -122,6 +168,8 @@ pub fn run_cpu_multicore(
         energy,
         cores,
         committed: mc.total_committed(),
+        stats,
+        mem,
     }
 }
 
@@ -138,6 +186,8 @@ pub struct GpuOutcome {
     pub energy: GpuEnergy,
     /// Compute units powered.
     pub compute_units: u32,
+    /// GPU event counters for the run.
+    pub stats: GpuStats,
 }
 
 impl GpuOutcome {
@@ -199,6 +249,7 @@ fn price_gpu_run(
         seconds,
         energy,
         compute_units: result.compute_units,
+        stats: result.stats,
     }
 }
 

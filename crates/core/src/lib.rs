@@ -24,8 +24,9 @@
 //! * [`config`] — named CPU/GPU design points (Table IV).
 //! * [`experiment`] — running a design on a workload; time + energy.
 //! * [`campaign`] — content-addressed jobs for the design × app sweeps.
-//! * [`report`] — plain-text tables in the shape of the paper's figures.
+//! * [`report`] — tables (text/CSV/JSON) in the shape of the paper's figures.
 //! * [`suite`] — one entry point per paper table/figure.
+//! * [`telemetry`] — the machine-readable `--stats-out` counter dump.
 //!
 //! Campaigns execute on the `hetsim-runner` engine: a work-stealing
 //! thread pool plus a content-addressed result cache, with parallel
@@ -55,6 +56,7 @@ pub mod experiment;
 pub mod migration;
 pub mod report;
 pub mod suite;
+pub mod telemetry;
 
 pub use campaign::{cpu_job, cpu_job_key, gpu_job, gpu_job_key, CPU_SCHEMA, GPU_SCHEMA};
 pub use config::{CpuDesign, GpuDesign};
@@ -64,3 +66,4 @@ pub use experiment::{
 pub use migration::{iso_area_comparison, run_migration_cmp, MigrationConfig};
 pub use report::Report;
 pub use suite::Experiment;
+pub use telemetry::StatsDump;

@@ -69,6 +69,36 @@ impl Report {
         let idx = self.columns.iter().position(|c| c == column)?;
         self.mean_row().map(|r| r[idx])
     }
+
+    /// CSV rendering: a `# title` comment line, a header row
+    /// (`label,<columns>`), then one line per row. Values keep full
+    /// precision (unlike the 3-decimal [`fmt::Display`] table); labels
+    /// and headers containing commas or quotes are quoted per RFC 4180.
+    pub fn to_csv(&self) -> String {
+        fn escape(field: &str) -> String {
+            if field.contains(',') || field.contains('"') || field.contains('\n') {
+                format!("\"{}\"", field.replace('"', "\"\""))
+            } else {
+                field.to_string()
+            }
+        }
+        let mut out = format!("# {}\n", self.title);
+        out.push_str("label");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(&escape(c));
+        }
+        out.push('\n');
+        for (label, vals) in &self.rows {
+            out.push_str(&escape(label));
+            for v in vals {
+                out.push(',');
+                out.push_str(&format!("{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
 }
 
 impl fmt::Display for Report {
@@ -141,6 +171,17 @@ mod tests {
         assert!(s.contains("Title"));
         assert!(s.contains("row1"));
         assert!(s.contains("1.500"));
+    }
+
+    #[test]
+    fn csv_keeps_full_precision_and_quotes_commas() {
+        let mut r = Report::new("T", vec!["plain".into(), "with, comma".into()]);
+        r.push_row("row1", vec![0.123456789, 2.0]);
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "# T");
+        assert_eq!(lines[1], "label,plain,\"with, comma\"");
+        assert_eq!(lines[2], "row1,0.123456789,2");
     }
 
     #[test]

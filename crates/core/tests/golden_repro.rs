@@ -1,0 +1,135 @@
+//! Golden test for the machine-readable `repro` output.
+//!
+//! Runs the real `repro` binary (`--format json`) on a small CPU
+//! campaign and compares the parsed reports against a checked-in
+//! snapshot with numeric tolerance; the same invocation's
+//! `--stats-out` dump is checked for full counter-name coverage.
+//!
+//! Regenerate the snapshot after an intentional simulator change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p hetcore --test golden_repro
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use hetsim_cpu::stats::CoreStats;
+use hetsim_mem::stats::MemStats;
+use serde::value::Value;
+
+/// Relative tolerance for report values: the simulation is
+/// deterministic, so this only needs to absorb float-formatting noise.
+const REL_TOL: f64 = 1e-9;
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fig7_insts3000.json")
+}
+
+fn run_repro(stats_out: &Path) -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--insts", "3000", "--format", "json", "fig7", "--stats-out"])
+        .arg(stats_out)
+        .output()
+        .expect("repro runs");
+    assert!(
+        output.status.success(),
+        "repro failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 stdout")
+}
+
+fn close(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs());
+    (a - b).abs() <= REL_TOL * scale.max(1e-300)
+}
+
+/// Structural equality with numeric tolerance on leaf numbers.
+fn assert_matches(actual: &Value, golden: &Value, path: &str) {
+    match (actual, golden) {
+        (Value::Object(a), Value::Object(g)) => {
+            let a_keys: Vec<&String> = a.iter().map(|(k, _)| k).collect();
+            let g_keys: Vec<&String> = g.iter().map(|(k, _)| k).collect();
+            assert_eq!(a_keys, g_keys, "object keys at {path}");
+            for ((k, av), (_, gv)) in a.iter().zip(g.iter()) {
+                assert_matches(av, gv, &format!("{path}.{k}"));
+            }
+        }
+        (Value::Array(a), Value::Array(g)) => {
+            assert_eq!(a.len(), g.len(), "array length at {path}");
+            for (i, (av, gv)) in a.iter().zip(g.iter()).enumerate() {
+                assert_matches(av, gv, &format!("{path}[{i}]"));
+            }
+        }
+        _ => match (actual.as_f64(), golden.as_f64()) {
+            (Some(a), Some(g)) => {
+                assert!(close(a, g), "value at {path}: {a} vs golden {g}")
+            }
+            _ => assert_eq!(actual, golden, "value at {path}"),
+        },
+    }
+}
+
+#[test]
+fn fig7_json_matches_the_checked_in_snapshot() {
+    let stats_path =
+        std::env::temp_dir().join(format!("hetcore-golden-stats-{}.json", std::process::id()));
+    let stdout = run_repro(&stats_path);
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path(), &stdout).expect("write snapshot");
+    }
+    let golden_text = std::fs::read_to_string(golden_path())
+        .expect("snapshot exists (regenerate with UPDATE_GOLDEN=1)");
+    let actual: Value = serde_json::from_str(&stdout).expect("repro emits valid JSON");
+    let golden: Value = serde_json::from_str(&golden_text).expect("snapshot is valid JSON");
+    assert_matches(&actual, &golden, "$");
+
+    // The same run's --stats-out dump: valid JSON carrying every
+    // counter name the structs enumerate, for every design.
+    let dump_text = std::fs::read_to_string(&stats_path).expect("stats dump written");
+    let dump: Value = serde_json::from_str(&dump_text).expect("dump is valid JSON");
+    assert_eq!(
+        dump.get("schema")
+            .and_then(|s| s.get("cpu"))
+            .and_then(Value::as_str),
+        Some(hetcore::CPU_SCHEMA)
+    );
+    let designs = dump
+        .get("cpu")
+        .and_then(|c| c.get("designs"))
+        .and_then(Value::as_object)
+        .expect("cpu designs present");
+    assert!(!designs.is_empty());
+    for (design, entry) in designs {
+        for (section, names) in [
+            (
+                "core",
+                CoreStats::default()
+                    .iter()
+                    .map(|(n, _)| n)
+                    .collect::<Vec<_>>(),
+            ),
+            (
+                "mem",
+                MemStats::default()
+                    .iter()
+                    .map(|(n, _)| n)
+                    .collect::<Vec<_>>(),
+            ),
+        ] {
+            let map = entry
+                .get(section)
+                .and_then(Value::as_object)
+                .unwrap_or_else(|| panic!("{design} has a {section} map"));
+            for name in names {
+                assert!(
+                    map.iter().any(|(k, _)| *k == name),
+                    "{design}.{section} is missing counter {name}"
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_file(&stats_path);
+}

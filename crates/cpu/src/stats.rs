@@ -4,72 +4,88 @@
 //! operations drive functional-unit dynamic energy, register-file
 //! reads/writes drive RF energy, dispatches drive ROB/rename energy, and so
 //! on. Cycle counts drive leakage.
+//!
+//! The struct is defined through [`hetsim_stats::counters!`], which derives
+//! `merge`/`minus` from the per-field policy annotations (and `iter()`,
+//! `get`/`set` by name, serde support). The two aggregation directions are
+//! asymmetric by design and the annotations spell that out:
+//!
+//! * `cycles = max / keep` — cores run in parallel, so multicore merges
+//!   take the slowest core; warmup subtraction keeps the running value for
+//!   the caller to recompute (the measured region's cycle span is
+//!   `end_cycle - snapshot_cycle`, not a counter difference).
+//! * `committed = sum / keep` — commits add across cores, but the warmup
+//!   path recomputes the measured-region commit count itself.
+//! * Everything else defaults to `sum / sub` (saturating subtraction).
 
-/// Event counters for one core's run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CoreStats {
-    /// Total cycles simulated.
-    pub cycles: u64,
-    /// Instructions committed.
-    pub committed: u64,
-    /// Instructions dispatched into the ROB (equals committed in this
-    /// trace-driven model: wrong-path work is modeled as fetch bubbles).
-    pub dispatched: u64,
-    /// Fetch groups delivered by the front end (IL1 accesses).
-    pub fetch_groups: u64,
-    /// Wrong-path fetch groups: cycles the front end spent fetching down a
-    /// mispredicted path before the redirect. Trace-driven simulation does
-    /// not execute wrong-path work, but the fetch/decode *energy* is real
-    /// and McPAT charges it; so do we.
-    pub wrong_path_fetch_groups: u64,
-    /// Issue-queue issue events.
-    pub issues: u64,
+use hetsim_stats::counters;
 
-    // Committed operations by class.
-    /// Simple ALU ops executed on the fast (CMOS) ALU cluster.
-    pub alu_fast_ops: u64,
-    /// Simple ALU ops executed on the slow (TFET) ALU cluster. For
-    /// homogeneous designs all ALU ops land here or in `alu_fast_ops`
-    /// depending on the cluster technology.
-    pub alu_slow_ops: u64,
-    /// Integer multiplies.
-    pub int_mul_ops: u64,
-    /// Integer divides.
-    pub int_div_ops: u64,
-    /// FP adds.
-    pub fp_add_ops: u64,
-    /// FP multiplies.
-    pub fp_mul_ops: u64,
-    /// FP divides.
-    pub fp_div_ops: u64,
-    /// Loads executed.
-    pub loads: u64,
-    /// Stores executed.
-    pub stores: u64,
-    /// Branches executed.
-    pub branches: u64,
-    /// Branches mispredicted (direction or target).
-    pub mispredicts: u64,
+counters! {
+    /// Event counters for one core's run.
+    pub struct CoreStats {
+        /// Total cycles simulated.
+        pub cycles: u64 = max / keep,
+        /// Instructions committed.
+        pub committed: u64 = sum / keep,
+        /// Instructions dispatched into the ROB (equals committed in this
+        /// trace-driven model: wrong-path work is modeled as fetch bubbles).
+        pub dispatched: u64,
+        /// Fetch groups delivered by the front end (IL1 accesses).
+        pub fetch_groups: u64,
+        /// Wrong-path fetch groups: cycles the front end spent fetching down a
+        /// mispredicted path before the redirect. Trace-driven simulation does
+        /// not execute wrong-path work, but the fetch/decode *energy* is real
+        /// and McPAT charges it; so do we.
+        pub wrong_path_fetch_groups: u64,
+        /// Issue-queue issue events.
+        pub issues: u64,
 
-    // Register-file traffic.
-    /// Integer RF reads.
-    pub int_rf_reads: u64,
-    /// Integer RF writes.
-    pub int_rf_writes: u64,
-    /// FP RF reads.
-    pub fp_rf_reads: u64,
-    /// FP RF writes.
-    pub fp_rf_writes: u64,
+        // Committed operations by class.
+        /// Simple ALU ops executed on the fast (CMOS) ALU cluster.
+        pub alu_fast_ops: u64,
+        /// Simple ALU ops executed on the slow (TFET) ALU cluster. For
+        /// homogeneous designs all ALU ops land here or in `alu_fast_ops`
+        /// depending on the cluster technology.
+        pub alu_slow_ops: u64,
+        /// Integer multiplies.
+        pub int_mul_ops: u64,
+        /// Integer divides.
+        pub int_div_ops: u64,
+        /// FP adds.
+        pub fp_add_ops: u64,
+        /// FP multiplies.
+        pub fp_mul_ops: u64,
+        /// FP divides.
+        pub fp_div_ops: u64,
+        /// Loads executed.
+        pub loads: u64,
+        /// Stores executed.
+        pub stores: u64,
+        /// Branches executed.
+        pub branches: u64,
+        /// Branches mispredicted (direction or target).
+        pub mispredicts: u64,
 
-    // Backpressure diagnostics (not energy events; used in tests/reports).
-    /// Cycles dispatch stalled because the ROB was full.
-    pub rob_full_stalls: u64,
-    /// Cycles dispatch stalled because the IQ was full.
-    pub iq_full_stalls: u64,
-    /// Cycles dispatch stalled because the LSQ was full.
-    pub lsq_full_stalls: u64,
-    /// Cycles dispatch stalled because rename registers ran out.
-    pub reg_full_stalls: u64,
+        // Register-file traffic.
+        /// Integer RF reads.
+        pub int_rf_reads: u64,
+        /// Integer RF writes.
+        pub int_rf_writes: u64,
+        /// FP RF reads.
+        pub fp_rf_reads: u64,
+        /// FP RF writes.
+        pub fp_rf_writes: u64,
+
+        // Backpressure diagnostics (not energy events; used in tests/reports).
+        /// Cycles dispatch stalled because the ROB was full.
+        pub rob_full_stalls: u64,
+        /// Cycles dispatch stalled because the IQ was full.
+        pub iq_full_stalls: u64,
+        /// Cycles dispatch stalled because the LSQ was full.
+        pub lsq_full_stalls: u64,
+        /// Cycles dispatch stalled because rename registers ran out.
+        pub reg_full_stalls: u64,
+    }
 }
 
 impl CoreStats {
@@ -99,67 +115,6 @@ impl CoreStats {
     /// Total FPU operations.
     pub fn fpu_ops(&self) -> u64 {
         self.fp_add_ops + self.fp_mul_ops + self.fp_div_ops
-    }
-
-    /// Counter-wise difference `self - baseline` (for warmup snapshots);
-    /// `cycles`/`committed` are left to the caller to recompute.
-    pub fn minus(&self, b: &CoreStats) -> CoreStats {
-        CoreStats {
-            cycles: self.cycles,
-            committed: self.committed,
-            dispatched: self.dispatched - b.dispatched,
-            fetch_groups: self.fetch_groups - b.fetch_groups,
-            wrong_path_fetch_groups: self.wrong_path_fetch_groups - b.wrong_path_fetch_groups,
-            issues: self.issues - b.issues,
-            alu_fast_ops: self.alu_fast_ops - b.alu_fast_ops,
-            alu_slow_ops: self.alu_slow_ops - b.alu_slow_ops,
-            int_mul_ops: self.int_mul_ops - b.int_mul_ops,
-            int_div_ops: self.int_div_ops - b.int_div_ops,
-            fp_add_ops: self.fp_add_ops - b.fp_add_ops,
-            fp_mul_ops: self.fp_mul_ops - b.fp_mul_ops,
-            fp_div_ops: self.fp_div_ops - b.fp_div_ops,
-            loads: self.loads - b.loads,
-            stores: self.stores - b.stores,
-            branches: self.branches - b.branches,
-            mispredicts: self.mispredicts - b.mispredicts,
-            int_rf_reads: self.int_rf_reads - b.int_rf_reads,
-            int_rf_writes: self.int_rf_writes - b.int_rf_writes,
-            fp_rf_reads: self.fp_rf_reads - b.fp_rf_reads,
-            fp_rf_writes: self.fp_rf_writes - b.fp_rf_writes,
-            rob_full_stalls: self.rob_full_stalls - b.rob_full_stalls,
-            iq_full_stalls: self.iq_full_stalls - b.iq_full_stalls,
-            lsq_full_stalls: self.lsq_full_stalls - b.lsq_full_stalls,
-            reg_full_stalls: self.reg_full_stalls - b.reg_full_stalls,
-        }
-    }
-
-    /// Accumulates another core's counters.
-    pub fn merge(&mut self, o: &CoreStats) {
-        self.cycles = self.cycles.max(o.cycles);
-        self.committed += o.committed;
-        self.dispatched += o.dispatched;
-        self.fetch_groups += o.fetch_groups;
-        self.wrong_path_fetch_groups += o.wrong_path_fetch_groups;
-        self.issues += o.issues;
-        self.alu_fast_ops += o.alu_fast_ops;
-        self.alu_slow_ops += o.alu_slow_ops;
-        self.int_mul_ops += o.int_mul_ops;
-        self.int_div_ops += o.int_div_ops;
-        self.fp_add_ops += o.fp_add_ops;
-        self.fp_mul_ops += o.fp_mul_ops;
-        self.fp_div_ops += o.fp_div_ops;
-        self.loads += o.loads;
-        self.stores += o.stores;
-        self.branches += o.branches;
-        self.mispredicts += o.mispredicts;
-        self.int_rf_reads += o.int_rf_reads;
-        self.int_rf_writes += o.int_rf_writes;
-        self.fp_rf_reads += o.fp_rf_reads;
-        self.fp_rf_writes += o.fp_rf_writes;
-        self.rob_full_stalls += o.rob_full_stalls;
-        self.iq_full_stalls += o.iq_full_stalls;
-        self.lsq_full_stalls += o.lsq_full_stalls;
-        self.reg_full_stalls += o.reg_full_stalls;
     }
 }
 
@@ -200,5 +155,53 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.cycles, 100);
         assert_eq!(a.committed, 30);
+    }
+
+    #[test]
+    fn minus_keeps_cycles_and_committed_subtracts_the_rest() {
+        let a = CoreStats {
+            cycles: 500,
+            committed: 400,
+            loads: 100,
+            ..CoreStats::default()
+        };
+        let snap = CoreStats {
+            cycles: 120,
+            committed: 90,
+            loads: 25,
+            ..CoreStats::default()
+        };
+        let d = a.minus(&snap);
+        assert_eq!(d.cycles, 500, "keep: caller recomputes");
+        assert_eq!(d.committed, 400, "keep: caller recomputes");
+        assert_eq!(d.loads, 75, "sub");
+    }
+
+    /// Regression: a warmup snapshot can exceed the final count for
+    /// in-flight work; in release builds `self.x - b.x` used to wrap
+    /// silently. The generated `minus` must saturate at zero.
+    #[test]
+    fn minus_saturates_instead_of_wrapping() {
+        let a = CoreStats {
+            issues: 10,
+            ..CoreStats::default()
+        };
+        let snap = CoreStats {
+            issues: 11,
+            ..CoreStats::default()
+        };
+        assert_eq!(a.minus(&snap).issues, 0);
+    }
+
+    #[test]
+    fn iter_names_are_unique_and_cover_every_field() {
+        let names: Vec<String> = CoreStats::default().iter().map(|(n, _)| n).collect();
+        assert_eq!(names.len(), 25, "one entry per counter field");
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "names are unique");
+        assert_eq!(names[0], "cycles");
+        assert!(names.contains(&"fp_rf_writes".to_string()));
     }
 }

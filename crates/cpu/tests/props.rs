@@ -8,8 +8,26 @@ use hetsim_cpu::config::CoreConfig;
 use hetsim_cpu::core::Core;
 use hetsim_cpu::fu::{FuPool, FuPoolConfig};
 use hetsim_cpu::predictor::{PredictorConfig, TournamentPredictor};
+use hetsim_cpu::stats::CoreStats;
 use hetsim_trace::stream::TraceGenerator;
 use hetsim_trace::{apps, OpClass};
+
+/// One value per [`CoreStats`] counter, bounded well below overflow so
+/// merged sums stay exact.
+fn counter_values() -> impl Strategy<Value = Vec<u64>> {
+    let fields = CoreStats::default().iter().count();
+    proptest::collection::vec(0u64..(1 << 32), fields)
+}
+
+/// Builds a [`CoreStats`] by assigning each generated value through the
+/// name-addressed `set`, exercising the same path consumers use.
+fn stats_from(values: &[u64]) -> CoreStats {
+    let mut s = CoreStats::default();
+    for ((name, _), v) in CoreStats::default().iter().zip(values) {
+        assert!(s.set(&name, *v), "unknown counter {name}");
+    }
+    s
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -74,6 +92,43 @@ proptest! {
         prop_assert!(r.ipc() <= 4.0);
         prop_assert!(r.stats.mispredicts <= r.stats.branches);
         prop_assert_eq!(r.stats.loads + r.stats.stores, r.mem.dl1_accesses());
+    }
+
+    /// `merge` then `minus` round-trips every sum/sub counter: folding
+    /// `b` into `a` and subtracting `a` back out recovers `b` exactly.
+    /// `cycles` (max/keep) and `committed` (sum/keep) are the two
+    /// policy-annotated exceptions.
+    #[test]
+    fn stats_merge_then_minus_round_trips(a in counter_values(), b in counter_values()) {
+        let sa = stats_from(&a);
+        let sb = stats_from(&b);
+        let mut merged = sa;
+        merged.merge(&sb);
+        let diff = merged.minus(&sa);
+        for (name, value) in diff.iter() {
+            if name == "cycles" || name == "committed" {
+                continue;
+            }
+            prop_assert_eq!(Some(value), sb.get(&name), "counter {}", name);
+        }
+    }
+
+    /// `iter()` names are unique, value-independent, and every pair is
+    /// addressable back through `get`.
+    #[test]
+    fn stats_iter_names_are_stable_and_unique(a in counter_values()) {
+        let s = stats_from(&a);
+        let names: Vec<String> = s.iter().map(|(n, _)| n).collect();
+        let default_names: Vec<String> =
+            CoreStats::default().iter().map(|(n, _)| n).collect();
+        prop_assert_eq!(&names, &default_names, "names do not depend on values");
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), names.len(), "names are unique");
+        for (name, value) in s.iter() {
+            prop_assert_eq!(s.get(&name), Some(value), "get({}) addresses iter()", name);
+        }
     }
 
     /// Halving the clock never makes the wall-clock time shorter.

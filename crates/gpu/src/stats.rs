@@ -1,34 +1,42 @@
 //! GPU event counters, consumed by the GPUWattch-like energy model.
+//!
+//! Defined through [`hetsim_stats::counters!`]: `merge`/`minus`,
+//! `iter()` over `(name, value)` pairs and serde support are all derived
+//! from the field list. Compute units run in parallel, so `cycles`
+//! merges by `max` (annotated on the field); every other counter sums.
 
-/// Counters for one GPU run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct GpuStats {
-    /// Total cycles (the slowest compute unit).
-    pub cycles: u64,
-    /// Wavefront instructions issued.
-    pub wavefront_insts: u64,
-    /// VALU wavefront instructions.
-    pub valu_insts: u64,
-    /// Global-memory wavefront instructions.
-    pub mem_insts: u64,
-    /// LDS wavefront instructions.
-    pub lds_insts: u64,
-    /// Per-thread FMA lane operations (valu_insts x 64 threads).
-    pub thread_fma_ops: u64,
-    /// Per-thread main-RF accesses (reads + writes + RFC evictions).
-    pub vector_rf_accesses: u64,
-    /// Per-thread RF-cache accesses (reads + writes), zero without an RFC.
-    pub rf_cache_accesses: u64,
-    /// Per-thread fast-partition accesses of a partitioned RF (CMOS side).
-    pub rf_fast_accesses: u64,
-    /// RF-cache read hits (per thread).
-    pub rf_cache_hits: u64,
-    /// RF-cache read misses (per thread).
-    pub rf_cache_misses: u64,
-    /// Per-thread LDS accesses.
-    pub lds_accesses: u64,
-    /// Memory accesses that missed to DRAM (per wavefront instruction).
-    pub dram_accesses: u64,
+use hetsim_stats::counters;
+
+counters! {
+    /// Counters for one GPU run.
+    pub struct GpuStats {
+        /// Total cycles (the slowest compute unit).
+        pub cycles: u64 = max / keep,
+        /// Wavefront instructions issued.
+        pub wavefront_insts: u64,
+        /// VALU wavefront instructions.
+        pub valu_insts: u64,
+        /// Global-memory wavefront instructions.
+        pub mem_insts: u64,
+        /// LDS wavefront instructions.
+        pub lds_insts: u64,
+        /// Per-thread FMA lane operations (valu_insts x 64 threads).
+        pub thread_fma_ops: u64,
+        /// Per-thread main-RF accesses (reads + writes + RFC evictions).
+        pub vector_rf_accesses: u64,
+        /// Per-thread RF-cache accesses (reads + writes), zero without an RFC.
+        pub rf_cache_accesses: u64,
+        /// Per-thread fast-partition accesses of a partitioned RF (CMOS side).
+        pub rf_fast_accesses: u64,
+        /// RF-cache read hits (per thread).
+        pub rf_cache_hits: u64,
+        /// RF-cache read misses (per thread).
+        pub rf_cache_misses: u64,
+        /// Per-thread LDS accesses.
+        pub lds_accesses: u64,
+        /// Memory accesses that missed to DRAM (per wavefront instruction).
+        pub dram_accesses: u64,
+    }
 }
 
 impl GpuStats {
@@ -49,24 +57,6 @@ impl GpuStats {
         } else {
             self.rf_cache_hits as f64 / total as f64
         }
-    }
-
-    /// Accumulates another compute unit's counters; cycles take the max
-    /// (CUs run in parallel).
-    pub fn merge(&mut self, o: &GpuStats) {
-        self.cycles = self.cycles.max(o.cycles);
-        self.wavefront_insts += o.wavefront_insts;
-        self.valu_insts += o.valu_insts;
-        self.mem_insts += o.mem_insts;
-        self.lds_insts += o.lds_insts;
-        self.thread_fma_ops += o.thread_fma_ops;
-        self.vector_rf_accesses += o.vector_rf_accesses;
-        self.rf_cache_accesses += o.rf_cache_accesses;
-        self.rf_fast_accesses += o.rf_fast_accesses;
-        self.rf_cache_hits += o.rf_cache_hits;
-        self.rf_cache_misses += o.rf_cache_misses;
-        self.lds_accesses += o.lds_accesses;
-        self.dram_accesses += o.dram_accesses;
     }
 }
 
@@ -96,5 +86,34 @@ mod tests {
         let s = GpuStats::default();
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.rf_cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn minus_saturates_and_keeps_cycles() {
+        let a = GpuStats {
+            cycles: 10,
+            valu_insts: 5,
+            ..GpuStats::default()
+        };
+        let b = GpuStats {
+            cycles: 4,
+            valu_insts: 9,
+            ..GpuStats::default()
+        };
+        let d = a.minus(&b);
+        assert_eq!(d.cycles, 10, "keep");
+        assert_eq!(d.valu_insts, 0, "saturating");
+    }
+
+    #[test]
+    fn iter_names_are_unique_and_stable() {
+        let names: Vec<String> = GpuStats::default().iter().map(|(n, _)| n).collect();
+        assert_eq!(names.len(), 13);
+        assert_eq!(names[0], "cycles");
+        assert_eq!(names[12], "dram_accesses");
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
     }
 }

@@ -1,0 +1,64 @@
+//! Property tests for the GPU counter struct: the generated
+//! `merge`/`minus`/`iter()` obey their declared per-field policies for
+//! arbitrary counter values.
+
+use proptest::prelude::*;
+
+use hetsim_gpu::stats::GpuStats;
+
+/// One value per [`GpuStats`] counter, bounded well below overflow so
+/// merged sums stay exact.
+fn counter_values() -> impl Strategy<Value = Vec<u64>> {
+    let fields = GpuStats::default().iter().count();
+    proptest::collection::vec(0u64..(1 << 32), fields)
+}
+
+/// Builds a [`GpuStats`] by assigning each generated value through the
+/// name-addressed `set`.
+fn stats_from(values: &[u64]) -> GpuStats {
+    let mut s = GpuStats::default();
+    for ((name, _), v) in GpuStats::default().iter().zip(values) {
+        assert!(s.set(&name, *v), "unknown counter {name}");
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `merge` then `minus` round-trips every sum/sub counter; `cycles`
+    /// (max/keep, compute units run in parallel) is the one exception.
+    #[test]
+    fn gpu_stats_merge_then_minus_round_trips(a in counter_values(), b in counter_values()) {
+        let sa = stats_from(&a);
+        let sb = stats_from(&b);
+        let mut merged = sa;
+        merged.merge(&sb);
+        let diff = merged.minus(&sa);
+        for (name, value) in diff.iter() {
+            if name == "cycles" {
+                continue;
+            }
+            prop_assert_eq!(Some(value), sb.get(&name), "counter {}", name);
+        }
+        prop_assert_eq!(merged.cycles, sa.cycles.max(sb.cycles), "cycles merge by max");
+    }
+
+    /// `iter()` names are unique, value-independent, and every pair is
+    /// addressable back through `get`.
+    #[test]
+    fn gpu_stats_iter_names_are_stable_and_unique(a in counter_values()) {
+        let s = stats_from(&a);
+        let names: Vec<String> = s.iter().map(|(n, _)| n).collect();
+        let default_names: Vec<String> =
+            GpuStats::default().iter().map(|(n, _)| n).collect();
+        prop_assert_eq!(&names, &default_names, "names do not depend on values");
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), names.len(), "names are unique");
+        for (name, value) in s.iter() {
+            prop_assert_eq!(s.get(&name), Some(value), "get({}) addresses iter()", name);
+        }
+    }
+}

@@ -2,22 +2,31 @@
 //!
 //! The power model consumes these counts: every access to every level is an
 //! energy event, and writebacks/fills generate traffic at the level below.
+//!
+//! Both structs are defined through [`hetsim_stats::counters!`]:
+//! `merge`/`minus`/`iter()` and serde support are derived from the field
+//! list, and [`MemStats`] nests [`CacheStats`] as counter *groups* — its
+//! `iter()` yields dotted names like `"il1.accesses"`, and its
+//! `merge`/`minus` delegate level by level.
 
-/// Counters for one cache structure.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Demand accesses (loads + stores reaching this level).
-    pub accesses: u64,
-    /// Demand accesses that were writes.
-    pub writes: u64,
-    /// Demand hits.
-    pub hits: u64,
-    /// Demand misses.
-    pub misses: u64,
-    /// Lines installed (demand fills + external fills).
-    pub fills: u64,
-    /// Dirty lines written back to the level below.
-    pub writebacks: u64,
+use hetsim_stats::counters;
+
+counters! {
+    /// Counters for one cache structure.
+    pub struct CacheStats {
+        /// Demand accesses (loads + stores reaching this level).
+        pub accesses: u64,
+        /// Demand accesses that were writes.
+        pub writes: u64,
+        /// Demand hits.
+        pub hits: u64,
+        /// Demand misses.
+        pub misses: u64,
+        /// Lines installed (demand fills + external fills).
+        pub fills: u64,
+        /// Dirty lines written back to the level below.
+        pub writebacks: u64,
+    }
 }
 
 impl CacheStats {
@@ -29,48 +38,27 @@ impl CacheStats {
             self.hits as f64 / self.accesses as f64
         }
     }
-
-    /// Counter-wise difference `self - baseline` (for warmup snapshots).
-    pub fn minus(&self, b: &CacheStats) -> CacheStats {
-        CacheStats {
-            accesses: self.accesses - b.accesses,
-            writes: self.writes - b.writes,
-            hits: self.hits - b.hits,
-            misses: self.misses - b.misses,
-            fills: self.fills - b.fills,
-            writebacks: self.writebacks - b.writebacks,
-        }
-    }
-
-    /// Accumulates another counter set into this one.
-    pub fn merge(&mut self, other: &CacheStats) {
-        self.accesses += other.accesses;
-        self.writes += other.writes;
-        self.hits += other.hits;
-        self.misses += other.misses;
-        self.fills += other.fills;
-        self.writebacks += other.writebacks;
-    }
 }
 
-/// Whole-hierarchy counters for one core, as consumed by the power model.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct MemStats {
-    /// Instruction-cache accesses (one per fetch group).
-    pub il1: CacheStats,
-    /// Data-cache accesses. For the asymmetric DL1 this counts FastCache
-    /// probes (every data access probes the fast way first).
-    pub dl1_fast: CacheStats,
-    /// SlowCache (or the whole DL1 for a conventional design) accesses.
-    pub dl1_slow: CacheStats,
-    /// Promotions from SlowCache to FastCache (asymmetric DL1 only).
-    pub promotions: u64,
-    /// L2 accesses.
-    pub l2: CacheStats,
-    /// L3 accesses.
-    pub l3: CacheStats,
-    /// DRAM accesses.
-    pub dram_accesses: u64,
+counters! {
+    /// Whole-hierarchy counters for one core, as consumed by the power model.
+    pub struct MemStats {
+        /// Instruction-cache accesses (one per fetch group).
+        pub il1: CacheStats,
+        /// Data-cache accesses. For the asymmetric DL1 this counts FastCache
+        /// probes (every data access probes the fast way first).
+        pub dl1_fast: CacheStats,
+        /// SlowCache (or the whole DL1 for a conventional design) accesses.
+        pub dl1_slow: CacheStats,
+        /// Promotions from SlowCache to FastCache (asymmetric DL1 only).
+        pub promotions: u64,
+        /// L2 accesses.
+        pub l2: CacheStats,
+        /// L3 accesses.
+        pub l3: CacheStats,
+        /// DRAM accesses.
+        pub dram_accesses: u64,
+    }
 }
 
 impl MemStats {
@@ -94,30 +82,6 @@ impl MemStats {
         }
         let hits = self.dl1_fast.hits + self.dl1_slow.hits;
         hits as f64 / demand as f64
-    }
-
-    /// Counter-wise difference `self - baseline` (for warmup snapshots).
-    pub fn minus(&self, b: &MemStats) -> MemStats {
-        MemStats {
-            il1: self.il1.minus(&b.il1),
-            dl1_fast: self.dl1_fast.minus(&b.dl1_fast),
-            dl1_slow: self.dl1_slow.minus(&b.dl1_slow),
-            promotions: self.promotions - b.promotions,
-            l2: self.l2.minus(&b.l2),
-            l3: self.l3.minus(&b.l3),
-            dram_accesses: self.dram_accesses - b.dram_accesses,
-        }
-    }
-
-    /// Accumulates another core's counters (for multicore totals).
-    pub fn merge(&mut self, other: &MemStats) {
-        self.il1.merge(&other.il1);
-        self.dl1_fast.merge(&other.dl1_fast);
-        self.dl1_slow.merge(&other.dl1_slow);
-        self.promotions += other.promotions;
-        self.l2.merge(&other.l2);
-        self.l3.merge(&other.l3);
-        self.dram_accesses += other.dram_accesses;
     }
 }
 
@@ -169,5 +133,32 @@ mod tests {
         asym.dl1_slow.hits = 30;
         assert_eq!(asym.dl1_accesses(), 100);
         assert!((asym.dl1_hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    /// Regression: warmup snapshots taken mid-flight can exceed the final
+    /// count (e.g. fills for in-flight lines); release builds used to wrap.
+    #[test]
+    fn minus_saturates_instead_of_wrapping() {
+        let mut a = MemStats::default();
+        a.l2.fills = 3;
+        let mut snap = MemStats::default();
+        snap.l2.fills = 5;
+        snap.promotions = 1;
+        let d = a.minus(&snap);
+        assert_eq!(d.l2.fills, 0, "nested counters saturate");
+        assert_eq!(d.promotions, 0, "scalar counters saturate");
+    }
+
+    #[test]
+    fn iter_flattens_the_hierarchy_with_dotted_names() {
+        let mut m = MemStats::default();
+        m.il1.accesses = 7;
+        m.promotions = 3;
+        let pairs: Vec<(String, u64)> = m.iter().collect();
+        assert_eq!(pairs.len(), 5 * 6 + 2, "5 cache levels x 6 + 2 scalars");
+        assert_eq!(pairs[0], ("il1.accesses".to_string(), 7));
+        assert!(pairs.contains(&("promotions".to_string(), 3)));
+        assert!(pairs.iter().any(|(n, _)| n == "l3.writebacks"));
+        assert_eq!(m.get("il1.accesses"), Some(7));
     }
 }

@@ -5,6 +5,7 @@ use proptest::prelude::*;
 
 use hetsim_mem::asymmetric::AsymmetricCache;
 use hetsim_mem::cache::{Cache, CacheConfig};
+use hetsim_mem::stats::MemStats;
 
 /// A reference LRU model: fully explicit, obviously correct.
 struct RefLru {
@@ -110,5 +111,55 @@ proptest! {
         let second = cache.stats().hit_rate();
         prop_assert!((0.0..=1.0).contains(&first));
         prop_assert!(second >= first, "footprint fits: second pass hits");
+    }
+}
+
+/// One value per [`MemStats`] counter (nested levels flattened to their
+/// dotted names), bounded well below overflow so merged sums stay exact.
+fn counter_values() -> impl Strategy<Value = Vec<u64>> {
+    let fields = MemStats::default().iter().count();
+    proptest::collection::vec(0u64..(1 << 32), fields)
+}
+
+/// Builds a [`MemStats`] by assigning each generated value through the
+/// dotted-name-addressed `set`.
+fn stats_from(values: &[u64]) -> MemStats {
+    let mut s = MemStats::default();
+    for ((name, _), v) in MemStats::default().iter().zip(values) {
+        assert!(s.set(&name, *v), "unknown counter {name}");
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every [`MemStats`] counter is sum/sub, so `merge` then `minus`
+    /// round-trips the whole hierarchy — nested cache levels included.
+    #[test]
+    fn mem_stats_merge_then_minus_round_trips(a in counter_values(), b in counter_values()) {
+        let sa = stats_from(&a);
+        let sb = stats_from(&b);
+        let mut merged = sa;
+        merged.merge(&sb);
+        prop_assert_eq!(merged.minus(&sa), sb);
+    }
+
+    /// Dotted `iter()` names are unique, value-independent, and every
+    /// pair is addressable back through `get`.
+    #[test]
+    fn mem_stats_iter_names_are_stable_and_unique(a in counter_values()) {
+        let s = stats_from(&a);
+        let names: Vec<String> = s.iter().map(|(n, _)| n).collect();
+        let default_names: Vec<String> =
+            MemStats::default().iter().map(|(n, _)| n).collect();
+        prop_assert_eq!(&names, &default_names, "names do not depend on values");
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), names.len(), "names are unique");
+        for (name, value) in s.iter() {
+            prop_assert_eq!(s.get(&name), Some(value), "get({}) addresses iter()", name);
+        }
     }
 }

@@ -16,21 +16,26 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use hetsim_stats::counters;
 use serde::{Deserialize, Serialize};
 
 use crate::job::JobKey;
 
-/// Counters describing how a cache behaved over some window.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Lookups answered from the in-process store.
-    pub memory_hits: u64,
-    /// Lookups answered from the on-disk layer.
-    pub disk_hits: u64,
-    /// Lookups that found nothing (the job must run).
-    pub misses: u64,
-    /// Disk files that existed but failed to parse (counted as misses).
-    pub corrupt_files: u64,
+counters! {
+    /// Counters describing how a cache behaved over some window.
+    ///
+    /// Defined through [`hetsim_stats::counters!`], so `merge`/`minus`
+    /// and `iter()` over `(name, value)` pairs come for free.
+    pub struct CacheStats {
+        /// Lookups answered from the in-process store.
+        pub memory_hits: u64,
+        /// Lookups answered from the on-disk layer.
+        pub disk_hits: u64,
+        /// Lookups that found nothing (the job must run).
+        pub misses: u64,
+        /// Disk files that existed but failed to parse (counted as misses).
+        pub corrupt_files: u64,
+    }
 }
 
 impl CacheStats {

@@ -58,4 +58,13 @@ pub trait SimMetrics {
     fn sim_seconds(&self) -> f64 {
         0.0
     }
+
+    /// Flat `(name, value)` counter pairs summarizing this outcome,
+    /// carried on every [`ProgressEvent::JobFinished`] so sinks can
+    /// stream per-job telemetry without knowing the outcome type.
+    /// Names should be stable, dotted paths (e.g. `"core.cycles"`).
+    /// The default (empty) simply mutes per-job counters.
+    fn counters(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
 }

@@ -9,6 +9,9 @@
 use std::sync::Mutex;
 use std::time::Duration;
 
+use serde::value::Value;
+use serde::Serialize;
+
 use crate::cache::CacheStats;
 
 /// How a job's outcome was obtained.
@@ -51,6 +54,12 @@ pub enum ProgressEvent {
         done: usize,
         /// Jobs in the batch.
         total: usize,
+        /// The outcome's counter summary (`(name, value)` pairs from
+        /// [`crate::SimMetrics::counters`]); empty for outcome types
+        /// that do not expose counters. Cache hits carry the cached
+        /// outcome's counters, so the telemetry stream is identical
+        /// whether a campaign ran cold or warm.
+        counters: Vec<(String, u64)>,
     },
     /// The batch completed.
     BatchFinished {
@@ -102,12 +111,22 @@ impl RunnerStats {
         self.jobs += other.jobs;
         self.executed += other.executed;
         self.cache_hits += other.cache_hits;
-        self.cache.memory_hits += other.cache.memory_hits;
-        self.cache.disk_hits += other.cache.disk_hits;
-        self.cache.misses += other.cache.misses;
-        self.cache.corrupt_files += other.cache.corrupt_files;
+        self.cache.merge(&other.cache);
         self.sim_seconds += other.sim_seconds;
         self.wall += other.wall;
+    }
+}
+
+impl Serialize for RunnerStats {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("jobs".into(), self.jobs.to_value()),
+            ("executed".into(), self.executed.to_value()),
+            ("cache_hits".into(), self.cache_hits.to_value()),
+            ("cache".into(), self.cache.to_value()),
+            ("sim_seconds".into(), self.sim_seconds.to_value()),
+            ("wall_seconds".into(), self.wall.as_secs_f64().to_value()),
+        ])
     }
 }
 
@@ -222,6 +241,40 @@ mod tests {
     }
 
     #[test]
+    fn runner_stats_serialize_for_telemetry() {
+        let stats = RunnerStats {
+            jobs: 4,
+            executed: 3,
+            cache_hits: 1,
+            cache: CacheStats {
+                memory_hits: 1,
+                disk_hits: 0,
+                misses: 3,
+                corrupt_files: 0,
+            },
+            sim_seconds: 0.25,
+            wall: Duration::from_millis(1500),
+        };
+        let Value::Object(fields) = stats.to_value() else {
+            panic!("RunnerStats must serialize to an object");
+        };
+        let names: Vec<&str> = fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "jobs",
+                "executed",
+                "cache_hits",
+                "cache",
+                "sim_seconds",
+                "wall_seconds"
+            ]
+        );
+        let wall = fields.iter().find(|(n, _)| n == "wall_seconds").unwrap();
+        assert_eq!(wall.1, 1.5f64.to_value());
+    }
+
+    #[test]
     fn stderr_sink_formats_without_panicking() {
         let sink = StderrSink::default();
         sink.event(&ProgressEvent::BatchStarted {
@@ -234,6 +287,7 @@ mod tests {
             provenance: Provenance::DiskCache,
             done: 1,
             total: 2,
+            counters: vec![("core.cycles".into(), 42)],
         });
         sink.event(&ProgressEvent::BatchFinished {
             stats: RunnerStats::default(),

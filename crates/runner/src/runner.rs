@@ -117,6 +117,7 @@ where
                         provenance,
                         done: done.fetch_add(1, Ordering::SeqCst) + 1,
                         total: n,
+                        counters: value.counters(),
                     });
                     slots.push(Some(value));
                 }
@@ -150,6 +151,7 @@ where
                         provenance: Provenance::Executed,
                         done: done.fetch_add(1, Ordering::SeqCst) + 1,
                         total: n,
+                        counters: value.counters(),
                     });
                     (index, value)
                 }) as Task<'_, (usize, T)>
@@ -214,6 +216,10 @@ mod tests {
     impl SimMetrics for Out {
         fn sim_seconds(&self) -> f64 {
             self.0
+        }
+
+        fn counters(&self) -> Vec<(String, u64)> {
+            vec![("value_millis".into(), (self.0 * 1e3) as u64)]
         }
     }
 
@@ -299,6 +305,38 @@ mod tests {
         runner.run(batch(&RUNS, 12));
         assert_eq!(sink.0.load(Ordering::SeqCst), 12);
         assert_eq!(sink.1.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn job_finished_events_carry_outcome_counters_cold_and_warm() {
+        struct Collecting(Mutex<Vec<Vec<(String, u64)>>>);
+        impl ProgressSink for Collecting {
+            fn event(&self, event: &ProgressEvent) {
+                if let ProgressEvent::JobFinished {
+                    index, counters, ..
+                } = event
+                {
+                    let mut seen = self.0.lock().expect("sink lock");
+                    // Keyed by index so worker completion order is moot.
+                    if seen.len() <= *index {
+                        seen.resize(*index + 1, Vec::new());
+                    }
+                    seen[*index] = counters.clone();
+                }
+            }
+        }
+        static RUNS: AtomicU64 = AtomicU64::new(0);
+        let sink = Arc::new(Collecting(Mutex::new(Vec::new())));
+        let runner = Runner::new(4).with_sink(sink.clone());
+        runner.run(batch(&RUNS, 3));
+        let cold = std::mem::take(&mut *sink.0.lock().expect("sink lock"));
+        assert_eq!(cold[2], vec![("value_millis".to_string(), 2000)]);
+
+        // A warm batch (pure memory hits) must report the same counters.
+        runner.run(batch(&RUNS, 3));
+        assert_eq!(runner.last_stats().executed, 0);
+        let warm = std::mem::take(&mut *sink.0.lock().expect("sink lock"));
+        assert_eq!(cold, warm);
     }
 
     #[test]
