@@ -1,4 +1,5 @@
-//! Regenerates every table and figure of the paper's evaluation.
+//! Regenerates every table and figure of the paper's evaluation, and
+//! gates reruns against pinned baselines.
 //!
 //! Usage:
 //!
@@ -6,6 +7,10 @@
 //! repro [--quick] [--insts N] [--format table|json|csv] [--stats-out PATH]
 //!       [--jobs N] [--cache-dir PATH] [--progress]
 //!       [table1|fig1..fig14|all|ext|ext-migration|ext-partrf|ext-sched]...
+//! repro baseline DIR [--insts N] [--jobs N] [--cache-dir PATH] [TARGET]...
+//! repro diff BASELINE.json CANDIDATE.json [--format F] [--rel-tol X]
+//!       [--allow PREFIX]... [--allow-schema-change]
+//! repro ci-gate --baseline DIR [--jobs N] [--cache-dir PATH] [--rel-tol X]
 //! ```
 //!
 //! With no experiment arguments, runs `all`. `--quick` shrinks the
@@ -19,7 +24,19 @@
 //! `--json` is a shorthand for `--format json`. Independently,
 //! `--stats-out PATH` writes the run's complete counter telemetry —
 //! every per-design pipeline/memory/GPU counter plus the runner's
-//! execution stats — as JSON to `PATH` (see `hetcore::telemetry`).
+//! execution stats — as JSON to `PATH` (see `hetcore::telemetry`),
+//! atomically and creating missing parent directories.
+//!
+//! The three subcommands close the regression loop
+//! (see `hetcore::regression`):
+//!
+//! * `baseline DIR` reruns the pinned targets (default: fig7 fig8
+//!   fig14 ext) and writes one self-describing stats dump per target
+//!   into `DIR`;
+//! * `diff` compares two dumps and exits non-zero on any regression,
+//!   naming the design, counter, delta and violated tolerance;
+//! * `ci-gate` replays every baseline in a directory at its recorded
+//!   configuration and diffs the fresh run against it — the CI job.
 //!
 //! The campaigns run on the `hetsim-runner` engine: `--jobs N` sets the
 //! worker-thread count (default: all available cores; output is
@@ -35,6 +52,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use hetcore::regression::{diff_dumps, DiffPolicy, DumpDoc};
+use hetcore::report::Report;
 use hetcore::suite::{Experiment, Extension, Suite};
 use hetcore::telemetry::StatsDump;
 use hetsim_runner::{NullSink, ProgressSink, Runner, StderrSink};
@@ -50,10 +69,25 @@ enum Format {
     Csv,
 }
 
+fn parse_format(v: &str) -> Result<Format, String> {
+    match v {
+        "table" => Ok(Format::Table),
+        "json" => Ok(Format::Json),
+        "csv" => Ok(Format::Csv),
+        other => Err(format!(
+            "--format expects table, json or csv, got '{other}'"
+        )),
+    }
+}
+
 fn usage() -> String {
     format!(
         "usage: repro [--quick] [--insts N] [--format table|json|csv] [--stats-out PATH] \
          [--jobs N] [--cache-dir PATH] [--progress] [EXPERIMENT]...\n\
+         \x20      repro baseline DIR [--insts N] [--jobs N] [--cache-dir PATH] [TARGET]...\n\
+         \x20      repro diff BASELINE.json CANDIDATE.json [--format F] [--rel-tol X] \
+         [--allow PREFIX]... [--allow-schema-change]\n\
+         \x20      repro ci-gate --baseline DIR [--jobs N] [--cache-dir PATH] [--rel-tol X]\n\
          experiments: all, ext, {}\n\
          extensions:  {}",
         Experiment::ALL
@@ -69,7 +103,8 @@ fn usage() -> String {
     )
 }
 
-/// Everything `main` needs, parsed and validated as a whole.
+/// Everything the default (run) command needs, parsed and validated as
+/// a whole.
 struct Options {
     suite: Suite,
     requested: Vec<Experiment>,
@@ -125,15 +160,9 @@ fn parse(args: &[String]) -> Result<Options, Vec<String>> {
             "--json" => format = Format::Json,
             "--format" => {
                 if let Some(v) = value(&mut errors) {
-                    match v.as_str() {
-                        "table" => format = Format::Table,
-                        "json" => format = Format::Json,
-                        "csv" => format = Format::Csv,
-                        other => {
-                            errors.push(format!(
-                                "--format expects table, json or csv, got '{other}'"
-                            ));
-                        }
+                    match parse_format(&v) {
+                        Ok(f) => format = f,
+                        Err(e) => errors.push(e),
                     }
                 }
             }
@@ -187,11 +216,7 @@ fn parse(args: &[String]) -> Result<Options, Vec<String>> {
         // An explicit budget wins over --quick wherever it appears.
         suite.insts_per_app = n;
     }
-    let jobs = jobs.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    });
+    let jobs = jobs.unwrap_or_else(default_jobs);
     Ok(Options {
         suite,
         requested,
@@ -204,29 +229,32 @@ fn parse(args: &[String]) -> Result<Options, Vec<String>> {
     })
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match parse(&args) {
-        Ok(opts) => opts,
-        Err(errors) => {
-            for e in &errors {
-                eprintln!("error: {e}");
-            }
-            eprintln!("{}", usage());
-            return ExitCode::FAILURE;
-        }
-    };
-    let Options {
-        suite,
-        requested,
-        extensions,
-        format,
-        stats_out,
-        jobs,
-        cache_dir,
-        progress,
-    } = opts;
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
+/// Everything one run produces: the rendered reports plus the complete
+/// telemetry dump (campaign counters, runner stats, reports, run
+/// config), ready to print, persist or diff.
+struct Execution {
+    reports: Vec<Report>,
+    dump: StatsDump,
+}
+
+/// Runs `requested` + `extensions` on `suite` and collects the output.
+/// This is the one execution path shared by the default command, the
+/// baseline writer and the CI gate, so a replayed baseline is produced
+/// by *exactly* the code a normal run uses.
+fn execute(
+    suite: &Suite,
+    requested: &[Experiment],
+    extensions: &[Extension],
+    jobs: usize,
+    cache_dir: &Option<PathBuf>,
+    progress: bool,
+) -> Result<Execution, String> {
     let sink: Arc<dyn ProgressSink> = if progress {
         Arc::new(StderrSink::default())
     } else {
@@ -256,27 +284,15 @@ fn main() -> ExitCode {
         }
     }
     // Runners outlive their campaigns: their cumulative stats feed the
-    // --stats-out telemetry dump after the reports are rendered.
-    let cpu_runner = match needs_cpu
-        .then(|| with_cache(&cache_dir, Runner::new(jobs)).map(|r| r.with_sink(sink.clone())))
+    // telemetry dump after the reports are rendered.
+    let cpu_runner = needs_cpu
+        .then(|| with_cache(cache_dir, Runner::new(jobs)).map(|r| r.with_sink(sink.clone())))
         .transpose()
-    {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: cannot open cache directory: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let gpu_runner = match needs_gpu
-        .then(|| with_cache(&cache_dir, Runner::new(jobs)).map(|r| r.with_sink(sink.clone())))
+        .map_err(|e| format!("cannot open cache directory: {e}"))?;
+    let gpu_runner = needs_gpu
+        .then(|| with_cache(cache_dir, Runner::new(jobs)).map(|r| r.with_sink(sink.clone())))
         .transpose()
-    {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: cannot open cache directory: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+        .map_err(|e| format!("cannot open cache directory: {e}"))?;
     let cpu = cpu_runner.as_ref().map(|r| {
         eprintln!("running CPU campaign (11 chips x 14 applications, {jobs} worker(s))...");
         suite.cpu_campaign_with(r)
@@ -302,17 +318,10 @@ fn main() -> ExitCode {
             Experiment::Fig13 => suite.fig13(cpu.as_ref().expect("campaign ran")),
             Experiment::Fig14 => suite.fig14(),
         };
-        if format == Format::Table {
-            println!("{report}");
-        }
         reports.push(report);
-        if e == Experiment::Fig8 {
+        if *e == Experiment::Fig8 {
             // The stacked-bar detail of Figure 8.
-            let detail = suite.fig8_breakdown(cpu.as_ref().expect("campaign ran"));
-            if format == Format::Table {
-                println!("{detail}");
-            }
-            reports.push(detail);
+            reports.push(suite.fig8_breakdown(cpu.as_ref().expect("campaign ran")));
         }
     }
     for e in extensions {
@@ -321,45 +330,508 @@ fn main() -> ExitCode {
             Extension::PartitionedRf => suite.ext_partitioned_rf(),
             Extension::Scheduling => suite.ext_scheduling(),
         };
-        if format == Format::Table {
-            println!("{report}");
-        }
         reports.push(report);
     }
+
+    // The canonical experiment words: what `run.experiments` records
+    // and what `ci-gate` replays. Derived the same way on record and
+    // replay, so the words themselves always diff clean.
+    let words: Vec<String> = requested
+        .iter()
+        .map(|e| e.cli_name().to_string())
+        .chain(extensions.iter().map(|e| e.cli_name().to_string()))
+        .collect();
+    let mut dump = StatsDump::new().with_run(suite.insts_per_app, suite.seed, &words);
+    if let Some(c) = &cpu {
+        dump = dump.with_cpu_campaign(c);
+    }
+    if let Some(c) = &gpu {
+        dump = dump.with_gpu_campaign(c);
+    }
+    if let Some(r) = &cpu_runner {
+        dump = dump.with_runner("cpu", r.total_stats());
+    }
+    if let Some(r) = &gpu_runner {
+        dump = dump.with_runner("gpu", r.total_stats());
+    }
+    dump = dump.with_reports(&reports);
+    Ok(Execution { reports, dump })
+}
+
+fn print_reports(reports: &[Report], format: Format) -> Result<(), String> {
     match format {
-        Format::Table => {}
-        Format::Json => match serde_json::to_string_pretty(&reports) {
-            Ok(s) => println!("{s}"),
-            Err(e) => {
-                eprintln!("failed to serialize reports: {e}");
-                return ExitCode::FAILURE;
+        Format::Table => {
+            for report in reports {
+                println!("{report}");
             }
-        },
+        }
+        Format::Json => {
+            let s = serde_json::to_string_pretty(&reports.to_vec())
+                .map_err(|e| format!("failed to serialize reports: {e}"))?;
+            println!("{s}");
+        }
         Format::Csv => {
-            for report in &reports {
+            for report in reports {
                 println!("{}", report.to_csv());
             }
         }
     }
-    if let Some(path) = stats_out {
-        let mut dump = StatsDump::new();
-        if let Some(c) = &cpu {
-            dump = dump.with_cpu_campaign(c);
+    Ok(())
+}
+
+fn fail(errors: &[String]) -> ExitCode {
+    for e in errors {
+        eprintln!("error: {e}");
+    }
+    eprintln!("{}", usage());
+    ExitCode::FAILURE
+}
+
+/// The default command: run experiments, print reports, optionally
+/// persist telemetry.
+fn cmd_run(args: &[String]) -> ExitCode {
+    let opts = match parse(args) {
+        Ok(opts) => opts,
+        Err(errors) => return fail(&errors),
+    };
+    let execution = match execute(
+        &opts.suite,
+        &opts.requested,
+        &opts.extensions,
+        opts.jobs,
+        &opts.cache_dir,
+        opts.progress,
+    ) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
         }
-        if let Some(c) = &gpu {
-            dump = dump.with_gpu_campaign(c);
-        }
-        if let Some(r) = &cpu_runner {
-            dump = dump.with_runner("cpu", r.total_stats());
-        }
-        if let Some(r) = &gpu_runner {
-            dump = dump.with_runner("gpu", r.total_stats());
-        }
-        if let Err(e) = std::fs::write(&path, dump.to_json()) {
+    };
+    if let Err(e) = print_reports(&execution.reports, opts.format) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = opts.stats_out {
+        if let Err(e) = execution.dump.write_to(&path) {
             eprintln!("error: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
         eprintln!("wrote counter telemetry to {}", path.display());
     }
     ExitCode::SUCCESS
+}
+
+/// A baseline target: one CLI word, resolved to the experiments and
+/// extensions it runs.
+fn resolve_target(word: &str) -> Result<(Vec<Experiment>, Vec<Extension>), String> {
+    if word == "ext" {
+        return Ok((Vec::new(), Extension::ALL.to_vec()));
+    }
+    if let Some(e) = Experiment::from_cli_name(word) {
+        return Ok((vec![e], Vec::new()));
+    }
+    if let Some(e) = Extension::from_cli_name(word) {
+        return Ok((Vec::new(), vec![e]));
+    }
+    Err(format!("unknown experiment '{word}'"))
+}
+
+/// The targets `repro baseline` pins by default (and the CI gate
+/// replays): the paper's headline CPU figures, the device-level
+/// Figure 14, and the extension studies.
+const DEFAULT_BASELINE_TARGETS: [&str; 4] = ["fig7", "fig8", "fig14", "ext"];
+
+/// Instruction budget baselines are recorded at: small enough for CI,
+/// matching the golden-test snapshots.
+const DEFAULT_BASELINE_INSTS: u64 = 3_000;
+
+/// `repro baseline DIR [TARGET]...` — write one pinned dump per target.
+fn cmd_baseline(args: &[String]) -> ExitCode {
+    let mut dir: Option<PathBuf> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut insts = DEFAULT_BASELINE_INSTS;
+    let mut jobs = None;
+    let mut cache_dir = None;
+    let mut progress = false;
+    let mut errors = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let (name, inline) = match arg.split_once('=') {
+            Some((n, v)) if n.starts_with("--") => (n, Some(v.to_string())),
+            _ => (arg, None),
+        };
+        let mut value = |errors: &mut Vec<String>| -> Option<String> {
+            if let Some(v) = inline.clone() {
+                return Some(v);
+            }
+            i += 1;
+            match args.get(i) {
+                Some(v) => Some(v.clone()),
+                None => {
+                    errors.push(format!("{name} requires a value"));
+                    None
+                }
+            }
+        };
+        match name {
+            "--insts" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<u64>() {
+                        Ok(n) if n >= 1 => insts = n,
+                        _ => errors.push(format!("--insts expects an integer >= 1, got '{v}'")),
+                    }
+                }
+            }
+            "--jobs" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => jobs = Some(n),
+                        _ => errors.push(format!("--jobs expects an integer >= 1, got '{v}'")),
+                    }
+                }
+            }
+            "--cache-dir" => {
+                if let Some(v) = value(&mut errors) {
+                    cache_dir = Some(PathBuf::from(v));
+                }
+            }
+            "--progress" => progress = true,
+            other if other.starts_with("--") => {
+                errors.push(format!("unknown flag '{other}'"));
+            }
+            positional => {
+                if dir.is_none() {
+                    dir = Some(PathBuf::from(positional));
+                } else {
+                    if let Err(e) = resolve_target(positional) {
+                        errors.push(e);
+                    }
+                    targets.push(positional.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    let Some(dir) = dir else {
+        errors.push("baseline requires an output directory".to_string());
+        return fail(&errors);
+    };
+    if !errors.is_empty() {
+        return fail(&errors);
+    }
+    if targets.is_empty() {
+        targets = DEFAULT_BASELINE_TARGETS
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+    }
+    let jobs = jobs.unwrap_or_else(default_jobs);
+    let suite = Suite {
+        insts_per_app: insts,
+        ..Suite::default()
+    };
+
+    for target in &targets {
+        let (requested, extensions) = resolve_target(target).expect("validated above");
+        let execution = match execute(&suite, &requested, &extensions, jobs, &cache_dir, progress) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let path = dir.join(format!("{target}.json"));
+        if let Err(e) = execution.dump.write_to(&path) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote baseline {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro diff BASELINE.json CANDIDATE.json` — compare two dumps, exit
+/// non-zero on regression.
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut format = Format::Table;
+    let mut policy = DiffPolicy::default();
+    let mut errors = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let (name, inline) = match arg.split_once('=') {
+            Some((n, v)) if n.starts_with("--") => (n, Some(v.to_string())),
+            _ => (arg, None),
+        };
+        let mut value = |errors: &mut Vec<String>| -> Option<String> {
+            if let Some(v) = inline.clone() {
+                return Some(v);
+            }
+            i += 1;
+            match args.get(i) {
+                Some(v) => Some(v.clone()),
+                None => {
+                    errors.push(format!("{name} requires a value"));
+                    None
+                }
+            }
+        };
+        match name {
+            "--format" => {
+                if let Some(v) = value(&mut errors) {
+                    match parse_format(&v) {
+                        Ok(f) => format = f,
+                        Err(e) => errors.push(e),
+                    }
+                }
+            }
+            "--rel-tol" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<f64>() {
+                        Ok(t) if t >= 0.0 && t.is_finite() => policy.rel_tol = t,
+                        _ => errors.push(format!("--rel-tol expects a number >= 0, got '{v}'")),
+                    }
+                }
+            }
+            "--allow" => {
+                if let Some(v) = value(&mut errors) {
+                    policy.allowed_counter_changes.push(v);
+                }
+            }
+            "--allow-schema-change" => policy.allow_schema_change = true,
+            other if other.starts_with("--") => errors.push(format!("unknown flag '{other}'")),
+            positional => paths.push(PathBuf::from(positional)),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        errors.push(format!(
+            "diff expects exactly two dump files, got {}",
+            paths.len()
+        ));
+    }
+    if !errors.is_empty() {
+        return fail(&errors);
+    }
+
+    let (baseline, candidate) = (&paths[0], &paths[1]);
+    let base_doc = match DumpDoc::load(baseline) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cand_doc = match DumpDoc::load(candidate) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = diff_dumps(&base_doc, &cand_doc, &policy);
+    match format {
+        Format::Table => print!("{}", report.to_table()),
+        Format::Json => match serde_json::to_string_pretty(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("failed to serialize diff: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Format::Csv => print!("{}", report.to_csv()),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `repro ci-gate --baseline DIR` — replay every baseline at its
+/// recorded configuration and diff the fresh run against it.
+fn cmd_ci_gate(args: &[String]) -> ExitCode {
+    let mut baseline_dir: Option<PathBuf> = None;
+    let mut jobs = None;
+    let mut cache_dir = None;
+    let mut progress = false;
+    let mut policy = DiffPolicy::default();
+    let mut errors = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let (name, inline) = match arg.split_once('=') {
+            Some((n, v)) if n.starts_with("--") => (n, Some(v.to_string())),
+            _ => (arg, None),
+        };
+        let mut value = |errors: &mut Vec<String>| -> Option<String> {
+            if let Some(v) = inline.clone() {
+                return Some(v);
+            }
+            i += 1;
+            match args.get(i) {
+                Some(v) => Some(v.clone()),
+                None => {
+                    errors.push(format!("{name} requires a value"));
+                    None
+                }
+            }
+        };
+        match name {
+            "--baseline" => {
+                if let Some(v) = value(&mut errors) {
+                    baseline_dir = Some(PathBuf::from(v));
+                }
+            }
+            "--jobs" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => jobs = Some(n),
+                        _ => errors.push(format!("--jobs expects an integer >= 1, got '{v}'")),
+                    }
+                }
+            }
+            "--cache-dir" => {
+                if let Some(v) = value(&mut errors) {
+                    cache_dir = Some(PathBuf::from(v));
+                }
+            }
+            "--rel-tol" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<f64>() {
+                        Ok(t) if t >= 0.0 && t.is_finite() => policy.rel_tol = t,
+                        _ => errors.push(format!("--rel-tol expects a number >= 0, got '{v}'")),
+                    }
+                }
+            }
+            "--progress" => progress = true,
+            other => errors.push(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    let Some(dir) = baseline_dir else {
+        errors.push("ci-gate requires --baseline DIR".to_string());
+        return fail(&errors);
+    };
+    if !errors.is_empty() {
+        return fail(&errors);
+    }
+    let jobs = jobs.unwrap_or_else(default_jobs);
+
+    let mut files: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) => {
+            eprintln!(
+                "error: cannot read baseline directory {}: {e}",
+                dir.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    files.sort();
+    if files.is_empty() {
+        eprintln!(
+            "error: no *.json baselines in {} (generate them with `repro baseline {}`)",
+            dir.display(),
+            dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for file in &files {
+        let name = file
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| file.display().to_string());
+        let base_doc = match DumpDoc::load(file) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let Some(run) = &base_doc.run else {
+            eprintln!(
+                "error: {} has no `run` section; regenerate it with `repro baseline`",
+                file.display()
+            );
+            failed = true;
+            continue;
+        };
+        let mut requested = Vec::new();
+        let mut extensions = Vec::new();
+        let mut unknown = false;
+        for word in &run.experiments {
+            match resolve_target(word) {
+                Ok((r, x)) => {
+                    requested.extend(r);
+                    extensions.extend(x);
+                }
+                Err(e) => {
+                    eprintln!("error: {}: {e}", file.display());
+                    unknown = true;
+                }
+            }
+        }
+        if unknown {
+            failed = true;
+            continue;
+        }
+        let suite = Suite {
+            insts_per_app: run.insts,
+            seed: run.seed,
+        };
+        eprintln!(
+            "[ci-gate] {name}: replaying {} at --insts {}",
+            run.experiments.join(" "),
+            run.insts
+        );
+        let execution = match execute(&suite, &requested, &extensions, jobs, &cache_dir, progress) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let cand_doc = match DumpDoc::parse(&execution.dump.to_json()) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: fresh run produced an unparsable dump: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let report = diff_dumps(&base_doc, &cand_doc, &policy);
+        print!("[{name}] {}", report.to_table());
+        if !report.is_clean() {
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("baseline") => cmd_baseline(&args[1..]),
+        Some("ci-gate") => cmd_ci_gate(&args[1..]),
+        _ => cmd_run(&args),
+    }
 }

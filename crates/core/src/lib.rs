@@ -27,6 +27,8 @@
 //! * [`report`] — tables (text/CSV/JSON) in the shape of the paper's figures.
 //! * [`suite`] — one entry point per paper table/figure.
 //! * [`telemetry`] — the machine-readable `--stats-out` counter dump.
+//! * [`regression`] — cross-run diffing of those dumps against pinned
+//!   baselines (`repro diff` / `repro baseline` / `repro ci-gate`).
 //!
 //! Campaigns execute on the `hetsim-runner` engine: a work-stealing
 //! thread pool plus a content-addressed result cache, with parallel
@@ -54,6 +56,7 @@ pub mod campaign;
 pub mod config;
 pub mod experiment;
 pub mod migration;
+pub mod regression;
 pub mod report;
 pub mod suite;
 pub mod telemetry;
@@ -64,6 +67,7 @@ pub use experiment::{
     run_cpu, run_cpu_multicore, run_gpu, run_gpu_scheduled, CpuOutcome, GpuOutcome,
 };
 pub use migration::{iso_area_comparison, run_migration_cmp, MigrationConfig};
+pub use regression::{diff_dumps, DiffPolicy, DiffReport, DumpDoc};
 pub use report::Report;
 pub use suite::Experiment;
 pub use telemetry::StatsDump;

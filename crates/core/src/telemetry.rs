@@ -7,11 +7,19 @@
 //! ```json
 //! {
 //!   "schema": { "cpu": "cpu-v2", "gpu": "gpu-v2" },
+//!   "run": { "insts": 3000, "seed": 42, "experiments": ["fig7"] },
 //!   "cpu": { "designs": { "BaseCMOS": { "core": {...}, "mem": {...} }, ... } },
 //!   "gpu": { "designs": { "BaseCMOS": { "gpu": {...} }, ... } },
-//!   "runner": { "cpu": { "jobs": ..., "wall_seconds": ... }, ... }
+//!   "runner": { "cpu": { "jobs": ..., "wall_seconds": ... }, ... },
+//!   "reports": [ { "title": ..., "columns": [...], "rows": [...] }, ... ]
 //! }
 //! ```
+//!
+//! The optional `run` section makes a dump self-describing (so
+//! `repro ci-gate` can replay the exact configuration a baseline was
+//! recorded under), and `reports` carries the run's rendered figures so
+//! derived metrics diff alongside raw counters — see
+//! [`crate::regression`].
 //!
 //! Counter maps are keyed *exactly* by the names `iter()` yields
 //! (dotted for nested groups, e.g. `"il1.accesses"`), so consumers can
@@ -19,6 +27,8 @@
 //! to match what the simulators actually count. Per-design entries
 //! merge all applications/kernels of the campaign with the structs'
 //! own `merge` policies (`cycles` maxes, events sum).
+
+use std::path::Path;
 
 use hetsim_cpu::stats::CoreStats;
 use hetsim_gpu::stats::GpuStats;
@@ -28,6 +38,7 @@ use serde::value::Value;
 use serde::Serialize;
 
 use crate::campaign::{CPU_SCHEMA, GPU_SCHEMA};
+use crate::report::Report;
 use crate::suite::{cpu_campaign_columns, CpuCampaign, GpuCampaign};
 
 /// Builder for the `--stats-out` document. Sections are optional: a
@@ -35,9 +46,11 @@ use crate::suite::{cpu_campaign_columns, CpuCampaign, GpuCampaign};
 /// (mostly empty) dump.
 #[derive(Debug, Clone, Default)]
 pub struct StatsDump {
+    run: Option<(u64, u64, Vec<String>)>,
     cpu: Option<Value>,
     gpu: Option<Value>,
     runner: Vec<(String, RunnerStats)>,
+    reports: Vec<Report>,
 }
 
 /// A flat counter map as a JSON object, keyed by `iter()` names.
@@ -135,9 +148,37 @@ impl StatsDump {
         self
     }
 
+    /// Records the run configuration (`insts`, `seed`, experiment CLI
+    /// words), making the dump self-describing: `repro ci-gate` replays
+    /// exactly this configuration when re-validating a baseline.
+    pub fn with_run(mut self, insts: u64, seed: u64, experiments: &[String]) -> Self {
+        self.run = Some((insts, seed, experiments.to_vec()));
+        self
+    }
+
+    /// Adds the run's rendered reports, so derived metrics (normalized
+    /// time/energy figures) are diffable alongside the raw counters.
+    pub fn with_reports(mut self, reports: &[Report]) -> Self {
+        self.reports.extend(reports.iter().cloned());
+        self
+    }
+
     /// Pretty-printed JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(&self.to_value()).expect("value trees always serialize")
+    }
+
+    /// Writes the dump to `path` through the runner's atomic
+    /// temp-file+rename path, creating missing parent directories: a
+    /// crashed run never leaves a torn telemetry file for a later
+    /// `repro diff` to stumble over.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be
+    /// created or either write step fails.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        hetsim_runner::write_atomic(path, &self.to_json())
     }
 }
 
@@ -150,6 +191,16 @@ impl Serialize for StatsDump {
                 ("gpu".into(), Value::Str(GPU_SCHEMA.into())),
             ]),
         )];
+        if let Some((insts, seed, experiments)) = &self.run {
+            fields.push((
+                "run".into(),
+                Value::Object(vec![
+                    ("insts".into(), insts.to_value()),
+                    ("seed".into(), seed.to_value()),
+                    ("experiments".into(), experiments.to_value()),
+                ]),
+            ));
+        }
         fields.push(("cpu".into(), self.cpu.clone().unwrap_or(Value::Null)));
         fields.push(("gpu".into(), self.gpu.clone().unwrap_or(Value::Null)));
         fields.push((
@@ -161,6 +212,9 @@ impl Serialize for StatsDump {
                     .collect(),
             ),
         ));
+        if !self.reports.is_empty() {
+            fields.push(("reports".into(), self.reports.to_value()));
+        }
         Value::Object(fields)
     }
 }
@@ -223,6 +277,56 @@ mod tests {
                 .expect("committed")
                 > 0
         );
+    }
+
+    #[test]
+    fn run_and_reports_sections_appear_only_when_set() {
+        let bare = StatsDump::new().to_value();
+        assert!(bare.get("run").is_none());
+        assert!(bare.get("reports").is_none());
+
+        let mut report = crate::report::Report::new("T", vec!["c".into()]);
+        report.push_row("r", vec![1.5]);
+        let v = StatsDump::new()
+            .with_run(3000, 42, &["fig7".to_string()])
+            .with_reports(&[report])
+            .to_value();
+        assert_eq!(
+            v.get("run")
+                .and_then(|r| r.get("insts"))
+                .and_then(Value::as_u64),
+            Some(3000)
+        );
+        assert_eq!(
+            v.get("run")
+                .and_then(|r| r.get("experiments"))
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(1)
+        );
+        let reports = v.get("reports").and_then(Value::as_array).expect("reports");
+        assert_eq!(reports[0].get("title").and_then(Value::as_str), Some("T"));
+    }
+
+    #[test]
+    fn write_to_creates_parents_and_lands_atomically() {
+        let dir =
+            std::env::temp_dir().join(format!("hetcore-telemetry-write-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deep/nested/stats.json");
+        StatsDump::new()
+            .with_run(100, 1, &[])
+            .write_to(&path)
+            .expect("write with missing parents");
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let v: Value = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(
+            v.get("run")
+                .and_then(|r| r.get("insts"))
+                .and_then(Value::as_u64),
+            Some(100)
+        );
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

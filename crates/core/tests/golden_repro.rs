@@ -1,11 +1,13 @@
-//! Golden test for the machine-readable `repro` output.
+//! Golden tests for the machine-readable `repro` output.
 //!
-//! Runs the real `repro` binary (`--format json`) on a small CPU
-//! campaign and compares the parsed reports against a checked-in
-//! snapshot with numeric tolerance; the same invocation's
-//! `--stats-out` dump is checked for full counter-name coverage.
+//! Runs the real `repro` binary (`--format json`) on small campaigns
+//! and compares the parsed reports against checked-in snapshots with
+//! numeric tolerance; the fig7 invocation's `--stats-out` dump is
+//! additionally checked for full counter-name coverage. Covered
+//! targets: fig7 and fig8 (CPU campaign figures), fig14 (device-level
+//! table, no campaign) and the extension studies.
 //!
-//! Regenerate the snapshot after an intentional simulator change with:
+//! Regenerate the snapshots after an intentional simulator change with:
 //!
 //! ```text
 //! UPDATE_GOLDEN=1 cargo test -p hetcore --test golden_repro
@@ -22,14 +24,18 @@ use serde::value::Value;
 /// deterministic, so this only needs to absorb float-formatting noise.
 const REL_TOL: f64 = 1e-9;
 
-fn golden_path() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fig7_insts3000.json")
+/// Instruction budget the snapshots are pinned at (matches the
+/// checked-in `baselines/` and the CI gate).
+const INSTS: &str = "3000";
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
 }
 
-fn run_repro(stats_out: &Path) -> String {
+fn run_repro(args: &[&str]) -> String {
     let output = Command::new(env!("CARGO_BIN_EXE_repro"))
-        .args(["--insts", "3000", "--format", "json", "fig7", "--stats-out"])
-        .arg(stats_out)
+        .args(["--insts", INSTS, "--format", "json"])
+        .args(args)
         .output()
         .expect("repro runs");
     assert!(
@@ -38,6 +44,25 @@ fn run_repro(stats_out: &Path) -> String {
         String::from_utf8_lossy(&output.stderr)
     );
     String::from_utf8(output.stdout).expect("utf-8 stdout")
+}
+
+/// Runs `repro --insts 3000 --format json <target>` and compares the
+/// JSON report array against `tests/golden/<snapshot>`, regenerating
+/// it when `UPDATE_GOLDEN` is set.
+fn check_against_snapshot(target: &str, snapshot: &str, extra_args: &[&str]) -> String {
+    let mut args = vec![target];
+    args.extend_from_slice(extra_args);
+    let stdout = run_repro(&args);
+    let path = golden_dir().join(snapshot);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &stdout).expect("write snapshot");
+    }
+    let golden_text =
+        std::fs::read_to_string(&path).expect("snapshot exists (regenerate with UPDATE_GOLDEN=1)");
+    let actual: Value = serde_json::from_str(&stdout).expect("repro emits valid JSON");
+    let golden: Value = serde_json::from_str(&golden_text).expect("snapshot is valid JSON");
+    assert_matches(&actual, &golden, "$");
+    stdout
 }
 
 fn close(a: f64, b: f64) -> bool {
@@ -75,16 +100,8 @@ fn assert_matches(actual: &Value, golden: &Value, path: &str) {
 fn fig7_json_matches_the_checked_in_snapshot() {
     let stats_path =
         std::env::temp_dir().join(format!("hetcore-golden-stats-{}.json", std::process::id()));
-    let stdout = run_repro(&stats_path);
-
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::write(golden_path(), &stdout).expect("write snapshot");
-    }
-    let golden_text = std::fs::read_to_string(golden_path())
-        .expect("snapshot exists (regenerate with UPDATE_GOLDEN=1)");
-    let actual: Value = serde_json::from_str(&stdout).expect("repro emits valid JSON");
-    let golden: Value = serde_json::from_str(&golden_text).expect("snapshot is valid JSON");
-    assert_matches(&actual, &golden, "$");
+    let stats_arg = stats_path.to_string_lossy().into_owned();
+    check_against_snapshot("fig7", "fig7_insts3000.json", &["--stats-out", &stats_arg]);
 
     // The same run's --stats-out dump: valid JSON carrying every
     // counter name the structs enumerate, for every design.
@@ -132,4 +149,32 @@ fn fig7_json_matches_the_checked_in_snapshot() {
         }
     }
     let _ = std::fs::remove_file(&stats_path);
+}
+
+#[test]
+fn fig8_json_matches_the_checked_in_snapshot() {
+    // fig8 also emits its stacked-bar breakdown report; both land in
+    // the same JSON array and the same snapshot.
+    let stdout = check_against_snapshot("fig8", "fig8_insts3000.json", &[]);
+    let reports: Value = serde_json::from_str(&stdout).expect("valid JSON");
+    let reports = reports.as_array().expect("array of reports");
+    assert_eq!(reports.len(), 2, "fig8 emits the figure plus its breakdown");
+}
+
+#[test]
+fn fig14_json_matches_the_checked_in_snapshot() {
+    check_against_snapshot("fig14", "fig14_insts3000.json", &[]);
+}
+
+#[test]
+fn ext_json_matches_the_checked_in_snapshot() {
+    // `ext` expands to all three extension studies.
+    let stdout = check_against_snapshot("ext", "ext_insts3000.json", &[]);
+    let reports: Value = serde_json::from_str(&stdout).expect("valid JSON");
+    let reports = reports.as_array().expect("array of reports");
+    assert_eq!(
+        reports.len(),
+        3,
+        "ext expands to all three extension studies"
+    );
 }

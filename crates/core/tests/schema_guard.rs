@@ -1,0 +1,124 @@
+//! Guards the cache-schema contract: the on-disk result cache keys
+//! every outcome under a schema tag (`cpu-v2` / `gpu-v2`), and the
+//! contract (see `hetcore::campaign`) is that the tag is bumped
+//! whenever the serialized outcome *layout* changes — otherwise stale
+//! caches deserialize into garbage, or fail to deserialize at all,
+//! silently.
+//!
+//! This test pins a fingerprint of the layout (the recursive shape of
+//! a serialized [`hetcore::CpuOutcome`] / [`hetcore::GpuOutcome`]:
+//! field names and value types, *not* values) next to the current
+//! schema tags. Changing the layout without bumping the tag trips the
+//! fingerprint assertion; bumping the tag without cause trips the tag
+//! assertion. Either way the failure message says what to do.
+
+use hetcore::{run_cpu_multicore, run_gpu, CpuDesign, GpuDesign, CPU_SCHEMA, GPU_SCHEMA};
+use hetsim_runner::JobKey;
+use serde::value::Value;
+use serde::Serialize;
+
+/// The schema tags these fingerprints were pinned under.
+const PINNED_CPU_SCHEMA: &str = "cpu-v2";
+const PINNED_GPU_SCHEMA: &str = "gpu-v2";
+
+/// Fingerprints of the serialized outcome shapes under the pinned
+/// tags. Regenerate by running this test and copying the values from
+/// the failure message.
+const PINNED_CPU_SHAPE: &str = "ecaf7dbdb3399fb60bfa077b988ef196";
+const PINNED_GPU_SHAPE: &str = "32c88f82d76617abfaf6d90470487542";
+
+/// The recursive *shape* of a serialized value: object keys and leaf
+/// type tags, never values. Arrays contribute the shape of their first
+/// element (outcome arrays are homogeneous).
+fn shape(v: &Value) -> String {
+    match v {
+        Value::Null => "null".into(),
+        Value::Bool(_) => "bool".into(),
+        Value::Int(_) => "int".into(),
+        Value::UInt(_) => "uint".into(),
+        Value::Float(_) => "float".into(),
+        Value::Str(_) => "str".into(),
+        Value::Array(items) => match items.first() {
+            Some(first) => format!("[{}]", shape(first)),
+            None => "[]".into(),
+        },
+        Value::Object(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("{k}:{}", shape(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+fn fingerprint(v: &Value) -> String {
+    JobKey::from_bytes(shape(v).as_bytes()).hex()
+}
+
+const BUMP_HELP: &str = "\n\
+    The serialized outcome layout changed. You MUST:\n\
+    1. bump the schema tag in crates/core/src/campaign.rs\n\
+       (CPU_SCHEMA / GPU_SCHEMA, e.g. cpu-v2 -> cpu-v3) so stale\n\
+       on-disk caches retire themselves,\n\
+    2. update PINNED_*_SCHEMA and PINNED_*_SHAPE in this test to the\n\
+       values printed above,\n\
+    3. regenerate the goldens (UPDATE_GOLDEN=1 cargo test -p hetcore\n\
+       --test golden_repro) and the baselines\n\
+       (cargo run --bin repro -- baseline baselines).";
+
+#[test]
+fn cpu_outcome_layout_matches_the_pinned_schema_tag() {
+    assert_eq!(
+        CPU_SCHEMA, PINNED_CPU_SCHEMA,
+        "CPU_SCHEMA was bumped: re-pin PINNED_CPU_SCHEMA and \
+         PINNED_CPU_SHAPE here (run this test for the new fingerprint)"
+    );
+    let app = hetsim_trace::apps::profile("lu").expect("known app");
+    let outcome = run_cpu_multicore(CpuDesign::AdvHet, 2, &app, 42, 2_000);
+    let actual = fingerprint(&outcome.to_value());
+    assert_eq!(
+        actual,
+        PINNED_CPU_SHAPE,
+        "CpuOutcome shape fingerprint drifted (new fingerprint: {actual}, \
+         shape: {}).{BUMP_HELP}",
+        shape(&outcome.to_value())
+    );
+}
+
+#[test]
+fn gpu_outcome_layout_matches_the_pinned_schema_tag() {
+    assert_eq!(
+        GPU_SCHEMA, PINNED_GPU_SCHEMA,
+        "GPU_SCHEMA was bumped: re-pin PINNED_GPU_SCHEMA and \
+         PINNED_GPU_SHAPE here (run this test for the new fingerprint)"
+    );
+    let kernel = hetsim_gpu::kernels::profile("nbody").expect("known kernel");
+    let outcome = run_gpu(GpuDesign::AdvHet, &kernel, 42);
+    let actual = fingerprint(&outcome.to_value());
+    assert_eq!(
+        actual,
+        PINNED_GPU_SHAPE,
+        "GpuOutcome shape fingerprint drifted (new fingerprint: {actual}, \
+         shape: {}).{BUMP_HELP}",
+        shape(&outcome.to_value())
+    );
+}
+
+#[test]
+fn shape_ignores_values_but_not_structure() {
+    let a = Value::Object(vec![
+        ("x".into(), Value::UInt(1)),
+        ("y".into(), Value::Float(0.5)),
+    ]);
+    let b = Value::Object(vec![
+        ("x".into(), Value::UInt(999)),
+        ("y".into(), Value::Float(2.25)),
+    ]);
+    assert_eq!(shape(&a), shape(&b), "values never affect the shape");
+    let c = Value::Object(vec![
+        ("x".into(), Value::UInt(1)),
+        ("z".into(), Value::Float(0.5)),
+    ]);
+    assert_ne!(shape(&a), shape(&c), "renamed fields change the shape");
+}

@@ -186,12 +186,32 @@ fn load_json<T: Deserialize>(path: &Path) -> LoadResult<T> {
     }
 }
 
-/// Atomic write: temp file in the same directory, then rename.
 fn store_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
     let text = serde_json::to_string(value)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    write_atomic(path, &text)
+}
+
+/// Writes `contents` to `path` atomically: temp file in the same
+/// directory, then rename, so concurrent readers never observe a torn
+/// file. Missing parent directories are created first.
+///
+/// This is the write path every cache entry goes through; telemetry
+/// dumps and baseline files reuse it so a crashed or concurrent run
+/// can never leave a half-written JSON document behind.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the directory cannot be
+/// created or either write step fails.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    std::fs::write(&tmp, text)?;
+    std::fs::write(&tmp, contents)?;
     std::fs::rename(&tmp, path)
 }
 
@@ -246,6 +266,24 @@ mod tests {
         // Re-simulation overwrites the torn file and the cache heals.
         cache.put(key, &vec![3.0]);
         assert_eq!(cache.get(key), Some(vec![3.0]));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn write_atomic_creates_missing_parent_directories() {
+        let dir = tmp_dir("atomic-parents");
+        let nested = dir.join("a/b/c/out.json");
+        write_atomic(&nested, "{\"ok\": true}").expect("write with missing parents");
+        assert_eq!(
+            std::fs::read_to_string(&nested).expect("readable"),
+            "{\"ok\": true}"
+        );
+        // No temp-file droppings left beside the target.
+        let siblings: Vec<_> = std::fs::read_dir(nested.parent().expect("parent"))
+            .expect("dir")
+            .map(|e| e.expect("entry").file_name())
+            .collect();
+        assert_eq!(siblings, ["out.json"]);
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 

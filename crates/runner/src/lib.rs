@@ -42,7 +42,7 @@ mod pool;
 mod progress;
 mod runner;
 
-pub use cache::{CacheLayer, CacheStats, ResultCache};
+pub use cache::{write_atomic, CacheLayer, CacheStats, ResultCache};
 pub use job::{config_object, Job, JobKey};
 pub use pool::{run_batch, Task};
 pub use progress::{NullSink, ProgressEvent, ProgressSink, Provenance, RunnerStats, StderrSink};

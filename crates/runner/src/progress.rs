@@ -86,6 +86,15 @@ pub struct RunnerStats {
 }
 
 impl RunnerStats {
+    /// Whether these counters are a pure function of the simulated
+    /// configuration. They are **not**: wall time varies with machine
+    /// load, and the cache-hit split varies with disk state, so two
+    /// byte-identical campaigns legitimately report different
+    /// [`RunnerStats`]. Cross-run regression gates consult this
+    /// declaration to exempt runner telemetry from comparison, instead
+    /// of hand-listing section names at every call site.
+    pub const DETERMINISTIC: bool = false;
+
     /// Cache hit rate over the batch in `[0, 1]`.
     pub fn hit_rate(&self) -> f64 {
         if self.jobs == 0 {

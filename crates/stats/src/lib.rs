@@ -75,6 +75,8 @@
 #[doc(hidden)]
 pub use serde;
 
+pub mod diff;
+
 /// Defines one counter struct with derived `merge`, `minus`,
 /// enumeration and serde support.
 ///

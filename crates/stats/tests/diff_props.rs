@@ -1,0 +1,148 @@
+//! Property tests for the counter-set diff helpers.
+//!
+//! The regression-gating layer rests on three algebraic properties of
+//! [`hetsim_stats::diff::diff_counters`]:
+//!
+//! 1. reflexivity — `diff(a, a)` is empty;
+//! 2. merge-consistency — for `sum`-policy fields,
+//!    `diff(a, merge(a, b))` reports exactly `b`'s non-zero values as
+//!    deltas;
+//! 3. totality — every name either set enumerates lands in exactly one
+//!    diff bucket, so nothing escapes a gate built on the diff.
+
+use proptest::prelude::*;
+
+use hetsim_stats::counters;
+use hetsim_stats::diff::diff_counters;
+
+counters! {
+    /// Nested group: default (`sum / sub`) policies throughout.
+    pub struct L1 {
+        /// Accesses.
+        pub accesses: u64,
+        /// Hits.
+        pub hits: u64,
+    }
+}
+
+counters! {
+    /// A struct exercising every policy plus nesting, mirroring the
+    /// shapes the simulators declare.
+    pub struct PipeStats {
+        /// Max-merged, kept on minus.
+        pub cycles: u64 = max / keep,
+        /// Sum-merged, kept on minus.
+        pub committed: u64 = sum / keep,
+        /// Default policy: `sum / sub`.
+        pub loads: u64,
+        /// Default policy: `sum / sub`.
+        pub stores: u64,
+        /// Nested group (delegates field-wise).
+        pub l1: L1,
+    }
+}
+
+/// Names of the `sum`-merge fields of [`PipeStats`] (everything except
+/// the max-merged `cycles`).
+const SUM_FIELDS: [&str; 5] = ["committed", "loads", "stores", "l1.accesses", "l1.hits"];
+
+/// One bounded value per [`PipeStats`] counter; bounded so sums stay
+/// exact and overflow-free.
+fn stats_values() -> impl Strategy<Value = Vec<u64>> {
+    let fields = PipeStats::default().iter().count();
+    proptest::collection::vec(0u64..(1 << 31), fields)
+}
+
+/// Builds a [`PipeStats`] through the name-addressed `set`, the same
+/// path telemetry consumers use.
+fn stats_from(values: &[u64]) -> PipeStats {
+    let mut s = PipeStats::default();
+    for ((name, _), v) in PipeStats::default().iter().zip(values) {
+        assert!(s.set(&name, *v), "unknown counter {name}");
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `diff(a, a)` is empty for any counter values, and still aligns
+    /// every name.
+    #[test]
+    fn diff_of_a_set_with_itself_is_empty(values in stats_values()) {
+        let a = stats_from(&values);
+        let d = diff_counters(a.iter(), a.iter());
+        prop_assert!(d.is_empty());
+        prop_assert_eq!(d.aligned(), values.len());
+        let unchanged: Vec<String> = d.unchanged;
+        let names: Vec<String> = a.iter().map(|(n, _)| n).collect();
+        prop_assert_eq!(unchanged, names, "alignment preserves iter() order");
+    }
+
+    /// Diffing a set against `merge(a, b)` recovers `b` exactly on the
+    /// sum-policy fields: each such counter with a non-zero `b` value
+    /// appears as a changed entry whose delta is `b`'s value.
+    #[test]
+    fn diff_against_merge_recovers_the_merged_in_values(
+        a_values in stats_values(),
+        b_values in stats_values(),
+    ) {
+        let a = stats_from(&a_values);
+        let b = stats_from(&b_values);
+        let mut merged = a;
+        merged.merge(&b);
+        let d = diff_counters(a.iter(), merged.iter());
+        prop_assert!(d.only_in_baseline.is_empty(), "same struct, same names");
+        prop_assert!(d.only_in_candidate.is_empty());
+        for field in SUM_FIELDS {
+            let contribution = b.get(field).expect("known field");
+            match d.changed.iter().find(|c| c.name == field) {
+                Some(c) => prop_assert_eq!(
+                    c.delta(),
+                    i128::from(contribution),
+                    "sum-policy field {} must grow by exactly b's value",
+                    field
+                ),
+                None => prop_assert_eq!(
+                    contribution, 0,
+                    "sum-policy field {} unchanged only when b contributed 0",
+                    field
+                ),
+            }
+        }
+        // `cycles` merges by max: it changes iff b's value exceeds a's.
+        let cycles_changed = d.changed.iter().any(|c| c.name == "cycles");
+        prop_assert_eq!(cycles_changed, b.cycles > a.cycles);
+    }
+
+    /// Name alignment is total over `iter()`: every name of either set
+    /// lands in exactly one bucket, even for sets of different shapes.
+    #[test]
+    fn alignment_is_total_over_iter(
+        values in stats_values(),
+        group_values in proptest::collection::vec(0u64..(1 << 31), 2),
+    ) {
+        let whole = stats_from(&values);
+        let group = L1 {
+            accesses: group_values[0],
+            hits: group_values[1],
+        };
+        // Two different shapes: the full struct vs just its L1 group
+        // (whose names lack the `l1.` prefix, so they never collide).
+        let d = diff_counters(whole.iter(), group.iter());
+        let baseline_names = whole.iter().count();
+        let candidate_names = group.iter().count();
+        prop_assert_eq!(
+            d.aligned() + d.only_in_baseline.len(),
+            baseline_names,
+            "every baseline name is classified exactly once"
+        );
+        prop_assert_eq!(
+            d.aligned() + d.only_in_candidate.len(),
+            candidate_names,
+            "every candidate name is classified exactly once"
+        );
+        prop_assert!(d.changed.is_empty() && d.unchanged.is_empty(),
+            "disjoint name spaces align nothing");
+    }
+}
