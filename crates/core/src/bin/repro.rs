@@ -11,6 +11,8 @@
 //! repro diff BASELINE.json CANDIDATE.json [--format F] [--rel-tol X]
 //!       [--allow PREFIX]... [--allow-schema-change]
 //! repro ci-gate --baseline DIR [--jobs N] [--cache-dir PATH] [--rel-tol X]
+//! repro check [--fuzz N] [--seed S] [--insts N] [--format table|json]
+//!       [--jobs N] [--cache-dir PATH] [--progress]
 //! ```
 //!
 //! With no experiment arguments, runs `all`. `--quick` shrinks the
@@ -38,6 +40,14 @@
 //! * `ci-gate` replays every baseline in a directory at its recorded
 //!   configuration and diffs the fresh run against it — the CI job.
 //!
+//! `check` is the runtime-invariant and metamorphic-fuzz harness (see
+//! `hetcore::check`): it reruns the fig7 + fig10 campaigns validating
+//! every outcome and the serialized telemetry against the accounting
+//! invariants, then runs `--fuzz N` seeded rounds of random workloads
+//! asserting oracle-free metamorphic relations (work monotonicity,
+//! runner split/merge invariance, DVFS directionality, GPU clock
+//! invariance). Any violation is reported by name and fails the run.
+//!
 //! The campaigns run on the `hetsim-runner` engine: `--jobs N` sets the
 //! worker-thread count (default: all available cores; output is
 //! bit-identical for any `N`), `--cache-dir PATH` persists simulation
@@ -52,11 +62,16 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use hetcore::check::{
+    fuzz_round, perturbation_from_env, validate_cpu_outcome, validate_dump, validate_gpu_outcome,
+};
 use hetcore::regression::{diff_dumps, DiffPolicy, DumpDoc};
 use hetcore::report::Report;
-use hetcore::suite::{Experiment, Extension, Suite};
+use hetcore::suite::{CpuCampaign, Experiment, Extension, GpuCampaign, Suite};
 use hetcore::telemetry::StatsDump;
+use hetsim_check::Checker;
 use hetsim_runner::{NullSink, ProgressSink, Runner, StderrSink};
+use serde::Serialize as _;
 
 /// How reports are rendered on stdout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +103,8 @@ fn usage() -> String {
          \x20      repro diff BASELINE.json CANDIDATE.json [--format F] [--rel-tol X] \
          [--allow PREFIX]... [--allow-schema-change]\n\
          \x20      repro ci-gate --baseline DIR [--jobs N] [--cache-dir PATH] [--rel-tol X]\n\
+         \x20      repro check [--fuzz N] [--seed S] [--insts N] [--format table|json] \
+         [--jobs N] [--cache-dir PATH] [--progress]\n\
          experiments: all, ext, {}\n\
          extensions:  {}",
         Experiment::ALL
@@ -241,6 +258,10 @@ fn default_jobs() -> usize {
 struct Execution {
     reports: Vec<Report>,
     dump: StatsDump,
+    /// The raw campaigns behind the reports, kept so `repro check` can
+    /// validate every individual outcome (unused by the other commands).
+    cpu: Option<CpuCampaign>,
+    gpu: Option<GpuCampaign>,
 }
 
 /// Runs `requested` + `extensions` on `suite` and collects the output.
@@ -355,7 +376,62 @@ fn execute(
         dump = dump.with_runner("gpu", r.total_stats());
     }
     dump = dump.with_reports(&reports);
-    Ok(Execution { reports, dump })
+    let execution = Execution {
+        reports,
+        dump,
+        cpu,
+        gpu,
+    };
+    // With HETSIM_CHECK set, every command that executes experiments
+    // (run, baseline, ci-gate) also validates the outcomes and the
+    // serialized telemetry against the accounting invariants — a run
+    // that is internally inconsistent fails even if no baseline exists
+    // to diff it against. Pure counter arithmetic: no simulation cost.
+    if hetsim_check::CheckConfig::from_env().enabled() {
+        let mut checker = Checker::new();
+        validate_execution(&execution, &mut checker);
+        if !checker.is_clean() {
+            for v in checker.violations() {
+                eprintln!("{v}");
+            }
+            return Err(format!(
+                "{} invariant violation(s) (HETSIM_CHECK)",
+                checker.violations().len()
+            ));
+        }
+    }
+    Ok(execution)
+}
+
+/// Validates every campaign outcome and the serialized telemetry of one
+/// execution (shared by the HETSIM_CHECK hook above and `repro check`,
+/// which also counts the checks and injects perturbations).
+fn validate_execution(execution: &Execution, checker: &mut Checker) {
+    let mut max_cores = 1;
+    let mut apps = 1;
+    if let Some(campaign) = &execution.cpu {
+        apps = campaign.outcomes.len() as u64;
+        checker.scoped("campaign", |c| {
+            for outcome in campaign.outcomes.iter().flatten() {
+                max_cores = max_cores.max(outcome.cores);
+                validate_cpu_outcome(outcome, c);
+            }
+        });
+    }
+    if let Some(campaign) = &execution.gpu {
+        checker.scoped("campaign", |c| {
+            for outcome in campaign.outcomes.iter().flatten() {
+                validate_gpu_outcome(outcome, c);
+            }
+        });
+    }
+    validate_dump(
+        &execution.dump.to_value(),
+        apps,
+        max_cores,
+        perturbation_from_env().as_deref(),
+        checker,
+    );
 }
 
 fn print_reports(reports: &[Report], format: Format) -> Result<(), String> {
@@ -826,12 +902,186 @@ fn cmd_ci_gate(args: &[String]) -> ExitCode {
     }
 }
 
+/// The experiments `repro check` sweeps in its invariant phase: the two
+/// targets that exercise both campaign engines (CPU and GPU).
+const CHECK_TARGETS: [Experiment; 2] = [Experiment::Fig7, Experiment::Fig10];
+
+/// Instruction budget of each metamorphic fuzz round (each round runs
+/// the sampled workload several times, so this stays small).
+const FUZZ_ROUND_INSTS: u64 = 3_000;
+
+/// `repro check [--fuzz N] [--seed S]` — run the invariant sweep over a
+/// real campaign pass, then N metamorphic fuzz rounds; exit non-zero on
+/// any violation.
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut fuzz = 8u64;
+    let mut seed = 42u64;
+    let mut insts = DEFAULT_BASELINE_INSTS;
+    let mut format = Format::Table;
+    let mut jobs = None;
+    let mut cache_dir = None;
+    let mut progress = false;
+    let mut errors = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let (name, inline) = match arg.split_once('=') {
+            Some((n, v)) if n.starts_with("--") => (n, Some(v.to_string())),
+            _ => (arg, None),
+        };
+        let mut value = |errors: &mut Vec<String>| -> Option<String> {
+            if let Some(v) = inline.clone() {
+                return Some(v);
+            }
+            i += 1;
+            match args.get(i) {
+                Some(v) => Some(v.clone()),
+                None => {
+                    errors.push(format!("{name} requires a value"));
+                    None
+                }
+            }
+        };
+        match name {
+            "--fuzz" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<u64>() {
+                        Ok(n) if n >= 1 => fuzz = n,
+                        _ => errors.push(format!("--fuzz expects an integer >= 1, got '{v}'")),
+                    }
+                }
+            }
+            "--seed" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<u64>() {
+                        Ok(n) => seed = n,
+                        _ => errors.push(format!("--seed expects an integer, got '{v}'")),
+                    }
+                }
+            }
+            "--insts" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<u64>() {
+                        Ok(n) if n >= 1 => insts = n,
+                        _ => errors.push(format!("--insts expects an integer >= 1, got '{v}'")),
+                    }
+                }
+            }
+            "--format" => {
+                if let Some(v) = value(&mut errors) {
+                    match parse_format(&v) {
+                        Ok(f) if f != Format::Csv => format = f,
+                        Ok(_) => errors.push("check supports --format table or json".to_string()),
+                        Err(e) => errors.push(e),
+                    }
+                }
+            }
+            "--jobs" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => jobs = Some(n),
+                        _ => errors.push(format!("--jobs expects an integer >= 1, got '{v}'")),
+                    }
+                }
+            }
+            "--cache-dir" => {
+                if let Some(v) = value(&mut errors) {
+                    cache_dir = Some(PathBuf::from(v));
+                }
+            }
+            "--progress" => progress = true,
+            other => errors.push(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    if !errors.is_empty() {
+        return fail(&errors);
+    }
+    let jobs = jobs.unwrap_or_else(default_jobs);
+    let suite = Suite {
+        insts_per_app: insts,
+        ..Suite::default()
+    };
+
+    // Phase 1: run the real campaigns once and validate every outcome
+    // plus the serialized telemetry (where HETSIM_CHECK_PERTURB can
+    // inject a fault to prove the layer fires).
+    eprintln!("[check] invariant sweep: fig7 + fig10 at --insts {insts}");
+    let execution = match execute(&suite, &CHECK_TARGETS, &[], jobs, &cache_dir, progress) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut checker = Checker::new();
+    validate_execution(&execution, &mut checker);
+
+    // Phase 2: metamorphic fuzz rounds over random-but-legal workloads.
+    eprintln!("[check] fuzzing {fuzz} round(s) from seed {seed}");
+    for round in 0..fuzz {
+        fuzz_round(seed.wrapping_add(round), FUZZ_ROUND_INSTS, &mut checker);
+    }
+
+    let checks = checker.checks_run();
+    let violations = checker.into_violations();
+    match format {
+        Format::Table => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!(
+                "repro check: {checks} checks, {} violation(s) ({fuzz} fuzz round(s), seed {seed})",
+                violations.len()
+            );
+        }
+        Format::Json | Format::Csv => {
+            use serde::value::Value;
+            let value = Value::Object(vec![
+                ("checks_run".into(), Value::UInt(checks)),
+                ("fuzz_rounds".into(), Value::UInt(fuzz)),
+                ("seed".into(), Value::UInt(seed)),
+                (
+                    "violations".into(),
+                    Value::Array(
+                        violations
+                            .iter()
+                            .map(|v| {
+                                Value::Object(vec![
+                                    ("invariant".into(), Value::Str(v.invariant.to_string())),
+                                    ("path".into(), Value::Str(v.path.clone())),
+                                    ("expected".into(), Value::Str(v.expected.clone())),
+                                    ("actual".into(), Value::Str(v.actual.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]);
+            match serde_json::to_string_pretty(&value) {
+                Ok(s) => println!("{s}"),
+                Err(e) => {
+                    eprintln!("failed to serialize check report: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("diff") => cmd_diff(&args[1..]),
         Some("baseline") => cmd_baseline(&args[1..]),
         Some("ci-gate") => cmd_ci_gate(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         _ => cmd_run(&args),
     }
 }

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod check;
 pub mod config;
 pub mod experiment;
 pub mod migration;

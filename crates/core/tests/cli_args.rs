@@ -1,0 +1,114 @@
+//! Argument-validation tests for the `repro` subcommands: bad flags must
+//! be rejected up front — before any simulation starts — with a named
+//! error on stderr, the usage text, and a non-zero exit.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro runs")
+}
+
+/// Asserts the invocation is rejected with `expected` somewhere in the
+/// error output (plus the usage text) — and fast, proving nothing ran.
+fn assert_rejected(args: &[&str], expected: &str) {
+    let out = repro(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "{args:?} must exit non-zero; stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains(expected),
+        "{args:?}: expected error containing '{expected}', got: {stderr}"
+    );
+    assert!(stderr.contains("usage: repro"), "usage follows the error");
+}
+
+#[test]
+fn check_rejects_zero_fuzz_rounds() {
+    assert_rejected(
+        &["check", "--fuzz", "0"],
+        "--fuzz expects an integer >= 1, got '0'",
+    );
+}
+
+#[test]
+fn check_rejects_non_numeric_fuzz_and_seed() {
+    assert_rejected(
+        &["check", "--fuzz", "lots"],
+        "--fuzz expects an integer >= 1, got 'lots'",
+    );
+    assert_rejected(
+        &["check", "--seed", "0x2a"],
+        "--seed expects an integer, got '0x2a'",
+    );
+}
+
+#[test]
+fn check_rejects_unknown_format_and_csv() {
+    assert_rejected(
+        &["check", "--format", "yaml"],
+        "--format expects table, json or csv, got 'yaml'",
+    );
+    // csv is a valid repro format but check does not render it.
+    assert_rejected(
+        &["check", "--format", "csv"],
+        "check supports --format table or json",
+    );
+}
+
+#[test]
+fn check_rejects_unknown_arguments_and_missing_values() {
+    assert_rejected(&["check", "--verbose"], "unknown argument '--verbose'");
+    assert_rejected(&["check", "fig7"], "unknown argument 'fig7'");
+    assert_rejected(&["check", "--seed"], "--seed requires a value");
+}
+
+#[test]
+fn check_collects_every_error_not_just_the_first() {
+    let out = repro(&["check", "--fuzz", "0", "--format", "yaml", "--bogus"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success());
+    for expected in [
+        "--fuzz expects an integer >= 1",
+        "--format expects table, json or csv",
+        "unknown argument '--bogus'",
+    ] {
+        assert!(stderr.contains(expected), "missing '{expected}': {stderr}");
+    }
+}
+
+#[test]
+fn diff_rejects_wrong_file_count() {
+    assert_rejected(
+        &["diff", "only-one.json"],
+        "diff expects exactly two dump files, got 1",
+    );
+    assert_rejected(&["diff"], "diff expects exactly two dump files, got 0");
+}
+
+#[test]
+fn diff_rejects_bad_tolerance_and_unknown_flags() {
+    assert_rejected(
+        &["diff", "a.json", "b.json", "--rel-tol", "-0.5"],
+        "--rel-tol expects a number >= 0, got '-0.5'",
+    );
+    assert_rejected(
+        &["diff", "a.json", "b.json", "--wat"],
+        "unknown flag '--wat'",
+    );
+}
+
+#[test]
+fn diff_fails_cleanly_on_missing_files() {
+    let out = repro(&["diff", "/nonexistent/a.json", "/nonexistent/b.json"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success());
+    assert!(
+        stderr.contains("error:") && stderr.contains("/nonexistent/a.json"),
+        "names the unreadable file: {stderr}"
+    );
+}

@@ -18,6 +18,7 @@
 
 use std::collections::VecDeque;
 
+use hetsim_check::{CheckConfig, Checker, Violation};
 use hetsim_mem::hierarchy::Hierarchy;
 use hetsim_mem::stats::MemStats;
 use hetsim_trace::isa::{BranchInfo, Inst, OpClass};
@@ -80,6 +81,9 @@ pub struct Core {
     hierarchy: Hierarchy,
     stats: CoreStats,
     fetch_pc: u64,
+    core_id: u32,
+    check: CheckConfig,
+    violations: Vec<Violation>,
 }
 
 impl Core {
@@ -98,8 +102,25 @@ impl Core {
             hierarchy,
             stats: CoreStats::default(),
             fetch_pc: CODE_BASE + u64::from(core_id) * CODE_FOOTPRINT,
+            core_id,
+            check: CheckConfig::OFF,
+            violations: Vec::new(),
             cfg,
         }
+    }
+
+    /// Enables in-loop invariant checking (occupancy bounds, cycle
+    /// monotonicity, pipeline ordering). Off by default so the hot path
+    /// pays a single predictable branch per cycle.
+    pub fn with_checks(mut self, check: CheckConfig) -> Self {
+        self.check = check;
+        self
+    }
+
+    /// Drains the violations collected by the in-loop checks (empty
+    /// unless checking was enabled and an invariant broke).
+    pub fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
     }
 
     /// The configuration this core was built with.
@@ -161,6 +182,7 @@ impl Core {
         // `u64::MAX` means the branch has not resolved yet.
         let mut redirect_at: Option<u64> = None;
         let mut last_progress_cycle = cycle;
+        let mut last_verified_cycle: Option<u64> = None;
         let total = warmup + n;
         // Snapshot taken when the warmup region retires.
         let mut snapshot: Option<(u64, CoreStats, MemStats)> = if warmup == 0 {
@@ -362,6 +384,21 @@ impl Core {
                 }
             }
 
+            if self.check.enabled() {
+                self.verify_cycle(
+                    cycle,
+                    last_verified_cycle,
+                    rob.len(),
+                    iq.len(),
+                    lsq_occ,
+                    int_inflight,
+                    fp_inflight,
+                    committed,
+                    dispatched,
+                );
+                last_verified_cycle = Some(cycle);
+            }
+
             cycle += 1;
             assert!(
                 cycle - last_progress_cycle < 1_000_000,
@@ -381,6 +418,86 @@ impl Core {
             mem: self.hierarchy.stats().minus(&snap_mem),
             clock_hz: self.cfg.clock_hz,
         }
+    }
+
+    /// The per-cycle invariant sweep (only called with checking
+    /// enabled): structure occupancies within their configured
+    /// capacities, the pipeline-order relation, and cycle
+    /// monotonicity. Each invariant is reported at most once per core
+    /// so a broken bound does not flood the report.
+    #[allow(clippy::too_many_arguments)]
+    fn verify_cycle(
+        &mut self,
+        cycle: u64,
+        last_verified: Option<u64>,
+        rob_len: usize,
+        iq_len: usize,
+        lsq_occ: u32,
+        int_inflight: u32,
+        fp_inflight: u32,
+        committed: u64,
+        dispatched: u64,
+    ) {
+        let caps = [
+            (
+                "cpu.rob_occupancy",
+                "rob",
+                rob_len as u32,
+                self.cfg.rob_entries,
+            ),
+            ("cpu.iq_occupancy", "iq", iq_len as u32, self.cfg.iq_entries),
+            ("cpu.lsq_occupancy", "lsq", lsq_occ, self.cfg.lsq_entries),
+            (
+                "cpu.int_rf_occupancy",
+                "int_rf",
+                int_inflight,
+                self.cfg.int_regs,
+            ),
+            (
+                "cpu.fp_rf_occupancy",
+                "fp_rf",
+                fp_inflight,
+                self.cfg.fp_regs,
+            ),
+        ];
+        for (invariant, what, occ, cap) in caps {
+            if occ > cap {
+                self.record_once(
+                    invariant,
+                    format!("{what} occupancy <= {cap}"),
+                    format!("{what}={occ} cycle={cycle}"),
+                );
+            }
+        }
+        if committed > dispatched {
+            self.record_once(
+                "cpu.pipeline_order",
+                "committed <= dispatched".to_string(),
+                format!("committed={committed} dispatched={dispatched} cycle={cycle}"),
+            );
+        }
+        if let Some(prev) = last_verified {
+            if cycle <= prev {
+                self.record_once(
+                    "cpu.cycle_monotone",
+                    "cycle strictly increases".to_string(),
+                    format!("cycle={cycle} previous={prev}"),
+                );
+            }
+        }
+    }
+
+    /// Records a violation at this core's path, once per invariant.
+    fn record_once(&mut self, invariant: &'static str, expected: String, actual: String) {
+        if self.violations.iter().any(|v| v.invariant == invariant) {
+            return;
+        }
+        self.violations.push(Violation {
+            invariant,
+            path: format!("core{}", self.core_id),
+            expected,
+            actual,
+        });
     }
 
     /// Whether `src` (an absolute producer seq) has produced its value by
@@ -496,6 +613,97 @@ impl Core {
             }
         }
     }
+}
+
+/// Validates the accounting identities of one [`RunResult`] against
+/// `cfg`, recording violations into `checker` (scoped under `core`).
+///
+/// The relations are chosen to hold for *any* measured window: warmed
+/// runs ([`Core::run_warmed`]) subtract a snapshot taken at a commit
+/// boundary, so issue-time counters (per-class ops) and commit-time
+/// counters (`committed`, RF writes, store DL1 accesses) can diverge
+/// by the in-flight window — the bounds carry exactly that slack
+/// (`rob_entries`, `lsq_entries`), and collapse to equalities for
+/// unwarmed runs. All relations are linear, so they also hold for
+/// `merge`d stats (multicore chips, campaign aggregates) with the
+/// slack scaled by the run count (see the `slack_runs` parameter).
+pub fn validate_run(cfg: &CoreConfig, result: &RunResult, slack_runs: u64, checker: &mut Checker) {
+    let s = &result.stats;
+    let m = &result.mem;
+    checker.scoped("core", |c| {
+        let by_class = s.alu_ops()
+            + s.int_mul_ops
+            + s.int_div_ops
+            + s.fpu_ops()
+            + s.loads
+            + s.stores
+            + s.branches;
+        c.eq_u64(
+            "cpu.issue_class_conservation",
+            ("by_class_ops", by_class),
+            ("issues", s.issues),
+        );
+        c.le_u64(
+            "cpu.issue_le_commit",
+            ("issues", s.issues),
+            ("committed", s.committed),
+        );
+        c.le_u64(
+            "cpu.commit_issue_slack",
+            ("committed", s.committed),
+            (
+                "issues + inflight_bound",
+                s.issues + slack_runs * u64::from(cfg.rob_entries + cfg.issue_width),
+            ),
+        );
+        c.le_u64(
+            "cpu.mispredict_le_branches",
+            ("mispredicts", s.mispredicts),
+            ("branches", s.branches),
+        );
+        c.le_u64(
+            "cpu.wrong_path_bound",
+            ("wrong_path_fetch_groups", s.wrong_path_fetch_groups),
+            ("32 * mispredicts", 32 * s.mispredicts),
+        );
+        c.le_u64(
+            "cpu.rf_read_bound",
+            ("rf_reads", s.int_rf_reads + s.fp_rf_reads),
+            ("2 * issues", 2 * s.issues),
+        );
+        c.le_u64(
+            "cpu.rf_write_le_commit",
+            ("rf_writes", s.int_rf_writes + s.fp_rf_writes),
+            ("committed", s.committed),
+        );
+        c.check(
+            "cpu.cycles_positive",
+            "cycles > 0 when work committed",
+            s.committed == 0 || s.cycles > 0,
+            format!("cycles={} committed={}", s.cycles, s.committed),
+        );
+        c.eq_u64(
+            "cpu.il1_fetch_conservation",
+            ("fetch_groups", s.fetch_groups),
+            ("il1_accesses", m.il1.accesses),
+        );
+        let ls = s.loads + s.stores;
+        let dl1 = m.dl1_accesses();
+        c.le_u64(
+            "cpu.dl1_demand_lower",
+            ("loads + stores", ls),
+            ("dl1_accesses", dl1),
+        );
+        c.le_u64(
+            "cpu.dl1_demand_upper",
+            ("dl1_accesses", dl1),
+            (
+                "loads + stores + lsq_bound",
+                ls + slack_runs * u64::from(cfg.lsq_entries),
+            ),
+        );
+    });
+    hetsim_mem::stats::validate_mem_stats(m, checker);
 }
 
 #[cfg(test)]

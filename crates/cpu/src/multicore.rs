@@ -12,11 +12,12 @@
 //! model charges active energy per phase plus idle leakage for the cores
 //! that sit out the serial phase.
 
+use hetsim_check::{CheckConfig, Checker, Violation};
 use hetsim_trace::stream::TraceGenerator;
 use hetsim_trace::WorkloadProfile;
 
 use crate::config::CoreConfig;
-use crate::core::{Core, RunResult};
+use crate::core::{validate_run, Core, RunResult};
 
 /// Result of a multicore run.
 #[derive(Debug, Clone)]
@@ -70,6 +71,35 @@ pub fn run_multicore(
     seed: u64,
     total_insts: u64,
 ) -> MulticoreResult {
+    run_multicore_checked(
+        core_cfg,
+        cores,
+        profile,
+        seed,
+        total_insts,
+        CheckConfig::OFF,
+    )
+    .0
+}
+
+/// Like [`run_multicore`], but with the invariant layer enabled per
+/// `check`: each core runs its in-flight occupancy/ordering checks, and
+/// the finished result is validated against the post-run conservation
+/// relations ([`validate_multicore`]). Returns the result together with
+/// every violation observed (empty when `check` is off or all checks
+/// hold).
+///
+/// # Panics
+///
+/// Panics if `cores` is zero or the profile is invalid.
+pub fn run_multicore_checked(
+    core_cfg: &CoreConfig,
+    cores: u32,
+    profile: &WorkloadProfile,
+    seed: u64,
+    total_insts: u64,
+    check: CheckConfig,
+) -> (MulticoreResult, Vec<Violation>) {
     assert!(cores >= 1, "need at least one core");
     profile.validate().expect("valid profile");
 
@@ -77,16 +107,19 @@ pub fn run_multicore(
     let parallel_insts = total_insts - serial_insts;
     let per_core = parallel_insts / u64::from(cores);
 
+    let mut checker = Checker::new();
     let warmup = |n: u64| (n / 4).min(25_000);
     let ws = profile.memory.working_set_bytes;
     let serial = if serial_insts > 0 {
-        let mut core = Core::new(core_cfg.clone(), 0);
+        let mut core = Core::new(core_cfg.clone(), 0).with_checks(check);
         core.prewarm(0, ws);
-        Some(core.run_warmed(
+        let r = core.run_warmed(
             TraceGenerator::for_thread(profile, seed, 0),
             warmup(serial_insts),
             serial_insts,
-        ))
+        );
+        checker.scoped("serial", |c| c.absorb(core.take_violations()));
+        Some(r)
     } else {
         None
     };
@@ -94,25 +127,70 @@ pub fn run_multicore(
     let parallel = (0..cores)
         .filter(|_| per_core > 0)
         .map(|t| {
-            let mut core = Core::new(core_cfg.clone(), t);
+            let mut core = Core::new(core_cfg.clone(), t).with_checks(check);
             core.prewarm(
                 u64::from(t) * hetsim_trace::stream::THREAD_ADDRESS_STRIDE,
                 ws,
             );
-            core.run_warmed(
+            let r = core.run_warmed(
                 TraceGenerator::for_thread(profile, seed.wrapping_add(1), t),
                 warmup(per_core),
                 per_core,
-            )
+            );
+            checker.scoped("parallel", |c| c.absorb(core.take_violations()));
+            r
         })
         .collect();
 
-    MulticoreResult {
+    let result = MulticoreResult {
         cores,
         serial,
         parallel,
         clock_hz: core_cfg.clock_hz,
+    };
+    if check.enabled() {
+        validate_multicore(core_cfg, total_insts, &result, &mut checker);
     }
+    (result, checker.into_violations())
+}
+
+/// Validates a finished [`MulticoreResult`] against the work-conservation
+/// relations: committed instructions never exceed the request, at most
+/// the per-core integer-division remainder is lost, the parallel phase is
+/// all-or-nothing, and every phase result satisfies the single-core
+/// post-run relations ([`validate_run`]).
+pub fn validate_multicore(
+    cfg: &CoreConfig,
+    total_insts: u64,
+    result: &MulticoreResult,
+    checker: &mut Checker,
+) {
+    checker.scoped("multicore", |c| {
+        let total = result.total_committed();
+        c.le_u64(
+            "cpu.multicore_work_bound",
+            ("total committed", total),
+            ("requested insts", total_insts),
+        );
+        c.check(
+            "cpu.multicore_work_loss",
+            format!("< {} (cores)", result.cores),
+            total_insts - total.min(total_insts) < u64::from(result.cores),
+            total_insts - total.min(total_insts),
+        );
+        c.check(
+            "cpu.parallel_all_or_nothing",
+            format!("0 or {} phase results", result.cores),
+            result.parallel.is_empty() || result.parallel.len() == result.cores as usize,
+            result.parallel.len(),
+        );
+        if let Some(serial) = &result.serial {
+            c.scoped("serial", |c| validate_run(cfg, serial, 1, c));
+        }
+        for (t, r) in result.parallel.iter().enumerate() {
+            c.scoped(format!("parallel{t}"), |c| validate_run(cfg, r, 1, c));
+        }
+    });
 }
 
 #[cfg(test)]
@@ -164,6 +242,37 @@ mod tests {
             N - total < u64::from(r.cores),
             "lost more than rounding: {total}/{N}"
         );
+    }
+
+    #[test]
+    fn checked_run_is_clean_and_matches_unchecked() {
+        let profile = apps::profile("fft").expect("known");
+        let cfg = CoreConfig::default();
+        let (checked, violations) =
+            run_multicore_checked(&cfg, 4, &profile, 11, N, CheckConfig::ON);
+        assert!(
+            violations.is_empty(),
+            "invariants must hold on a healthy run: {violations:?}"
+        );
+        // Checking must not perturb the simulation itself.
+        let plain = run_multicore(&cfg, 4, &profile, 11, N);
+        assert_eq!(checked.total_committed(), plain.total_committed());
+        assert_eq!(checked.total_seconds(), plain.total_seconds());
+    }
+
+    #[test]
+    fn validate_multicore_flags_fabricated_work() {
+        let profile = apps::profile("fft").expect("known");
+        let cfg = CoreConfig::default();
+        let mut r = run_multicore(&cfg, 2, &profile, 15, 20_000);
+        // Fabricate committed work beyond the request.
+        r.parallel[0].stats.committed += 50_000;
+        let mut checker = Checker::new();
+        validate_multicore(&cfg, 20_000, &r, &mut checker);
+        assert!(checker
+            .violations()
+            .iter()
+            .any(|v| v.invariant == "cpu.multicore_work_bound"));
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! latencies). Total time is the slowest CU. Doubling the CU count at a
 //! fixed launch size — the AdvHet-2X experiment — halves each CU's share.
 
+use hetsim_check::{CheckConfig, Checker, Violation};
+
 use crate::config::GpuConfig;
 use crate::cu::run_cu;
 use crate::kernel::KernelProfile;
-use crate::stats::GpuStats;
+use crate::stats::{validate_gpu_stats, GpuStats};
 
 /// Result of a GPU kernel launch.
 #[derive(Debug, Clone)]
@@ -65,6 +67,75 @@ impl Gpu {
         let insts = kernel.generate(seed);
         let scheduled = crate::schedule::schedule_kernel(&insts, window);
         self.run_insts(kernel, &scheduled.insts, seed)
+    }
+
+    /// Like [`Gpu::run`], but validates the finished launch against the
+    /// wavefront-accounting invariants when `check` is enabled, returning
+    /// any violations alongside the result.
+    pub fn run_checked(
+        &self,
+        kernel: &KernelProfile,
+        seed: u64,
+        check: CheckConfig,
+    ) -> (GpuRunResult, Vec<Violation>) {
+        let result = self.run(kernel, seed);
+        let mut checker = Checker::new();
+        if check.enabled() {
+            self.validate_launch(kernel, &result, &mut checker);
+        }
+        (result, checker.into_violations())
+    }
+
+    /// Validates a finished launch: the generic [`validate_gpu_stats`]
+    /// identities, total launch work (`insts_per_wavefront x wavefronts`),
+    /// the per-CU issue-throughput cycle bound, and that structures absent
+    /// from this configuration left their counters at zero.
+    pub fn validate_launch(
+        &self,
+        kernel: &KernelProfile,
+        result: &GpuRunResult,
+        checker: &mut Checker,
+    ) {
+        validate_gpu_stats(&result.stats, checker);
+        checker.scoped("gpu", |c| {
+            let s = &result.stats;
+            c.eq_u64(
+                "gpu.launch_work",
+                ("wavefront_insts", s.wavefront_insts),
+                (
+                    "insts_per_wavefront * wavefronts",
+                    u64::from(kernel.insts_per_wavefront) * u64::from(kernel.wavefronts),
+                ),
+            );
+            // One wavefront instruction per CU per cycle; round-robin
+            // distribution means the slowest CU issues at least the mean.
+            c.ge_u64(
+                "gpu.issue_throughput_bound",
+                ("cycles", s.cycles),
+                (
+                    "wavefront_insts / compute_units",
+                    s.wavefront_insts
+                        .div_ceil(u64::from(result.compute_units.max(1))),
+                ),
+            );
+            if self.cfg.rf_cache.is_none() {
+                c.eq_u64(
+                    "gpu.rfc_absent",
+                    (
+                        "rf_cache accesses + hits + misses",
+                        s.rf_cache_accesses + s.rf_cache_hits + s.rf_cache_misses,
+                    ),
+                    ("0", 0),
+                );
+            }
+            if self.cfg.rf_partition.is_none() {
+                c.eq_u64(
+                    "gpu.partition_absent",
+                    ("rf_fast_accesses", s.rf_fast_accesses),
+                    ("0", 0),
+                );
+            }
+        });
     }
 
     fn run_insts(
@@ -136,6 +207,38 @@ mod tests {
         let slow = Gpu::new(cfg).run(&k, 9);
         let ratio = slow.seconds() / base.seconds();
         assert!((1.9..2.1).contains(&ratio), "seconds ratio {ratio}");
+    }
+
+    #[test]
+    fn checked_launch_is_clean() {
+        for name in ["matmul", "reduction", "dct"] {
+            let k = kernels::profile(name).expect("known");
+            let gpu = Gpu::new(GpuConfig::default());
+            let (r, violations) = gpu.run_checked(&k, 9, hetsim_check::CheckConfig::ON);
+            assert!(
+                violations.is_empty(),
+                "{name}: invariants must hold: {violations:?}"
+            );
+            assert_eq!(r.stats, gpu.run(&k, 9).stats, "checking must not perturb");
+        }
+    }
+
+    #[test]
+    fn validate_launch_flags_corrupted_counters() {
+        let k = kernels::profile("matmul").expect("known");
+        let gpu = Gpu::new(GpuConfig::default());
+        let mut r = gpu.run(&k, 9);
+        r.stats.valu_insts += 1; // breaks op conservation and lane math
+        let mut checker = hetsim_check::Checker::new();
+        gpu.validate_launch(&k, &r, &mut checker);
+        assert!(checker
+            .violations()
+            .iter()
+            .any(|v| v.invariant == "gpu.op_conservation"));
+        assert!(checker
+            .violations()
+            .iter()
+            .any(|v| v.invariant == "gpu.fma_lanes"));
     }
 
     #[test]

@@ -81,6 +81,26 @@ impl FastRegSet {
     pub fn fast_count(&self) -> u32 {
         self.fast_count
     }
+
+    /// Validates the allocation against its budget: the pinned count
+    /// matches the flag vector and never exceeds `cfg.fast_regs`.
+    pub fn validate(&self, cfg: &PartitionedRfConfig, checker: &mut hetsim_check::Checker) {
+        checker.scoped("fast_regs", |c| {
+            c.le_u64(
+                "gpu.partition_budget",
+                ("fast_count", u64::from(self.fast_count)),
+                ("cfg.fast_regs", u64::from(cfg.fast_regs)),
+            );
+            c.eq_u64(
+                "gpu.partition_flag_consistency",
+                (
+                    "flagged registers",
+                    self.is_fast.iter().filter(|&&f| f).count() as u64,
+                ),
+                ("fast_count", u64::from(self.fast_count)),
+            );
+        });
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 //! from the field list. Compute units run in parallel, so `cycles`
 //! merges by `max` (annotated on the field); every other counter sums.
 
+use hetsim_check::Checker;
 use hetsim_stats::counters;
 
 counters! {
@@ -58,6 +59,70 @@ impl GpuStats {
             self.rf_cache_hits as f64 / total as f64
         }
     }
+}
+
+/// Validates the wavefront-accounting identities of a [`GpuStats`] set.
+/// Every relation here is a sum over per-instruction events, so it holds
+/// for a single CU and for any `merge` of CUs or launches (only `cycles`
+/// merges by max, and it is used only as a positivity witness).
+pub fn validate_gpu_stats(s: &GpuStats, checker: &mut Checker) {
+    let threads = u64::from(crate::config::WAVEFRONT_THREADS);
+    checker.scoped("gpu", |c| {
+        c.eq_u64(
+            "gpu.op_conservation",
+            (
+                "valu + mem + lds insts",
+                s.valu_insts + s.mem_insts + s.lds_insts,
+            ),
+            ("wavefront_insts", s.wavefront_insts),
+        );
+        c.eq_u64(
+            "gpu.fma_lanes",
+            ("thread_fma_ops", s.thread_fma_ops),
+            ("64 * valu_insts", threads * s.valu_insts),
+        );
+        c.eq_u64(
+            "gpu.lds_lanes",
+            ("lds_accesses", s.lds_accesses),
+            ("64 * lds_insts", threads * s.lds_insts),
+        );
+        // RFC reads split into hits (counted as RFC accesses) and misses
+        // (spilled to the main vector RF).
+        c.le_u64(
+            "gpu.rfc_hits_bound",
+            ("rf_cache_hits", s.rf_cache_hits),
+            ("rf_cache_accesses", s.rf_cache_accesses),
+        );
+        c.le_u64(
+            "gpu.rfc_miss_spill",
+            ("rf_cache_misses", s.rf_cache_misses),
+            ("vector_rf_accesses", s.vector_rf_accesses),
+        );
+        c.le_u64(
+            "gpu.dram_le_mem_insts",
+            ("dram_accesses", s.dram_accesses),
+            ("mem_insts", s.mem_insts),
+        );
+        for (name, v) in [
+            ("thread_fma_ops", s.thread_fma_ops),
+            ("lds_accesses", s.lds_accesses),
+            ("vector_rf_accesses", s.vector_rf_accesses),
+            ("rf_cache_accesses", s.rf_cache_accesses),
+            ("rf_fast_accesses", s.rf_fast_accesses),
+            ("rf_cache_hits", s.rf_cache_hits),
+            ("rf_cache_misses", s.rf_cache_misses),
+        ] {
+            c.check(
+                "gpu.lane_quantization",
+                format!("{name} divisible by {threads}"),
+                v % threads == 0,
+                v,
+            );
+        }
+        if s.wavefront_insts > 0 {
+            c.ge_u64("gpu.cycles_positive", ("cycles", s.cycles), ("1", 1));
+        }
+    });
 }
 
 #[cfg(test)]

@@ -187,6 +187,31 @@ impl AsymmetricCache {
         self.promotions
     }
 
+    /// Validates both partitions structurally plus the exclusivity
+    /// invariant: a line resident fast must not also be resident slow.
+    pub fn validate(&self, checker: &mut hetsim_check::Checker) {
+        self.fast.validate("fast", checker);
+        self.slow.validate("slow", checker);
+        checker.scoped("asym", |c| {
+            let line = self.fast.config().line_bytes;
+            let fast_lines = self.fast.config().size_bytes / line;
+            let mut shared = 0u64;
+            for i in 0..fast_lines {
+                // Walk every fast slot by probing its set's occupant.
+                if let Some(addr) = self.fast.occupant_of_set(i * line) {
+                    if self.slow.probe(addr) {
+                        shared += 1;
+                    }
+                }
+            }
+            c.eq_u64(
+                "mem.asym_exclusive",
+                ("lines resident in both partitions", shared),
+                ("0", 0),
+            );
+        });
+    }
+
     /// Hit rate over the whole structure.
     pub fn hit_rate(&self) -> f64 {
         let demand = self.fast.stats().accesses;

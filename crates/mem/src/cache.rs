@@ -247,6 +247,31 @@ impl Cache {
     pub fn align(&self, addr: u64) -> u64 {
         addr & !(self.cfg.line_bytes - 1)
     }
+
+    /// Validates the structural invariants of this cache under `level`:
+    /// no set holds more lines than the associativity allows, no set
+    /// holds two lines with the same tag, and the demand counters obey
+    /// hit/miss conservation.
+    pub fn validate(&self, level: &str, checker: &mut hetsim_check::Checker) {
+        crate::stats::validate_cache_stats(level, &self.stats, checker);
+        checker.scoped(level, |c| {
+            for (set, lines) in self.sets.iter().enumerate() {
+                c.le_u64(
+                    "mem.set_occupancy",
+                    (&format!("set[{set}].len"), lines.len() as u64),
+                    ("ways", u64::from(self.cfg.ways)),
+                );
+                let mut tags: Vec<u64> = lines.iter().map(|l| l.tag).collect();
+                tags.sort_unstable();
+                tags.dedup();
+                c.eq_u64(
+                    "mem.unique_tags",
+                    (&format!("set[{set}] distinct tags"), tags.len() as u64),
+                    ("resident lines", lines.len() as u64),
+                );
+            }
+        });
+    }
 }
 
 #[cfg(test)]

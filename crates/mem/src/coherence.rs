@@ -166,6 +166,38 @@ impl Directory {
             .get(&line_addr)
             .map_or(0, |e| e.sharers.count_ones())
     }
+
+    /// Iterates over every tracked line as `(line_addr, state,
+    /// sharer_count)` — the inspection surface the invariant layer
+    /// sweeps (iteration order is unspecified).
+    pub fn lines(&self) -> impl Iterator<Item = (u64, LineState, u32)> + '_ {
+        self.lines
+            .iter()
+            .map(|(&addr, e)| (addr, e.state, e.sharers.count_ones()))
+    }
+
+    /// Validates the MESI directory invariants over every tracked line:
+    /// a `ModifiedOrExclusive` line has exactly one sharer (the
+    /// single-M-owner invariant) and every tracked line has at least
+    /// one sharer (empty entries must be evicted, not kept).
+    pub fn validate(&self, checker: &mut hetsim_check::Checker) {
+        checker.scoped("directory", |c| {
+            for (addr, state, sharers) in self.lines() {
+                match state {
+                    LineState::ModifiedOrExclusive => c.eq_u64(
+                        "mem.mesi_single_owner",
+                        (&format!("sharers({addr:#x})"), u64::from(sharers)),
+                        ("1", 1),
+                    ),
+                    LineState::Shared => c.ge_u64(
+                        "mem.mesi_shared_nonempty",
+                        (&format!("sharers({addr:#x})"), u64::from(sharers)),
+                        ("1", 1),
+                    ),
+                }
+            }
+        });
+    }
 }
 
 #[cfg(test)]

@@ -271,6 +271,22 @@ impl Hierarchy {
     pub fn dl1(&self) -> &DataCacheKind {
         &self.dl1
     }
+
+    /// Validates the whole private hierarchy: the cross-level demand-flow
+    /// identities over [`Hierarchy::stats`] plus the structural invariants
+    /// of every level (set occupancy, tag uniqueness, DL1 exclusivity).
+    pub fn validate(&self, checker: &mut hetsim_check::Checker) {
+        crate::stats::validate_mem_stats(&self.stats(), checker);
+        checker.scoped("levels", |c| {
+            self.il1.validate("il1", c);
+            match &self.dl1 {
+                DataCacheKind::Plain(dl1) => dl1.validate("dl1", c),
+                DataCacheKind::Asymmetric(asym) => c.scoped("dl1", |c| asym.validate(c)),
+            }
+            self.l2.validate("l2", c);
+            self.l3.validate("l3", c);
+        });
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +308,45 @@ mod tests {
             l3: CacheConfig::new(2 * 1024 * 1024, 16, 64, 32),
             clock_hz: 2.0e9,
         }
+    }
+
+    #[test]
+    fn validate_is_clean_after_mixed_traffic() {
+        for plain in [true, false] {
+            let mut h = Hierarchy::new(cfg(plain));
+            h.prewarm(0, 16 * 1024);
+            for i in 0..4_000u64 {
+                h.fetch(0x100_0000 + (i % 512) * 16);
+                h.load((i * 89) % (256 * 1024));
+                if i % 3 == 0 {
+                    h.store((i * 53) % (64 * 1024));
+                }
+            }
+            let mut checker = hetsim_check::Checker::new();
+            h.validate(&mut checker);
+            assert!(
+                checker.is_clean(),
+                "plain={plain}: {:?}",
+                checker.violations()
+            );
+            assert!(checker.checks_run() > 20);
+        }
+    }
+
+    #[test]
+    fn validate_flags_broken_conservation() {
+        let mut h = Hierarchy::new(cfg(true));
+        h.load(0x40);
+        let mut stats = h.stats();
+        stats.l2.hits += 1; // break hits + misses == accesses
+        let mut checker = hetsim_check::Checker::new();
+        crate::stats::validate_mem_stats(&stats, &mut checker);
+        let v = checker
+            .violations()
+            .iter()
+            .find(|v| v.invariant == "mem.hit_miss_conservation")
+            .expect("perturbed counter must be caught");
+        assert_eq!(v.path, "mem/l2");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! `iter()` yields dotted names like `"il1.accesses"`, and its
 //! `merge`/`minus` delegate level by level.
 
+use hetsim_check::Checker;
 use hetsim_stats::counters;
 
 counters! {
@@ -83,6 +84,70 @@ impl MemStats {
         let hits = self.dl1_fast.hits + self.dl1_slow.hits;
         hits as f64 / demand as f64
     }
+}
+
+/// Validates the conservation identity of one cache level's counters:
+/// every demand access is exactly one hit or one miss, and writes are a
+/// subset of accesses. These relations hold event-for-event, so they
+/// survive warmup-window subtraction and `merge` aggregation.
+pub fn validate_cache_stats(level: &str, s: &CacheStats, checker: &mut Checker) {
+    checker.scoped(level, |c| {
+        c.eq_u64(
+            "mem.hit_miss_conservation",
+            ("hits + misses", s.hits + s.misses),
+            ("accesses", s.accesses),
+        );
+        c.le_u64(
+            "mem.writes_le_accesses",
+            ("writes", s.writes),
+            ("accesses", s.accesses),
+        );
+    });
+}
+
+/// Validates a whole [`MemStats`] set: per-level conservation plus the
+/// cross-level demand-flow identities of the private hierarchy (an L1
+/// demand miss is exactly one L2 demand access, an L2 miss one L3
+/// access, and every L3 miss reaches DRAM). Fills from prewarming and
+/// writebacks deliberately bypass the demand counters, so the
+/// identities are exact for any measured window and for merged stats.
+pub fn validate_mem_stats(m: &MemStats, checker: &mut Checker) {
+    checker.scoped("mem", |c| {
+        validate_cache_stats("il1", &m.il1, c);
+        validate_cache_stats("dl1_fast", &m.dl1_fast, c);
+        validate_cache_stats("dl1_slow", &m.dl1_slow, c);
+        validate_cache_stats("l2", &m.l2, c);
+        validate_cache_stats("l3", &m.l3, c);
+        c.eq_u64(
+            "mem.l2_demand_flow",
+            ("il1.misses + dl1.misses", m.il1.misses + m.dl1_slow.misses),
+            ("l2.accesses", m.l2.accesses),
+        );
+        c.eq_u64(
+            "mem.l3_demand_flow",
+            ("l2.misses", m.l2.misses),
+            ("l3.accesses", m.l3.accesses),
+        );
+        c.ge_u64(
+            "mem.dram_demand_flow",
+            ("dram_accesses", m.dram_accesses),
+            ("l3.misses", m.l3.misses),
+        );
+        if m.dl1_fast.accesses > 0 {
+            // Asymmetric DL1: the slow partition is probed exactly on
+            // fast misses, and promotions are a subset of slow hits.
+            c.eq_u64(
+                "mem.asym_probe_flow",
+                ("dl1_fast.misses", m.dl1_fast.misses),
+                ("dl1_slow.accesses", m.dl1_slow.accesses),
+            );
+            c.le_u64(
+                "mem.asym_promotions",
+                ("promotions", m.promotions),
+                ("dl1_slow.hits", m.dl1_slow.hits),
+            );
+        }
+    });
 }
 
 #[cfg(test)]

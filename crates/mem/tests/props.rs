@@ -96,6 +96,45 @@ proptest! {
         prop_assert_eq!(s_fast.hits + s_fast.misses, s_fast.accesses);
     }
 
+    /// LRU never evicts the most-recently-used line: with at least two
+    /// ways, one intervening access can never push out the line touched
+    /// just before it (at most one eviction happens in its set, and the
+    /// victim is taken from the LRU end).
+    #[test]
+    fn lru_never_evicts_the_mru_line(addrs in proptest::collection::vec(0u64..8192, 2..400)) {
+        let mut cache = Cache::new(CacheConfig::new(1024, 2, 64, 1));
+        for pair in addrs.windows(2) {
+            cache.access(pair[0], false);
+            cache.access(pair[1], false);
+            prop_assert!(
+                cache.probe(pair[0]),
+                "MRU line {:#x} evicted by single access {:#x}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    /// Every [`CacheStats`] counter is sum/sub, so `merge` then `minus`
+    /// round-trips one level's counters exactly.
+    #[test]
+    fn cache_stats_merge_then_minus_round_trips(a in proptest::collection::vec(0u64..(1 << 32), 6),
+                                                b in proptest::collection::vec(0u64..(1 << 32), 6)) {
+        let build = |v: &[u64]| {
+            let mut s = hetsim_mem::stats::CacheStats::default();
+            for ((name, _), value) in hetsim_mem::stats::CacheStats::default().iter().zip(v) {
+                prop_assert!(s.set(&name, *value), "unknown counter {}", name);
+            }
+            Ok(s)
+        };
+        let sa = build(&a)?;
+        let sb = build(&b)?;
+        let mut merged = sa;
+        merged.merge(&sb);
+        prop_assert_eq!(merged.minus(&sa), sb);
+        prop_assert_eq!(merged.minus(&sb), sa);
+    }
+
     /// Hit rate is within [0,1] and a second identical pass over a small
     /// footprint only improves it.
     #[test]

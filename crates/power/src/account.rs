@@ -351,6 +351,58 @@ impl GpuEnergyModel {
     }
 }
 
+/// Validates an [`EnergyBreakdown`]: every component is finite and
+/// non-negative, and the dynamic/leakage split sums to the chip total.
+pub fn validate_energy_breakdown(e: &EnergyBreakdown, checker: &mut hetsim_check::Checker) {
+    checker.scoped("energy", |c| {
+        for (name, v) in [
+            ("core_dynamic_j", e.core_dynamic_j),
+            ("core_leakage_j", e.core_leakage_j),
+            ("l2_dynamic_j", e.l2_dynamic_j),
+            ("l2_leakage_j", e.l2_leakage_j),
+            ("l3_dynamic_j", e.l3_dynamic_j),
+            ("l3_leakage_j", e.l3_leakage_j),
+            ("dram_j", e.dram_j),
+        ] {
+            c.ge_f64("power.component_nonnegative", (name, v), 0.0);
+        }
+        c.close_f64(
+            "power.split_sums_to_total",
+            ("dynamic_j + leakage_j", e.dynamic_j() + e.leakage_j()),
+            ("total_j", e.total_j()),
+            1e-12,
+        );
+    });
+}
+
+/// Validates the energy of an *idle* core: leakage may accumulate, but
+/// with no events there is nothing to switch, so every dynamic component
+/// must be exactly zero.
+pub fn validate_idle_breakdown(e: &EnergyBreakdown, checker: &mut hetsim_check::Checker) {
+    validate_energy_breakdown(e, checker);
+    checker.scoped("energy", |c| {
+        c.close_f64(
+            "power.idle_no_switching",
+            ("idle dynamic_j", e.dynamic_j()),
+            ("0", 0.0),
+            0.0,
+        );
+    });
+}
+
+/// Validates a [`GpuEnergy`]: finite, non-negative components.
+pub fn validate_gpu_energy(e: &GpuEnergy, checker: &mut hetsim_check::Checker) {
+    checker.scoped("gpu_energy", |c| {
+        for (name, v) in [
+            ("dynamic_j", e.dynamic_j),
+            ("leakage_j", e.leakage_j),
+            ("dram_j", e.dram_j),
+        ] {
+            c.ge_f64("power.component_nonnegative", (name, v), 0.0);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,6 +443,28 @@ mod tests {
         mem.l3.fills = 600;
         mem.dram_accesses = 600;
         (stats, mem)
+    }
+
+    #[test]
+    fn validators_accept_real_energies_and_reject_corruption() {
+        let (stats, mem) = typical_stats();
+        let seconds = stats.cycles as f64 / 2.0e9;
+        let model = CpuEnergyModel::new(DeviceAssignment::all_cmos());
+        let e = model.energy(&stats, &mem, seconds);
+        let mut checker = hetsim_check::Checker::new();
+        validate_energy_breakdown(&e, &mut checker);
+        validate_idle_breakdown(&model.idle_energy(seconds), &mut checker);
+        assert!(checker.is_clean(), "{:?}", checker.violations());
+
+        let mut bad = e;
+        bad.l2_leakage_j = -1.0e-6;
+        let mut checker = hetsim_check::Checker::new();
+        validate_energy_breakdown(&bad, &mut checker);
+        assert!(checker
+            .violations()
+            .iter()
+            .any(|v| v.invariant == "power.component_nonnegative"
+                && v.actual.contains("l2_leakage_j")));
     }
 
     #[test]

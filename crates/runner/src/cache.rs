@@ -288,6 +288,47 @@ mod tests {
     }
 
     #[test]
+    fn write_atomic_overwrites_in_place() {
+        let dir = tmp_dir("atomic-overwrite");
+        let path = dir.join("out.json");
+        write_atomic(&path, "first").expect("initial write");
+        write_atomic(&path, "second, longer contents").expect("overwrite");
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("readable"),
+            "second, longer contents"
+        );
+        let siblings: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .map(|e| e.expect("entry").file_name())
+            .collect();
+        assert_eq!(siblings, ["out.json"], "no temp files survive overwrite");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn write_atomic_unwritable_parent_fails_cleanly() {
+        // A regular file where a parent directory should be: the write
+        // must fail with an error (not panic) and leave no temp files.
+        // (A chmod-based read-only directory can't be used here — the
+        // test may run as root, which bypasses permission bits.)
+        let dir = tmp_dir("atomic-obstructed");
+        std::fs::create_dir_all(&dir).expect("setup");
+        let obstruction = dir.join("not-a-dir");
+        std::fs::write(&obstruction, "file").expect("setup");
+        let target = obstruction.join("out.json");
+        assert!(
+            write_atomic(&target, "{}").is_err(),
+            "must surface an error"
+        );
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .map(|e| e.expect("entry").file_name())
+            .collect();
+        assert_eq!(entries, ["not-a-dir"], "no temp files left behind");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
     fn hit_rate_is_well_defined() {
         let empty = CacheStats::default();
         assert_eq!(empty.hit_rate(), 0.0);

@@ -1,0 +1,78 @@
+//! Regression tests for the `minus` zero boundary: a warmup snapshot can
+//! legitimately exceed the final count for in-flight work (e.g. issued
+//! but not yet committed at the snapshot), and `sub` fields must
+//! saturate at zero instead of wrapping — a wrapped counter in a release
+//! build would silently poison every downstream report.
+
+use hetsim_stats::counters;
+
+counters! {
+    /// Inner group to prove saturation delegates through nesting.
+    pub struct Inner {
+        pub accesses: u64,
+        pub hits: u64,
+    }
+}
+
+counters! {
+    /// One field per policy combination that `minus` distinguishes.
+    pub struct Outer {
+        pub committed: u64,
+        pub cycles: u64 = max / keep,
+        pub inner: Inner,
+    }
+}
+
+#[test]
+fn minus_saturates_at_zero_instead_of_wrapping() {
+    let end = Outer {
+        committed: 10,
+        cycles: 500,
+        inner: Inner {
+            accesses: 3,
+            hits: 0,
+        },
+    };
+    let snapshot = Outer {
+        committed: 25, // in-flight work: snapshot ahead of the final count
+        cycles: 900,
+        inner: Inner {
+            accesses: 7,
+            hits: 1,
+        },
+    };
+    let window = end.minus(&snapshot);
+    assert_eq!(window.committed, 0, "sub field saturates, never wraps");
+    assert_eq!(window.inner.accesses, 0, "nested sub field saturates too");
+    assert_eq!(window.inner.hits, 0);
+    assert_eq!(window.cycles, 500, "keep field retains self's value");
+}
+
+#[test]
+fn minus_at_the_exact_boundary_is_zero() {
+    let s = Outer {
+        committed: u64::MAX,
+        cycles: 1,
+        inner: Inner {
+            accesses: 42,
+            hits: 42,
+        },
+    };
+    let window = s.minus(&s);
+    assert_eq!(window.committed, 0, "x - x == 0 even at u64::MAX");
+    assert_eq!(window.inner.accesses, 0);
+    assert_eq!(window.cycles, 1, "keep field is immune to the boundary");
+}
+
+#[test]
+fn minus_of_a_zero_baseline_is_identity_on_sub_fields() {
+    let s = Outer {
+        committed: 7,
+        cycles: 9,
+        inner: Inner {
+            accesses: 5,
+            hits: 2,
+        },
+    };
+    assert_eq!(s.minus(&Outer::default()), s);
+}

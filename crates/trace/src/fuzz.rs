@@ -1,0 +1,186 @@
+//! Seeded workload fuzzer for the metamorphic check harness.
+//!
+//! `repro check --fuzz N` needs workloads *outside* the 14 calibrated
+//! application profiles: the invariant layer should hold for any legal
+//! instruction mix, not just the SPLASH-2/PARSEC points. This module
+//! samples uniformly-random but always-[`WorkloadProfile::validate`]-clean
+//! profiles (and GPU kernel mixes) from a seed, deterministically — the
+//! same seed always yields the same workload, so a fuzz failure is
+//! reproducible from its seed alone.
+//!
+//! The GPU side is described by [`KernelMix`], a plain-number mirror of
+//! the GPU crate's `KernelProfile` (this crate must not depend on the
+//! simulators; `hetcore` converts).
+
+use crate::profile::{BranchBehavior, InstMix, MemoryBehavior, WorkloadProfile};
+
+/// SplitMix64: a tiny, high-quality seeded generator — enough for
+/// sampling profile knobs, with no dependency on the trace RNG.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo + 1)
+    }
+}
+
+/// Samples a random, always-valid CPU workload profile from `seed`.
+///
+/// Every knob is drawn from the full legal range (clamped away from
+/// degenerate corners like an all-zero mix or a zero-byte working set),
+/// so the fuzzer reaches mixes far from the calibrated applications:
+/// div-heavy, branch-heavy, tiny and huge working sets, fully serial and
+/// fully parallel.
+pub fn workload(seed: u64) -> WorkloadProfile {
+    let mut rng = SplitMix64(seed ^ 0xC0DE_F00D_5EED_0001);
+    // Random relative weights; at least the ALU weight is kept positive
+    // so the total can never collapse to zero.
+    let mix = InstMix {
+        int_alu: rng.range_f64(0.05, 1.0),
+        int_mul: rng.range_f64(0.0, 0.3),
+        int_div: rng.range_f64(0.0, 0.1),
+        fp_add: rng.range_f64(0.0, 0.6),
+        fp_mul: rng.range_f64(0.0, 0.6),
+        fp_div: rng.range_f64(0.0, 0.1),
+        load: rng.range_f64(0.0, 0.6),
+        store: rng.range_f64(0.0, 0.4),
+        branch: rng.range_f64(0.0, 0.4),
+    };
+    let working_set_bytes = 1u64 << rng.range_u64(14, 23); // 16 KB .. 8 MB
+    let memory = MemoryBehavior {
+        working_set_bytes,
+        spatial: rng.range_f64(0.0, 0.95),
+        temporal: rng.range_f64(0.0, 0.95),
+        hot_region_bytes: working_set_bytes >> rng.range_u64(0, 4),
+    };
+    let branches = BranchBehavior {
+        sites: rng.range_u64(1, 256) as u32,
+        bias: rng.range_f64(0.5, 1.0),
+        loop_fraction: rng.range_f64(0.0, 0.9),
+        loop_period: rng.range_u64(2, 64) as u32,
+    };
+    let profile = WorkloadProfile {
+        name: Box::leak(format!("fuzz-{seed:016x}").into_boxed_str()),
+        suite: "fuzz",
+        mix,
+        mean_dep_distance: rng.range_f64(1.0, 16.0),
+        memory,
+        branches,
+        parallel_fraction: rng.range_f64(0.0, 1.0),
+        default_length: 50_000,
+    };
+    profile
+        .validate()
+        .expect("fuzzed workload must always be legal");
+    profile
+}
+
+/// A fuzzed GPU kernel description: the plain-number mirror of the GPU
+/// crate's `KernelProfile` (fractions pre-normalized to sum below 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelMix {
+    /// Vector instructions per wavefront.
+    pub insts_per_wavefront: u32,
+    /// Total wavefronts in the launch.
+    pub wavefronts: u32,
+    /// Fraction of VALU instructions.
+    pub valu_frac: f64,
+    /// Fraction of global-memory instructions.
+    pub mem_frac: f64,
+    /// Fraction of LDS instructions.
+    pub lds_frac: f64,
+    /// Probability an instruction depends on its predecessor.
+    pub dep_prob: f64,
+    /// Register-reuse probability.
+    pub reg_reuse: f64,
+    /// Probability a global-memory access misses to DRAM.
+    pub mem_miss_rate: f64,
+}
+
+/// Samples a random, always-legal GPU kernel mix from `seed`.
+pub fn kernel_mix(seed: u64) -> KernelMix {
+    let mut rng = SplitMix64(seed ^ 0xC0DE_F00D_5EED_0002);
+    // Raw positive weights, normalized so the three fractions sum to 1.
+    let (v, m, l) = (
+        rng.range_f64(0.05, 1.0),
+        rng.range_f64(0.0, 0.6),
+        rng.range_f64(0.0, 0.4),
+    );
+    let total = v + m + l;
+    KernelMix {
+        insts_per_wavefront: rng.range_u64(64, 1024) as u32,
+        wavefronts: rng.range_u64(4, 96) as u32,
+        valu_frac: v / total,
+        mem_frac: m / total,
+        lds_frac: l / total,
+        dep_prob: rng.range_f64(0.0, 0.9),
+        reg_reuse: rng.range_f64(0.0, 0.9),
+        mem_miss_rate: rng.range_f64(0.0, 0.6),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzzed_workloads_are_deterministic_and_valid() {
+        for seed in 0..200u64 {
+            let a = workload(seed);
+            let b = workload(seed);
+            assert!(a.validate().is_ok(), "seed {seed}: {a:?}");
+            assert_eq!(a, b, "seed {seed} must be reproducible");
+        }
+    }
+
+    #[test]
+    fn fuzzed_workloads_differ_across_seeds() {
+        let a = workload(1);
+        let b = workload(2);
+        assert_ne!(a.mix, b.mix);
+        assert_ne!(a.name, b.name);
+    }
+
+    #[test]
+    fn fuzzed_kernels_are_deterministic_and_normalized() {
+        for seed in 0..200u64 {
+            let k = kernel_mix(seed);
+            assert_eq!(k, kernel_mix(seed));
+            assert!(k.insts_per_wavefront > 0 && k.wavefronts > 0);
+            let sum = k.valu_frac + k.mem_frac + k.lds_frac;
+            assert!((sum - 1.0).abs() < 1e-9, "seed {seed}: fractions sum {sum}");
+            for p in [k.dep_prob, k.reg_reuse, k.mem_miss_rate] {
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn hot_region_stays_within_working_set() {
+        for seed in 0..500u64 {
+            let w = workload(seed);
+            assert!(w.memory.hot_region_bytes > 0);
+            assert!(w.memory.hot_region_bytes <= w.memory.working_set_bytes);
+        }
+    }
+}

@@ -45,6 +45,7 @@
 pub mod addr;
 pub mod apps;
 pub mod branch;
+pub mod fuzz;
 pub mod isa;
 pub mod profile;
 pub mod stream;
