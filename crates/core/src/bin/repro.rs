@@ -5,14 +5,16 @@
 //!
 //! ```text
 //! repro [--quick] [--insts N] [--format table|json|csv] [--stats-out PATH]
-//!       [--jobs N] [--cache-dir PATH] [--progress]
+//!       [--trace-out PATH] [--jobs N] [--cache-dir PATH]
+//!       [--progress[=stderr|dashboard]]
 //!       [table1|fig1..fig14|all|ext|ext-migration|ext-partrf|ext-sched]...
 //! repro baseline DIR [--insts N] [--jobs N] [--cache-dir PATH] [TARGET]...
 //! repro diff BASELINE.json CANDIDATE.json [--format F] [--rel-tol X]
 //!       [--allow PREFIX]... [--allow-schema-change]
 //! repro ci-gate --baseline DIR [--jobs N] [--cache-dir PATH] [--rel-tol X]
 //! repro check [--fuzz N] [--seed S] [--insts N] [--format table|json]
-//!       [--jobs N] [--cache-dir PATH] [--progress]
+//!       [--jobs N] [--cache-dir PATH] [--progress] [--trace-in PATH]
+//! repro trace-export IN.jsonl OUT.json
 //! ```
 //!
 //! With no experiment arguments, runs `all`. `--quick` shrinks the
@@ -52,16 +54,26 @@
 //! worker-thread count (default: all available cores; output is
 //! bit-identical for any `N`), `--cache-dir PATH` persists simulation
 //! outcomes as content-addressed JSON so reruns are near-free, and
-//! `--progress` narrates per-job completion and cache hits on stderr.
+//! `--progress` narrates per-job completion and cache hits on stderr
+//! (`--progress=dashboard` draws a live in-place dashboard on a TTY).
+//!
+//! Observability (see `hetsim_obs`): `--trace-out PATH` records every
+//! job's phases (cache lookup, queue wait, simulate, cache write) plus
+//! campaign/batch scopes as a JSONL span log; `trace-export` converts
+//! that log to Chrome trace-event JSON for Perfetto; `check --trace-in`
+//! re-validates a trace file's structure. Tracing only adds output —
+//! reports on stdout are byte-identical with and without it.
 //!
 //! Arguments are validated up front: any unknown argument (or any flag
 //! missing its value) fails the run before any experiment starts, no
 //! matter where it appears on the command line.
 
+use std::io::IsTerminal;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use hetcore::campaign::traced_campaign;
 use hetcore::check::{
     fuzz_round, perturbation_from_env, validate_cpu_outcome, validate_dump, validate_gpu_outcome,
 };
@@ -70,7 +82,11 @@ use hetcore::report::Report;
 use hetcore::suite::{CpuCampaign, Experiment, Extension, GpuCampaign, Suite};
 use hetcore::telemetry::StatsDump;
 use hetsim_check::Checker;
-use hetsim_runner::{NullSink, ProgressSink, Runner, StderrSink};
+use hetsim_obs::{chrome_trace, parse_jsonl, validate_events, MonotonicClock, TraceRecorder};
+use hetsim_runner::{
+    write_atomic, DashboardSink, MultiSink, NullSink, ProgressSink, Runner, StderrSink,
+    TraceEventSink,
+};
 use serde::Serialize as _;
 
 /// How reports are rendered on stdout.
@@ -95,16 +111,74 @@ fn parse_format(v: &str) -> Result<Format, String> {
     }
 }
 
+/// How a run narrates progress on stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Progress {
+    /// No narration (the default).
+    #[default]
+    Quiet,
+    /// One line per job (`--progress` / `--progress=stderr`).
+    Stderr,
+    /// The in-place live dashboard (`--progress=dashboard`); degrades
+    /// to the line sink when stderr is not a terminal, so piped logs
+    /// never contain ANSI control sequences.
+    Dashboard,
+}
+
+/// Parses `--progress[=MODE]`: a bare `--progress` means `stderr`, and
+/// the flag never consumes the next argument (so `--progress fig7`
+/// keeps meaning "line progress, run fig7").
+fn parse_progress(inline: Option<&str>) -> Result<Progress, String> {
+    match inline {
+        None | Some("stderr") => Ok(Progress::Stderr),
+        Some("dashboard") => Ok(Progress::Dashboard),
+        Some(other) => Err(format!(
+            "--progress expects stderr or dashboard, got '{other}'"
+        )),
+    }
+}
+
+/// The progress sink for `mode` (+ a trace-event bridge when tracing),
+/// honoring the dashboard's TTY degrade.
+fn progress_sink(mode: Progress, recorder: Option<&Arc<TraceRecorder>>) -> Arc<dyn ProgressSink> {
+    let mut sinks: Vec<Arc<dyn ProgressSink>> = Vec::new();
+    match mode {
+        Progress::Quiet => {}
+        Progress::Stderr => sinks.push(Arc::new(StderrSink::new())),
+        Progress::Dashboard => {
+            if std::io::stderr().is_terminal() {
+                let clock = match recorder {
+                    Some(r) => r.clock(),
+                    None => Arc::new(MonotonicClock::new()),
+                };
+                sinks.push(Arc::new(DashboardSink::new(clock)));
+            } else {
+                sinks.push(Arc::new(StderrSink::new()));
+            }
+        }
+    }
+    if let Some(recorder) = recorder {
+        sinks.push(Arc::new(TraceEventSink::new(recorder.clone())));
+    }
+    match sinks.len() {
+        0 => Arc::new(NullSink),
+        1 => sinks.pop().expect("one sink"),
+        _ => Arc::new(MultiSink::new(sinks)),
+    }
+}
+
 fn usage() -> String {
     format!(
         "usage: repro [--quick] [--insts N] [--format table|json|csv] [--stats-out PATH] \
-         [--jobs N] [--cache-dir PATH] [--progress] [EXPERIMENT]...\n\
+         [--trace-out PATH] [--jobs N] [--cache-dir PATH] \
+         [--progress[=stderr|dashboard]] [EXPERIMENT]...\n\
          \x20      repro baseline DIR [--insts N] [--jobs N] [--cache-dir PATH] [TARGET]...\n\
          \x20      repro diff BASELINE.json CANDIDATE.json [--format F] [--rel-tol X] \
          [--allow PREFIX]... [--allow-schema-change]\n\
          \x20      repro ci-gate --baseline DIR [--jobs N] [--cache-dir PATH] [--rel-tol X]\n\
          \x20      repro check [--fuzz N] [--seed S] [--insts N] [--format table|json] \
-         [--jobs N] [--cache-dir PATH] [--progress]\n\
+         [--jobs N] [--cache-dir PATH] [--progress] [--trace-in PATH]\n\
+         \x20      repro trace-export IN.jsonl OUT.json\n\
          experiments: all, ext, {}\n\
          extensions:  {}",
         Experiment::ALL
@@ -128,9 +202,10 @@ struct Options {
     extensions: Vec<Extension>,
     format: Format,
     stats_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
     jobs: usize,
     cache_dir: Option<PathBuf>,
-    progress: bool,
+    progress: Progress,
 }
 
 /// Parses the full argument list before running anything, collecting
@@ -145,9 +220,10 @@ fn parse(args: &[String]) -> Result<Options, Vec<String>> {
     let mut format = Format::Table;
     let mut insts = None;
     let mut stats_out = None;
+    let mut trace_out = None;
     let mut jobs = None;
     let mut cache_dir = None;
-    let mut progress = false;
+    let mut progress = Progress::Quiet;
     let mut errors = Vec::new();
 
     let mut i = 0;
@@ -196,7 +272,15 @@ fn parse(args: &[String]) -> Result<Options, Vec<String>> {
                     stats_out = Some(PathBuf::from(v));
                 }
             }
-            "--progress" => progress = true,
+            "--trace-out" => {
+                if let Some(v) = value(&mut errors) {
+                    trace_out = Some(PathBuf::from(v));
+                }
+            }
+            "--progress" => match parse_progress(inline.as_deref()) {
+                Ok(p) => progress = p,
+                Err(e) => errors.push(e),
+            },
             "--jobs" => {
                 if let Some(v) = value(&mut errors) {
                     match v.parse::<usize>() {
@@ -240,6 +324,7 @@ fn parse(args: &[String]) -> Result<Options, Vec<String>> {
         extensions,
         format,
         stats_out,
+        trace_out,
         jobs,
         cache_dir,
         progress,
@@ -274,13 +359,10 @@ fn execute(
     extensions: &[Extension],
     jobs: usize,
     cache_dir: &Option<PathBuf>,
-    progress: bool,
+    progress: Progress,
+    recorder: Option<&Arc<TraceRecorder>>,
 ) -> Result<Execution, String> {
-    let sink: Arc<dyn ProgressSink> = if progress {
-        Arc::new(StderrSink::default())
-    } else {
-        Arc::new(NullSink)
-    };
+    let sink = progress_sink(progress, recorder);
 
     // Share campaigns across the figures that need them.
     let needs_cpu = requested.iter().any(|e| {
@@ -306,21 +388,37 @@ fn execute(
     }
     // Runners outlive their campaigns: their cumulative stats feed the
     // telemetry dump after the reports are rendered.
+    fn traced<T>(recorder: Option<&Arc<TraceRecorder>>, runner: Runner<T>) -> Runner<T>
+    where
+        T: Clone + Send + serde::Serialize + serde::Deserialize + hetsim_runner::SimMetrics,
+    {
+        match recorder {
+            Some(rec) => runner.with_recorder(rec.clone()),
+            None => runner,
+        }
+    }
     let cpu_runner = needs_cpu
-        .then(|| with_cache(cache_dir, Runner::new(jobs)).map(|r| r.with_sink(sink.clone())))
+        .then(|| {
+            with_cache(cache_dir, Runner::new(jobs))
+                .map(|r| traced(recorder, r).with_sink(sink.clone()))
+        })
         .transpose()
         .map_err(|e| format!("cannot open cache directory: {e}"))?;
     let gpu_runner = needs_gpu
-        .then(|| with_cache(cache_dir, Runner::new(jobs)).map(|r| r.with_sink(sink.clone())))
+        .then(|| {
+            with_cache(cache_dir, Runner::new(jobs))
+                .map(|r| traced(recorder, r).with_sink(sink.clone()))
+        })
         .transpose()
         .map_err(|e| format!("cannot open cache directory: {e}"))?;
+    let recorder_ref = recorder.map(Arc::as_ref);
     let cpu = cpu_runner.as_ref().map(|r| {
         eprintln!("running CPU campaign (11 chips x 14 applications, {jobs} worker(s))...");
-        suite.cpu_campaign_with(r)
+        traced_campaign(recorder_ref, "cpu-campaign", || suite.cpu_campaign_with(r))
     });
     let gpu = gpu_runner.as_ref().map(|r| {
         eprintln!("running GPU campaign (5 designs x 20 kernels, {jobs} worker(s))...");
-        suite.gpu_campaign_with(r)
+        traced_campaign(recorder_ref, "gpu-campaign", || suite.gpu_campaign_with(r))
     });
 
     let mut reports = Vec::new();
@@ -370,10 +468,14 @@ fn execute(
         dump = dump.with_gpu_campaign(c);
     }
     if let Some(r) = &cpu_runner {
-        dump = dump.with_runner("cpu", r.total_stats());
+        dump = dump
+            .with_runner("cpu", r.total_stats())
+            .with_runner_timing("cpu", r.total_timing());
     }
     if let Some(r) = &gpu_runner {
-        dump = dump.with_runner("gpu", r.total_stats());
+        dump = dump
+            .with_runner("gpu", r.total_stats())
+            .with_runner_timing("gpu", r.total_timing());
     }
     dump = dump.with_reports(&reports);
     let execution = Execution {
@@ -470,6 +572,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
         Ok(opts) => opts,
         Err(errors) => return fail(&errors),
     };
+    // The recorder exists only when a trace was requested; without it
+    // the run takes exactly the untraced code path, so headline output
+    // stays byte-identical.
+    let recorder = opts
+        .trace_out
+        .is_some()
+        .then(|| Arc::new(TraceRecorder::new(Arc::new(MonotonicClock::new()))));
     let execution = match execute(
         &opts.suite,
         &opts.requested,
@@ -477,6 +586,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
         opts.jobs,
         &opts.cache_dir,
         opts.progress,
+        recorder.as_ref(),
     ) {
         Ok(x) => x,
         Err(e) => {
@@ -494,6 +604,17 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote counter telemetry to {}", path.display());
+    }
+    if let (Some(path), Some(recorder)) = (&opts.trace_out, &recorder) {
+        if let Err(e) = write_atomic(path, &recorder.to_jsonl()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {} trace event(s) to {}",
+            recorder.events().len(),
+            path.display()
+        );
     }
     ExitCode::SUCCESS
 }
@@ -529,7 +650,7 @@ fn cmd_baseline(args: &[String]) -> ExitCode {
     let mut insts = DEFAULT_BASELINE_INSTS;
     let mut jobs = None;
     let mut cache_dir = None;
-    let mut progress = false;
+    let mut progress = Progress::Quiet;
     let mut errors = Vec::new();
 
     let mut i = 0;
@@ -574,7 +695,10 @@ fn cmd_baseline(args: &[String]) -> ExitCode {
                     cache_dir = Some(PathBuf::from(v));
                 }
             }
-            "--progress" => progress = true,
+            "--progress" => match parse_progress(inline.as_deref()) {
+                Ok(p) => progress = p,
+                Err(e) => errors.push(e),
+            },
             other if other.starts_with("--") => {
                 errors.push(format!("unknown flag '{other}'"));
             }
@@ -612,7 +736,15 @@ fn cmd_baseline(args: &[String]) -> ExitCode {
 
     for target in &targets {
         let (requested, extensions) = resolve_target(target).expect("validated above");
-        let execution = match execute(&suite, &requested, &extensions, jobs, &cache_dir, progress) {
+        let execution = match execute(
+            &suite,
+            &requested,
+            &extensions,
+            jobs,
+            &cache_dir,
+            progress,
+            None,
+        ) {
             Ok(x) => x,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -735,7 +867,7 @@ fn cmd_ci_gate(args: &[String]) -> ExitCode {
     let mut baseline_dir: Option<PathBuf> = None;
     let mut jobs = None;
     let mut cache_dir = None;
-    let mut progress = false;
+    let mut progress = Progress::Quiet;
     let mut policy = DiffPolicy::default();
     let mut errors = Vec::new();
 
@@ -786,7 +918,10 @@ fn cmd_ci_gate(args: &[String]) -> ExitCode {
                     }
                 }
             }
-            "--progress" => progress = true,
+            "--progress" => match parse_progress(inline.as_deref()) {
+                Ok(p) => progress = p,
+                Err(e) => errors.push(e),
+            },
             other => errors.push(format!("unknown argument '{other}'")),
         }
         i += 1;
@@ -873,7 +1008,15 @@ fn cmd_ci_gate(args: &[String]) -> ExitCode {
             run.experiments.join(" "),
             run.insts
         );
-        let execution = match execute(&suite, &requested, &extensions, jobs, &cache_dir, progress) {
+        let execution = match execute(
+            &suite,
+            &requested,
+            &extensions,
+            jobs,
+            &cache_dir,
+            progress,
+            None,
+        ) {
             Ok(x) => x,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -910,17 +1053,72 @@ const CHECK_TARGETS: [Experiment; 2] = [Experiment::Fig7, Experiment::Fig10];
 /// the sampled workload several times, so this stays small).
 const FUZZ_ROUND_INSTS: u64 = 3_000;
 
+/// `repro check --trace-in PATH` — validate a recorded trace file's
+/// structure; exit non-zero on any malformed line or violated property.
+fn check_trace(path: &PathBuf, format: Format) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let (events_seen, violations) = match parse_jsonl(&text) {
+        Ok(events) => (events.len(), validate_events(&events)),
+        // An unparsable file is itself the (single) finding.
+        Err(e) => (0, vec![e]),
+    };
+    match format {
+        Format::Table => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!(
+                "repro check: trace {}: {events_seen} event(s), {} violation(s)",
+                path.display(),
+                violations.len()
+            );
+        }
+        Format::Json | Format::Csv => {
+            use serde::value::Value;
+            let value = Value::Object(vec![
+                ("trace".into(), Value::Str(path.display().to_string())),
+                ("events".into(), Value::UInt(events_seen as u64)),
+                (
+                    "violations".into(),
+                    Value::Array(violations.iter().map(|v| Value::Str(v.clone())).collect()),
+                ),
+            ]);
+            match serde_json::to_string_pretty(&value) {
+                Ok(s) => println!("{s}"),
+                Err(e) => {
+                    eprintln!("failed to serialize trace report: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// `repro check [--fuzz N] [--seed S]` — run the invariant sweep over a
 /// real campaign pass, then N metamorphic fuzz rounds; exit non-zero on
-/// any violation.
+/// any violation. With `--trace-in PATH` it instead validates a trace
+/// file recorded by `repro --trace-out` (span structure and
+/// job-finished/span matching; see `hetsim_obs::validate_events`).
 fn cmd_check(args: &[String]) -> ExitCode {
-    let mut fuzz = 8u64;
-    let mut seed = 42u64;
-    let mut insts = DEFAULT_BASELINE_INSTS;
+    let mut fuzz: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut insts: Option<u64> = None;
+    let mut trace_in: Option<PathBuf> = None;
     let mut format = Format::Table;
     let mut jobs = None;
     let mut cache_dir = None;
-    let mut progress = false;
+    let mut progress = Progress::Quiet;
     let mut errors = Vec::new();
 
     let mut i = 0;
@@ -947,7 +1145,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
             "--fuzz" => {
                 if let Some(v) = value(&mut errors) {
                     match v.parse::<u64>() {
-                        Ok(n) if n >= 1 => fuzz = n,
+                        Ok(n) if n >= 1 => fuzz = Some(n),
                         _ => errors.push(format!("--fuzz expects an integer >= 1, got '{v}'")),
                     }
                 }
@@ -955,7 +1153,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
             "--seed" => {
                 if let Some(v) = value(&mut errors) {
                     match v.parse::<u64>() {
-                        Ok(n) => seed = n,
+                        Ok(n) => seed = Some(n),
                         _ => errors.push(format!("--seed expects an integer, got '{v}'")),
                     }
                 }
@@ -963,9 +1161,14 @@ fn cmd_check(args: &[String]) -> ExitCode {
             "--insts" => {
                 if let Some(v) = value(&mut errors) {
                     match v.parse::<u64>() {
-                        Ok(n) if n >= 1 => insts = n,
+                        Ok(n) if n >= 1 => insts = Some(n),
                         _ => errors.push(format!("--insts expects an integer >= 1, got '{v}'")),
                     }
+                }
+            }
+            "--trace-in" => {
+                if let Some(v) = value(&mut errors) {
+                    trace_in = Some(PathBuf::from(v));
                 }
             }
             "--format" => {
@@ -990,14 +1193,35 @@ fn cmd_check(args: &[String]) -> ExitCode {
                     cache_dir = Some(PathBuf::from(v));
                 }
             }
-            "--progress" => progress = true,
+            "--progress" => match parse_progress(inline.as_deref()) {
+                Ok(p) => progress = p,
+                Err(e) => errors.push(e),
+            },
             other => errors.push(format!("unknown argument '{other}'")),
         }
         i += 1;
     }
+    if let Some(path) = &trace_in {
+        // Trace validation is a pure file check: the flags that shape
+        // the campaign/fuzz phases have nothing to act on.
+        if fuzz.is_some() || seed.is_some() || insts.is_some() {
+            errors.push(
+                "--trace-in validates an existing trace; it cannot be combined with \
+                 --fuzz, --seed or --insts"
+                    .to_string(),
+            );
+        }
+        if !errors.is_empty() {
+            return fail(&errors);
+        }
+        return check_trace(path, format);
+    }
     if !errors.is_empty() {
         return fail(&errors);
     }
+    let fuzz = fuzz.unwrap_or(8);
+    let seed = seed.unwrap_or(42);
+    let insts = insts.unwrap_or(DEFAULT_BASELINE_INSTS);
     let jobs = jobs.unwrap_or_else(default_jobs);
     let suite = Suite {
         insts_per_app: insts,
@@ -1008,7 +1232,15 @@ fn cmd_check(args: &[String]) -> ExitCode {
     // plus the serialized telemetry (where HETSIM_CHECK_PERTURB can
     // inject a fault to prove the layer fires).
     eprintln!("[check] invariant sweep: fig7 + fig10 at --insts {insts}");
-    let execution = match execute(&suite, &CHECK_TARGETS, &[], jobs, &cache_dir, progress) {
+    let execution = match execute(
+        &suite,
+        &CHECK_TARGETS,
+        &[],
+        jobs,
+        &cache_dir,
+        progress,
+        None,
+    ) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");
@@ -1075,6 +1307,63 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
 }
 
+/// `repro trace-export IN.jsonl OUT.json` — convert a recorded JSONL
+/// trace into Chrome trace-event JSON, loadable in Perfetto
+/// (<https://ui.perfetto.dev>) or `chrome://tracing`.
+fn cmd_trace_export(args: &[String]) -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut errors = Vec::new();
+    for arg in args {
+        if arg.starts_with("--") {
+            errors.push(format!("unknown flag '{arg}'"));
+        } else {
+            paths.push(PathBuf::from(arg));
+        }
+    }
+    if paths.len() != 2 {
+        errors.push(format!(
+            "trace-export expects IN.jsonl and OUT.json, got {} path(s)",
+            paths.len()
+        ));
+    }
+    if !errors.is_empty() {
+        return fail(&errors);
+    }
+    let (input, output) = (&paths[0], &paths[1]);
+    let text = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match parse_jsonl(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("error: {}: {e}", input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let chrome = chrome_trace(&events);
+    let json = match serde_json::to_string_pretty(&chrome) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: failed to serialize Chrome trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = write_atomic(output, &json) {
+        eprintln!("error: cannot write {}: {e}", output.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "wrote Chrome trace ({} event(s)) to {} — load it in Perfetto or chrome://tracing",
+        events.len(),
+        output.display()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -1082,6 +1371,7 @@ fn main() -> ExitCode {
         Some("baseline") => cmd_baseline(&args[1..]),
         Some("ci-gate") => cmd_ci_gate(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("trace-export") => cmd_trace_export(&args[1..]),
         _ => cmd_run(&args),
     }
 }

@@ -17,6 +17,7 @@
 //! Anything that can change an outcome must feed the key; nothing else
 //! should (wall-clock, worker count and progress options do not).
 
+use hetsim_obs::TraceRecorder;
 use hetsim_runner::{config_object, Job, JobKey};
 use hetsim_trace::WorkloadProfile;
 use serde::value::Value;
@@ -88,6 +89,25 @@ pub fn gpu_job(
     let label = format!("gpu/{}/{}", kernel.name, design.name());
     let kernel = kernel.clone();
     Job::new(key, label, move || run_gpu(design, &kernel, seed))
+}
+
+/// Runs `f` inside a campaign-level span (`cat: "campaign"`) on
+/// `recorder`; with no recorder it is exactly `f()`. This is the
+/// outermost scope of a run trace — it contains every batch the
+/// campaign submits to its runner, so a trace viewer shows
+/// `cpu-campaign`/`gpu-campaign` as the top-level lanes.
+pub fn traced_campaign<T>(
+    recorder: Option<&TraceRecorder>,
+    name: &str,
+    f: impl FnOnce() -> T,
+) -> T {
+    match recorder {
+        Some(recorder) => {
+            let _span = recorder.span(name, "campaign");
+            f()
+        }
+        None => f(),
+    }
 }
 
 #[cfg(test)]
@@ -167,5 +187,29 @@ mod tests {
         let job = cpu_job(CpuDesign::BaseCmos, 1, &app, 3, 5_000);
         let direct = run_cpu_multicore(CpuDesign::BaseCmos, 1, &app, 3, 5_000);
         assert_eq!((job.run)(), direct);
+    }
+
+    #[test]
+    fn traced_campaign_wraps_the_scope_in_one_span() {
+        assert_eq!(traced_campaign(None, "cpu-campaign", || 7), 7);
+
+        let clock = std::sync::Arc::new(hetsim_obs::ManualClock::new());
+        let recorder = TraceRecorder::new(clock.clone());
+        let out = traced_campaign(Some(&recorder), "cpu-campaign", || {
+            clock.advance(40);
+            "done"
+        });
+        assert_eq!(out, "done");
+        let events = recorder.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "cpu-campaign");
+        assert_eq!(events[0].cat, "campaign");
+        assert_eq!(
+            events[0].kind,
+            hetsim_obs::EventKind::Span {
+                start_us: 0,
+                end_us: 40
+            }
+        );
     }
 }

@@ -33,7 +33,7 @@ use std::path::Path;
 use hetsim_cpu::stats::CoreStats;
 use hetsim_gpu::stats::GpuStats;
 use hetsim_mem::stats::MemStats;
-use hetsim_runner::RunnerStats;
+use hetsim_runner::{RunnerStats, RunnerTiming};
 use serde::value::Value;
 use serde::Serialize;
 
@@ -50,6 +50,7 @@ pub struct StatsDump {
     cpu: Option<Value>,
     gpu: Option<Value>,
     runner: Vec<(String, RunnerStats)>,
+    timing: Vec<(String, RunnerTiming)>,
     reports: Vec<Report>,
 }
 
@@ -148,6 +149,16 @@ impl StatsDump {
         self
     }
 
+    /// Adds one runner's per-phase wall-time histograms, surfaced as
+    /// `runner.timing.<label>.*`. Like the rest of the `runner` section
+    /// this telemetry is wall-clock-derived and non-deterministic, so
+    /// the regression gate's `runner.` exemption (see
+    /// [`RunnerStats::DETERMINISTIC`]) covers it automatically.
+    pub fn with_runner_timing(mut self, label: &str, timing: RunnerTiming) -> Self {
+        self.timing.push((label.to_string(), timing));
+        self
+    }
+
     /// Records the run configuration (`insts`, `seed`, experiment CLI
     /// words), making the dump self-describing: `repro ci-gate` replays
     /// exactly this configuration when re-validating a baseline.
@@ -203,15 +214,23 @@ impl Serialize for StatsDump {
         }
         fields.push(("cpu".into(), self.cpu.clone().unwrap_or(Value::Null)));
         fields.push(("gpu".into(), self.gpu.clone().unwrap_or(Value::Null)));
-        fields.push((
-            "runner".into(),
-            Value::Object(
-                self.runner
-                    .iter()
-                    .map(|(label, stats)| (label.clone(), stats.to_value()))
-                    .collect(),
-            ),
-        ));
+        let mut runner: Vec<(String, Value)> = self
+            .runner
+            .iter()
+            .map(|(label, stats)| (label.clone(), stats.to_value()))
+            .collect();
+        if !self.timing.is_empty() {
+            runner.push((
+                "timing".into(),
+                Value::Object(
+                    self.timing
+                        .iter()
+                        .map(|(label, timing)| (label.clone(), timing.to_value()))
+                        .collect(),
+                ),
+            ));
+        }
+        fields.push(("runner".into(), Value::Object(runner)));
         if !self.reports.is_empty() {
             fields.push(("reports".into(), self.reports.to_value()));
         }
@@ -338,5 +357,34 @@ mod tests {
             .to_json();
         let v: Value = serde_json::from_str(&json).expect("valid JSON");
         assert!(v.get("runner").and_then(|r| r.get("cpu")).is_some());
+    }
+
+    #[test]
+    fn runner_timing_lands_under_runner_timing_label() {
+        let without = StatsDump::new()
+            .with_runner("cpu", RunnerStats::default())
+            .to_value();
+        assert!(
+            without
+                .get("runner")
+                .and_then(|r| r.get("timing"))
+                .is_none(),
+            "no timing section unless timing was recorded"
+        );
+
+        let mut timing = RunnerTiming::default();
+        timing.simulate_us.record(250);
+        let v = StatsDump::new()
+            .with_runner("cpu", RunnerStats::default())
+            .with_runner_timing("cpu", timing)
+            .to_value();
+        let sim = v
+            .get("runner")
+            .and_then(|r| r.get("timing"))
+            .and_then(|t| t.get("cpu"))
+            .and_then(|c| c.get("simulate_us"))
+            .expect("runner.timing.cpu.simulate_us");
+        assert_eq!(sim.get("count").and_then(Value::as_u64), Some(1));
+        assert_eq!(sim.get("sum").and_then(Value::as_u64), Some(250));
     }
 }

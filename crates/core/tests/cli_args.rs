@@ -82,6 +82,50 @@ fn check_collects_every_error_not_just_the_first() {
 }
 
 #[test]
+fn run_rejects_bad_progress_and_missing_trace_out_value() {
+    assert_rejected(
+        &["--progress=bogus", "fig7"],
+        "--progress expects stderr or dashboard, got 'bogus'",
+    );
+    assert_rejected(&["fig7", "--trace-out"], "--trace-out requires a value");
+}
+
+#[test]
+fn check_rejects_trace_in_combined_with_campaign_flags() {
+    assert_rejected(
+        &["check", "--trace-in", "t.jsonl", "--fuzz", "2"],
+        "--trace-in validates an existing trace; it cannot be combined with",
+    );
+}
+
+#[test]
+fn check_fails_cleanly_on_missing_trace_file() {
+    let out = repro(&["check", "--trace-in", "/nonexistent/t.jsonl"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success());
+    assert!(
+        stderr.contains("error:") && stderr.contains("/nonexistent/t.jsonl"),
+        "names the unreadable file: {stderr}"
+    );
+}
+
+#[test]
+fn trace_export_rejects_wrong_path_count_and_unknown_flags() {
+    assert_rejected(
+        &["trace-export", "only-in.jsonl"],
+        "trace-export expects IN.jsonl and OUT.json, got 1 path(s)",
+    );
+    assert_rejected(
+        &["trace-export", "a.jsonl", "b.json", "c.json"],
+        "trace-export expects IN.jsonl and OUT.json, got 3 path(s)",
+    );
+    assert_rejected(
+        &["trace-export", "--wat", "a.jsonl", "b.json"],
+        "unknown flag '--wat'",
+    );
+}
+
+#[test]
 fn diff_rejects_wrong_file_count() {
     assert_rejected(
         &["diff", "only-one.json"],

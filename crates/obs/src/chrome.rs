@@ -1,0 +1,157 @@
+//! Chrome trace-event export.
+//!
+//! Converts recorded [`TraceEvent`]s into the Trace Event Format JSON
+//! object that Perfetto and `chrome://tracing` load: spans become
+//! complete (`"ph": "X"`) events with microsecond `ts`/`dur`, instants
+//! become thread-scoped instant (`"ph": "i"`) events, and each track
+//! becomes a `tid` with a metadata `thread_name` record so the viewer
+//! labels the lanes.
+
+use serde::value::Value;
+
+use crate::recorder::{EventKind, TraceEvent};
+
+/// The Chrome trace-event document for `events`, ready to serialize
+/// with `serde_json` and open in Perfetto.
+pub fn chrome_trace(events: &[TraceEvent]) -> Value {
+    let mut trace_events: Vec<Value> = Vec::with_capacity(events.len() + 4);
+
+    // One thread_name metadata record per track, so lanes read
+    // "track 0 (main)", "track 1", ... instead of bare numbers.
+    let mut tracks: Vec<u64> = events.iter().map(|e| e.track).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    for track in tracks {
+        let label = if track == 0 {
+            "track 0 (main)".to_string()
+        } else {
+            format!("track {track}")
+        };
+        trace_events.push(Value::Object(vec![
+            ("name".into(), Value::Str("thread_name".into())),
+            ("ph".into(), Value::Str("M".into())),
+            ("pid".into(), Value::UInt(0)),
+            ("tid".into(), Value::UInt(track)),
+            (
+                "args".into(),
+                Value::Object(vec![("name".into(), Value::Str(label))]),
+            ),
+        ]));
+    }
+
+    for event in events {
+        let args = Value::Object(
+            event
+                .args
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                .collect(),
+        );
+        let mut fields: Vec<(String, Value)> = vec![
+            ("name".into(), Value::Str(event.name.clone())),
+            ("cat".into(), Value::Str(event.cat.clone())),
+        ];
+        match event.kind {
+            EventKind::Span { start_us, end_us } => {
+                fields.push(("ph".into(), Value::Str("X".into())));
+                fields.push(("ts".into(), Value::UInt(start_us)));
+                fields.push(("dur".into(), Value::UInt(end_us - start_us)));
+            }
+            EventKind::Instant { at_us } => {
+                fields.push(("ph".into(), Value::Str("i".into())));
+                fields.push(("ts".into(), Value::UInt(at_us)));
+                // Thread-scoped instant: drawn as a tick on its lane.
+                fields.push(("s".into(), Value::Str("t".into())));
+            }
+        }
+        fields.push(("pid".into(), Value::UInt(0)));
+        fields.push(("tid".into(), Value::UInt(event.track)));
+        fields.push(("args".into(), args));
+        trace_events.push(Value::Object(fields));
+    }
+
+    Value::Object(vec![
+        ("displayTimeUnit".into(), Value::Str("ms".into())),
+        ("traceEvents".into(), Value::Array(trace_events)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, track: u64, start_us: u64, end_us: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat: "job".into(),
+            track,
+            kind: EventKind::Span { start_us, end_us },
+            args: vec![("job".into(), "cpu/lu/AdvHetx4".into())],
+        }
+    }
+
+    #[test]
+    fn spans_become_complete_events_with_ts_and_dur() {
+        let doc = chrome_trace(&[span("simulate", 1, 10, 45)]);
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        let x = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .expect("one complete event");
+        assert_eq!(x.get("name").and_then(Value::as_str), Some("simulate"));
+        assert_eq!(x.get("ts").and_then(Value::as_u64), Some(10));
+        assert_eq!(x.get("dur").and_then(Value::as_u64), Some(35));
+        assert_eq!(x.get("tid").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            x.get("args")
+                .and_then(|a| a.get("job"))
+                .and_then(Value::as_str),
+            Some("cpu/lu/AdvHetx4")
+        );
+    }
+
+    #[test]
+    fn instants_become_thread_scoped_i_events() {
+        let doc = chrome_trace(&[TraceEvent {
+            name: "job-finished".into(),
+            cat: "job".into(),
+            track: 0,
+            kind: EventKind::Instant { at_us: 99 },
+            args: vec![],
+        }]);
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("array");
+        let i = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("i"))
+            .expect("instant event");
+        assert_eq!(i.get("ts").and_then(Value::as_u64), Some(99));
+        assert_eq!(i.get("s").and_then(Value::as_str), Some("t"));
+    }
+
+    #[test]
+    fn every_track_gets_one_thread_name_record() {
+        let doc = chrome_trace(&[span("a", 0, 0, 1), span("b", 2, 0, 1), span("c", 2, 1, 2)]);
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("array");
+        let metas: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 2, "tracks 0 and 2");
+        assert_eq!(
+            metas[0]
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str),
+            Some("track 0 (main)")
+        );
+    }
+}

@@ -1,0 +1,375 @@
+//! The trace recorder: spans and instants collected from any thread.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
+
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+use crate::clock::Clock;
+
+/// The temporal shape of one [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A closed interval of work. `end_us >= start_us` by
+    /// construction when recorded through [`TraceRecorder`]; trace
+    /// validation re-checks it on files of unknown provenance.
+    Span {
+        /// Start timestamp, clock microseconds.
+        start_us: u64,
+        /// End timestamp, clock microseconds.
+        end_us: u64,
+    },
+    /// A point event (e.g. `job-finished`).
+    Instant {
+        /// Timestamp, clock microseconds.
+        at_us: u64,
+    },
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name (`simulate`, `cache-lookup`, `job-finished`, …).
+    pub name: String,
+    /// Coarse category (`campaign`, `batch`, `job`) — becomes the
+    /// Chrome trace `cat` field, which Perfetto can filter on.
+    pub cat: String,
+    /// The track (thread lane) the event belongs to. Track 0 is the
+    /// first thread that recorded; worker threads get 1, 2, … in
+    /// first-use order.
+    pub track: u64,
+    /// Span or instant, with timestamps.
+    pub kind: EventKind,
+    /// Free-form `(key, value)` annotations (job label, provenance,
+    /// queue wait), kept as strings so the JSONL stays schema-free.
+    pub args: Vec<(String, String)>,
+}
+
+impl Serialize for TraceEvent {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = Vec::with_capacity(7);
+        match self.kind {
+            EventKind::Span { start_us, end_us } => {
+                fields.push(("kind".into(), Value::Str("span".into())));
+                fields.push(("name".into(), Value::Str(self.name.clone())));
+                fields.push(("cat".into(), Value::Str(self.cat.clone())));
+                fields.push(("track".into(), Value::UInt(self.track)));
+                fields.push(("start_us".into(), Value::UInt(start_us)));
+                fields.push(("end_us".into(), Value::UInt(end_us)));
+            }
+            EventKind::Instant { at_us } => {
+                fields.push(("kind".into(), Value::Str("instant".into())));
+                fields.push(("name".into(), Value::Str(self.name.clone())));
+                fields.push(("cat".into(), Value::Str(self.cat.clone())));
+                fields.push(("track".into(), Value::UInt(self.track)));
+                fields.push(("at_us".into(), Value::UInt(at_us)));
+            }
+        }
+        fields.push((
+            "args".into(),
+            Value::Object(
+                self.args
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                    .collect(),
+            ),
+        ));
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for TraceEvent {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::custom(format!("trace event has no `{name}` field")))
+        };
+        let str_field = |name: &str| {
+            field(name)?.as_str().map(str::to_string).ok_or_else(|| {
+                serde::Error::custom(format!("trace event `{name}` is not a string"))
+            })
+        };
+        let u64_field = |name: &str| {
+            field(name)?.as_u64().ok_or_else(|| {
+                serde::Error::custom(format!("trace event `{name}` is not an unsigned integer"))
+            })
+        };
+        let kind = match str_field("kind")?.as_str() {
+            "span" => EventKind::Span {
+                start_us: u64_field("start_us")?,
+                end_us: u64_field("end_us")?,
+            },
+            "instant" => EventKind::Instant {
+                at_us: u64_field("at_us")?,
+            },
+            other => {
+                return Err(serde::Error::custom(format!(
+                    "unknown trace event kind '{other}'"
+                )))
+            }
+        };
+        let args = match v.get("args") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(args) => args
+                .as_object()
+                .ok_or_else(|| serde::Error::custom("trace event `args` is not an object"))?
+                .iter()
+                .map(|(k, val)| {
+                    val.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| {
+                            serde::Error::custom(format!("trace event arg `{k}` is not a string"))
+                        })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        Ok(TraceEvent {
+            name: str_field("name")?,
+            cat: str_field("cat")?,
+            track: u64_field("track")?,
+            kind,
+            args,
+        })
+    }
+}
+
+/// Collects [`TraceEvent`]s from any thread against one injected
+/// [`Clock`].
+///
+/// Threads are mapped to stable *tracks* on first use, so a trace
+/// viewer shows one lane per worker. Recording is lock-per-event; the
+/// runner emits a handful of events per job, which is far below the
+/// mutex's noise floor.
+pub struct TraceRecorder {
+    clock: Arc<dyn Clock>,
+    events: Mutex<Vec<TraceEvent>>,
+    tracks: Mutex<HashMap<ThreadId, u64>>,
+}
+
+impl TraceRecorder {
+    /// A recorder reading time from `clock`.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        TraceRecorder {
+            clock,
+            events: Mutex::new(Vec::new()),
+            tracks: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The recorder's current time, clock microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.clock.now_us()
+    }
+
+    /// The clock this recorder reads, for callers that must stamp
+    /// other measurements on the same timeline.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        self.clock.clone()
+    }
+
+    /// The calling thread's track, assigned on first use (0, 1, 2, …).
+    pub fn current_track(&self) -> u64 {
+        let mut tracks = self.tracks.lock().expect("track lock");
+        let next = tracks.len() as u64;
+        *tracks.entry(std::thread::current().id()).or_insert(next)
+    }
+
+    /// Opens a span starting now; the returned guard records it on
+    /// drop, on the calling thread's track.
+    pub fn span(&self, name: impl Into<String>, cat: impl Into<String>) -> SpanGuard<'_> {
+        SpanGuard {
+            recorder: self,
+            name: name.into(),
+            cat: cat.into(),
+            start_us: self.now_us(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Records a completed span with explicit timestamps (clamped so
+    /// `end_us >= start_us` always holds for recorder-produced traces).
+    pub fn record_span(
+        &self,
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        start_us: u64,
+        end_us: u64,
+        args: Vec<(String, String)>,
+    ) {
+        self.push(TraceEvent {
+            name: name.into(),
+            cat: cat.into(),
+            track: self.current_track(),
+            kind: EventKind::Span {
+                start_us,
+                end_us: end_us.max(start_us),
+            },
+            args,
+        });
+    }
+
+    /// Records an instant event stamped now.
+    pub fn instant(
+        &self,
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        args: Vec<(String, String)>,
+    ) {
+        self.push(TraceEvent {
+            name: name.into(),
+            cat: cat.into(),
+            track: self.current_track(),
+            kind: EventKind::Instant {
+                at_us: self.now_us(),
+            },
+            args,
+        });
+    }
+
+    fn push(&self, event: TraceEvent) {
+        self.events.lock().expect("event lock").push(event);
+    }
+
+    /// A snapshot of every event recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("event lock").clone()
+    }
+
+    /// The JSONL rendering: one compact JSON object per line, in
+    /// recording order (spans appear at their *end* time). This is the
+    /// `repro --trace-out` file format; parse it back with
+    /// [`crate::parse_jsonl`].
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.events.lock().expect("event lock").iter() {
+            out.push_str(&serde_json::to_string(event).expect("value trees always serialize"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// An open span; records itself on drop. Annotate with
+/// [`SpanGuard::arg`] before it closes.
+pub struct SpanGuard<'a> {
+    recorder: &'a TraceRecorder,
+    name: String,
+    cat: String,
+    start_us: u64,
+    args: Vec<(String, String)>,
+}
+
+impl SpanGuard<'_> {
+    /// Attaches one `(key, value)` annotation.
+    pub fn arg(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.args.push((key.into(), value.into()));
+        self
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.recorder.record_span(
+            std::mem::take(&mut self.name),
+            std::mem::take(&mut self.cat),
+            self.start_us,
+            self.recorder.now_us(),
+            std::mem::take(&mut self.args),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn manual() -> (Arc<ManualClock>, TraceRecorder) {
+        let clock = Arc::new(ManualClock::new());
+        let recorder = TraceRecorder::new(clock.clone());
+        (clock, recorder)
+    }
+
+    #[test]
+    fn span_guard_records_start_and_end_from_the_injected_clock() {
+        let (clock, recorder) = manual();
+        clock.advance(10);
+        {
+            let _span = recorder
+                .span("simulate", "job")
+                .arg("job", "cpu/lu/AdvHetx4");
+            clock.advance(25);
+        }
+        let events = recorder.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "simulate");
+        assert_eq!(
+            events[0].kind,
+            EventKind::Span {
+                start_us: 10,
+                end_us: 35
+            }
+        );
+        assert_eq!(
+            events[0].args,
+            [("job".to_string(), "cpu/lu/AdvHetx4".to_string())]
+        );
+    }
+
+    #[test]
+    fn instants_stamp_the_current_time() {
+        let (clock, recorder) = manual();
+        clock.advance(7);
+        recorder.instant("job-finished", "job", vec![]);
+        match recorder.events()[0].kind {
+            EventKind::Instant { at_us } => assert_eq!(at_us, 7),
+            ref other => panic!("expected instant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tracks_are_stable_per_thread_and_distinct_across_threads() {
+        let (_clock, recorder) = manual();
+        let main_track = recorder.current_track();
+        assert_eq!(main_track, recorder.current_track(), "stable on re-ask");
+        let other =
+            std::thread::scope(|s| s.spawn(|| recorder.current_track()).join().expect("joins"));
+        assert_ne!(main_track, other);
+    }
+
+    #[test]
+    fn explicit_spans_clamp_inverted_timestamps() {
+        let (_clock, recorder) = manual();
+        recorder.record_span("s", "c", 100, 40, vec![]);
+        match recorder.events()[0].kind {
+            EventKind::Span { start_us, end_us } => {
+                assert_eq!((start_us, end_us), (100, 100));
+            }
+            ref other => panic!("expected span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn events_round_trip_through_serde() {
+        let (clock, recorder) = manual();
+        clock.advance(3);
+        recorder.record_span(
+            "cache-write",
+            "job",
+            1,
+            3,
+            vec![("index".into(), "4".into())],
+        );
+        recorder.instant(
+            "job-finished",
+            "job",
+            vec![("provenance".into(), "ran".into())],
+        );
+        for event in recorder.events() {
+            let back = TraceEvent::from_value(&event.to_value()).expect("round trip");
+            assert_eq!(back, event);
+        }
+    }
+}

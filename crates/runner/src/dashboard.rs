@@ -1,0 +1,295 @@
+//! A live, in-place campaign dashboard (`repro --progress=dashboard`).
+//!
+//! Where [`StderrSink`](crate::StderrSink) appends one line per job —
+//! fine for logs, noisy for a 100-job sweep — [`DashboardSink`] keeps
+//! a small block of lines at the bottom of the terminal and redraws it
+//! in place with ANSI cursor movement: overall completion, cache hit
+//! ratio, throughput and ETA, plus a per-design job count so a sweep's
+//! shape is visible while it runs.
+//!
+//! The sink assumes its writer is a terminal that understands ANSI
+//! escapes; the `repro` CLI checks `stderr.is_terminal()` and falls
+//! back to the plain line sink when piped, so trace files and CI logs
+//! never contain control sequences. Redraws are rate-limited (~10/s)
+//! so a cache-warm campaign finishing thousands of jobs per second is
+//! not bottlenecked on terminal I/O. Time comes from an injected
+//! [`Clock`], which makes both the rate limit and the ETA math
+//! deterministic under test.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use hetsim_obs::Clock;
+
+use crate::progress::{ProgressEvent, ProgressSink, Provenance};
+
+/// Minimum interval between in-place redraws, in microseconds.
+const REDRAW_INTERVAL_US: u64 = 100_000;
+
+/// The design name encoded in a job label.
+///
+/// Campaign labels are `cpu/{app}/{design}x{cores}` or
+/// `gpu/{kernel}/{design}`; anything unrecognized groups under its
+/// last path segment.
+fn design_of(label: &str) -> &str {
+    let last = label.rsplit('/').next().unwrap_or(label);
+    match last.rsplit_once('x') {
+        Some((design, cores))
+            if !design.is_empty()
+                && !cores.is_empty()
+                && cores.bytes().all(|b| b.is_ascii_digit()) =>
+        {
+            design
+        }
+        _ => last,
+    }
+}
+
+#[derive(Default)]
+struct DashState {
+    /// Jobs expected across all batches seen so far.
+    total: usize,
+    /// Jobs finished across all batches.
+    done: usize,
+    /// Finished jobs answered from a cache layer.
+    cache_hits: usize,
+    /// Clock stamp of the first `BatchStarted`.
+    started_us: Option<u64>,
+    /// Clock stamp of the last redraw.
+    last_draw_us: u64,
+    /// Lines currently occupied by the live block (0 = nothing drawn).
+    drawn_lines: usize,
+    /// Finished-job count per design (BTreeMap for stable line order).
+    per_design: BTreeMap<String, usize>,
+}
+
+/// Renders campaign progress as an in-place, multi-line TTY dashboard.
+pub struct DashboardSink {
+    clock: Arc<dyn Clock>,
+    out: Mutex<(Box<dyn Write + Send>, DashState)>,
+}
+
+impl DashboardSink {
+    /// A dashboard on the process's stderr, timed by `clock`.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        DashboardSink::with_writer(clock, Box::new(std::io::stderr()))
+    }
+
+    /// A dashboard on an arbitrary writer (tests inject a buffer).
+    pub fn with_writer(clock: Arc<dyn Clock>, out: Box<dyn Write + Send>) -> Self {
+        DashboardSink {
+            clock,
+            out: Mutex::new((out, DashState::default())),
+        }
+    }
+
+    /// The live block's lines for the current state.
+    fn lines(state: &DashState, now_us: u64) -> Vec<String> {
+        let elapsed_s = state
+            .started_us
+            .map(|t0| now_us.saturating_sub(t0) as f64 / 1e6)
+            .unwrap_or(0.0);
+        let rate = if elapsed_s > 0.0 {
+            state.done as f64 / elapsed_s
+        } else {
+            0.0
+        };
+        let eta = if rate > 0.0 && state.total > state.done {
+            format!("{:.0}s", (state.total - state.done) as f64 / rate)
+        } else {
+            "--".to_string()
+        };
+        let hit_pct = if state.done > 0 {
+            state.cache_hits as f64 * 100.0 / state.done as f64
+        } else {
+            0.0
+        };
+        let mut lines = vec![format!(
+            "[dash] {}/{} jobs · {:.0}% cached · {:.1} jobs/s · ETA {}",
+            state.done, state.total, hit_pct, rate, eta
+        )];
+        for (design, count) in &state.per_design {
+            lines.push(format!("[dash]   {design}: {count}"));
+        }
+        lines
+    }
+
+    /// Redraws the live block in place: move the cursor up over the
+    /// previous block, then rewrite each line (clearing its tail).
+    fn redraw(out: &mut (Box<dyn Write + Send>, DashState), now_us: u64, force: bool) {
+        let (writer, state) = out;
+        if !force && now_us.saturating_sub(state.last_draw_us) < REDRAW_INTERVAL_US {
+            return;
+        }
+        state.last_draw_us = now_us;
+        let lines = DashboardSink::lines(state, now_us);
+        let mut block = String::new();
+        if state.drawn_lines > 0 {
+            block.push_str(&format!("\x1b[{}A", state.drawn_lines));
+        }
+        for line in &lines {
+            block.push_str("\x1b[2K");
+            block.push_str(line);
+            block.push('\n');
+        }
+        state.drawn_lines = lines.len();
+        // Best-effort, like every progress writer: never kill a job
+        // over a closed terminal.
+        let _ = writer.write_all(block.as_bytes());
+        let _ = writer.flush();
+    }
+}
+
+impl ProgressSink for DashboardSink {
+    fn event(&self, event: &ProgressEvent) {
+        let now_us = self.clock.now_us();
+        let mut out = self.out.lock().expect("dashboard lock");
+        match event {
+            ProgressEvent::BatchStarted { total, .. } => {
+                out.1.total += total;
+                out.1.started_us.get_or_insert(now_us);
+                DashboardSink::redraw(&mut out, now_us, true);
+            }
+            ProgressEvent::JobStarted { .. } => {}
+            ProgressEvent::JobFinished {
+                label, provenance, ..
+            } => {
+                out.1.done += 1;
+                if !matches!(provenance, Provenance::Executed) {
+                    out.1.cache_hits += 1;
+                }
+                *out.1
+                    .per_design
+                    .entry(design_of(label).to_string())
+                    .or_insert(0) += 1;
+                DashboardSink::redraw(&mut out, now_us, false);
+            }
+            ProgressEvent::BatchFinished { stats } => {
+                // Settle the block, then leave a permanent summary
+                // line below it; the next batch draws a fresh block.
+                DashboardSink::redraw(&mut out, now_us, true);
+                let summary = format!(
+                    "[dash] batch done: {} jobs, {} executed, {} cached, {:.2} s wall\n",
+                    stats.jobs,
+                    stats.executed,
+                    stats.cache_hits,
+                    stats.wall.as_secs_f64(),
+                );
+                out.1.drawn_lines = 0;
+                let _ = out.0.write_all(summary.as_bytes());
+                let _ = out.0.flush();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    use hetsim_obs::ManualClock;
+
+    use crate::progress::RunnerStats;
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().expect("buf lock").clone()).expect("utf8")
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("buf lock").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn finished(index: usize, label: &str, provenance: Provenance) -> ProgressEvent {
+        ProgressEvent::JobFinished {
+            index,
+            label: label.to_string(),
+            provenance,
+            done: index + 1,
+            total: 4,
+            counters: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn design_names_parse_from_both_label_shapes() {
+        assert_eq!(design_of("cpu/lu/AdvHetx4"), "AdvHet");
+        assert_eq!(design_of("cpu/lu/AdvHetx16"), "AdvHet");
+        assert_eq!(design_of("gpu/matmul/HetGPU"), "HetGPU");
+        assert_eq!(design_of("HetGPU"), "HetGPU");
+        // An `x` not followed by a pure core count is part of the name.
+        assert_eq!(design_of("cpu/lu/Extreme"), "Extreme");
+    }
+
+    #[test]
+    fn dashboard_tracks_designs_hits_and_eta() {
+        let clock = Arc::new(ManualClock::new());
+        let buf = SharedBuf::default();
+        let sink = DashboardSink::with_writer(clock.clone(), Box::new(buf.clone()));
+        sink.event(&ProgressEvent::BatchStarted {
+            total: 4,
+            workers: 2,
+        });
+        clock.advance(1_000_000); // 1 s per job => 1.0 jobs/s
+        sink.event(&finished(0, "cpu/lu/AdvHetx4", Provenance::Executed));
+        clock.advance(1_000_000);
+        sink.event(&finished(1, "cpu/lu/CmosHPx4", Provenance::MemoryCache));
+        let text = buf.text();
+        assert!(text.contains("2/4 jobs"), "{text}");
+        assert!(text.contains("50% cached"), "{text}");
+        assert!(text.contains("1.0 jobs/s"), "{text}");
+        assert!(text.contains("ETA 2s"), "{text}");
+        assert!(text.contains("AdvHet: 1"), "{text}");
+        assert!(text.contains("CmosHP: 1"), "{text}");
+        assert!(text.contains("\x1b[2K"), "redraws must clear lines");
+
+        sink.event(&ProgressEvent::BatchFinished {
+            stats: RunnerStats {
+                jobs: 4,
+                executed: 1,
+                cache_hits: 3,
+                wall: Duration::from_secs(2),
+                ..RunnerStats::default()
+            },
+        });
+        let text = buf.text();
+        assert!(text.contains("batch done: 4 jobs"), "{text}");
+    }
+
+    #[test]
+    fn redraws_are_rate_limited_by_the_injected_clock() {
+        let clock = Arc::new(ManualClock::new());
+        let buf = SharedBuf::default();
+        let sink = DashboardSink::with_writer(clock.clone(), Box::new(buf.clone()));
+        sink.event(&ProgressEvent::BatchStarted {
+            total: 100,
+            workers: 2,
+        });
+        let drawn_after_start = buf.text().matches("[dash] ").count();
+        // A burst of completions inside one redraw interval coalesces
+        // into zero additional draws...
+        for i in 0..50 {
+            clock.advance(10); // far below REDRAW_INTERVAL_US
+            sink.event(&finished(i, "gpu/matmul/HetGPU", Provenance::MemoryCache));
+        }
+        assert_eq!(buf.text().matches("[dash] ").count(), drawn_after_start);
+        // ...and the next completion after the interval draws once.
+        clock.advance(REDRAW_INTERVAL_US);
+        sink.event(&finished(50, "gpu/matmul/HetGPU", Provenance::MemoryCache));
+        let text = buf.text();
+        assert!(text.contains("51/100 jobs"), "{text}");
+    }
+}

@@ -37,16 +37,22 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod dashboard;
 mod job;
 mod pool;
 mod progress;
 mod runner;
+mod sinks;
+mod timing;
 
 pub use cache::{write_atomic, CacheLayer, CacheStats, ResultCache};
+pub use dashboard::DashboardSink;
 pub use job::{config_object, Job, JobKey};
 pub use pool::{run_batch, Task};
 pub use progress::{NullSink, ProgressEvent, ProgressSink, Provenance, RunnerStats, StderrSink};
 pub use runner::Runner;
+pub use sinks::{MultiSink, TraceEventSink};
+pub use timing::RunnerTiming;
 
 /// Outcome types that can report how much simulated time they cover.
 ///

@@ -6,6 +6,7 @@
 //! simulated-seconds-per-wall-second throughput metric. Sinks must be
 //! `Send + Sync` — completion events arrive from worker threads.
 
+use std::io::Write;
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -23,6 +24,18 @@ pub enum Provenance {
     MemoryCache,
     /// Answered from the on-disk cache.
     DiskCache,
+}
+
+impl Provenance {
+    /// A short, stable tag (`ran`/`mem`/`disk`) used in progress lines
+    /// and trace-event args.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Provenance::Executed => "ran",
+            Provenance::MemoryCache => "mem",
+            Provenance::DiskCache => "disk",
+        }
+    }
 }
 
 /// One progress event.
@@ -155,49 +168,80 @@ impl ProgressSink for NullSink {
 }
 
 /// Renders events as single-line updates on stderr (the `repro
-/// --progress` sink). Uses a mutex so concurrent completions never
-/// interleave half-lines.
-#[derive(Debug, Default)]
+/// --progress` sink).
+///
+/// Each event is formatted into one complete line *before* the writer
+/// lock is taken, and emitted with a single `write_all` under that
+/// lock — so completion lines arriving concurrently from worker
+/// threads can interleave whole lines, but never tear mid-line (the
+/// per-handle locking `eprintln!` relies on only covers one `write`
+/// call, not a formatted sequence of them).
 pub struct StderrSink {
-    lock: Mutex<()>,
+    out: Mutex<Box<dyn Write + Send>>,
 }
 
-impl ProgressSink for StderrSink {
-    fn event(&self, event: &ProgressEvent) {
-        let _guard = self.lock.lock().expect("stderr sink lock");
+impl Default for StderrSink {
+    fn default() -> Self {
+        StderrSink::new()
+    }
+}
+
+impl StderrSink {
+    /// A sink writing to the process's stderr.
+    pub fn new() -> Self {
+        StderrSink::with_writer(Box::new(std::io::stderr()))
+    }
+
+    /// A sink writing to an arbitrary writer (tests inject a shared
+    /// buffer to assert on the emitted lines).
+    pub fn with_writer(out: Box<dyn Write + Send>) -> Self {
+        StderrSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// The one-line rendering of `event`, newline-terminated; `None`
+    /// for events this sink does not narrate.
+    fn format(event: &ProgressEvent) -> Option<String> {
         match event {
             ProgressEvent::BatchStarted { total, workers } => {
-                eprintln!("[runner] {total} jobs on {workers} worker(s)");
+                Some(format!("[runner] {total} jobs on {workers} worker(s)\n"))
             }
-            ProgressEvent::JobStarted { .. } => {}
+            ProgressEvent::JobStarted { .. } => None,
             ProgressEvent::JobFinished {
                 label,
                 provenance,
                 done,
                 total,
                 ..
-            } => {
-                let tag = match provenance {
-                    Provenance::Executed => "ran",
-                    Provenance::MemoryCache => "mem",
-                    Provenance::DiskCache => "disk",
-                };
-                eprintln!("[runner] {done}/{total} {label} ({tag})");
-            }
-            ProgressEvent::BatchFinished { stats } => {
-                eprintln!(
-                    "[runner] done: {} jobs, {} executed, {} cached ({:.0}% hit rate), \
-                     {:.2} sim-ms in {:.2} s wall ({:.1} sim-ms/s)",
-                    stats.jobs,
-                    stats.executed,
-                    stats.cache_hits,
-                    stats.hit_rate() * 100.0,
-                    stats.sim_seconds * 1e3,
-                    stats.wall.as_secs_f64(),
-                    stats.sim_seconds_per_wall_second() * 1e3,
-                );
-            }
+            } => Some(format!(
+                "[runner] {done}/{total} {label} ({})\n",
+                provenance.tag()
+            )),
+            ProgressEvent::BatchFinished { stats } => Some(format!(
+                "[runner] done: {} jobs, {} executed, {} cached ({:.0}% hit rate), \
+                 {:.2} sim-ms in {:.2} s wall ({:.1} sim-ms/s)\n",
+                stats.jobs,
+                stats.executed,
+                stats.cache_hits,
+                stats.hit_rate() * 100.0,
+                stats.sim_seconds * 1e3,
+                stats.wall.as_secs_f64(),
+                stats.sim_seconds_per_wall_second() * 1e3,
+            )),
         }
+    }
+}
+
+impl ProgressSink for StderrSink {
+    fn event(&self, event: &ProgressEvent) {
+        let Some(line) = StderrSink::format(event) else {
+            return;
+        };
+        let mut out = self.out.lock().expect("stderr sink lock");
+        // Progress is best-effort: a closed stderr must not kill a job.
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.flush();
     }
 }
 
@@ -301,5 +345,59 @@ mod tests {
         sink.event(&ProgressEvent::BatchFinished {
             stats: RunnerStats::default(),
         });
+    }
+
+    /// A writer that shares its buffer, so the test can hammer one
+    /// sink from many threads and then inspect what came out.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("buf lock").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn concurrent_job_finished_lines_never_tear() {
+        let buf = SharedBuf::default();
+        let sink = std::sync::Arc::new(StderrSink::with_writer(Box::new(buf.clone())));
+        const THREADS: usize = 8;
+        const EVENTS: usize = 50;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    for i in 0..EVENTS {
+                        sink.event(&ProgressEvent::JobFinished {
+                            index: t * EVENTS + i,
+                            label: format!("cpu/lu/AdvHetx{t}"),
+                            provenance: Provenance::Executed,
+                            done: i + 1,
+                            total: THREADS * EVENTS,
+                            counters: Vec::new(),
+                        });
+                    }
+                });
+            }
+        });
+        let bytes = buf.0.lock().expect("buf lock").clone();
+        let text = String::from_utf8(bytes).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), THREADS * EVENTS);
+        for line in lines {
+            // A torn write would splice one line into another; every
+            // line must independently be a complete progress line.
+            assert!(
+                line.starts_with("[runner] ") && line.ends_with("(ran)"),
+                "torn line: {line:?}"
+            );
+            assert_eq!(line.matches("[runner]").count(), 1, "torn line: {line:?}");
+        }
     }
 }

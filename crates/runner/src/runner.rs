@@ -2,14 +2,16 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::Duration;
 
+use hetsim_obs::{Clock, MonotonicClock, TraceRecorder};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{CacheLayer, ResultCache};
 use crate::job::Job;
 use crate::pool::{run_batch, Task};
 use crate::progress::{NullSink, ProgressEvent, ProgressSink, Provenance, RunnerStats};
+use crate::timing::RunnerTiming;
 use crate::SimMetrics;
 
 /// The campaign-execution engine: a worker count, a result cache and a
@@ -28,13 +30,23 @@ use crate::SimMetrics;
 ///
 /// The runner keeps cumulative [`RunnerStats`] across batches (a
 /// campaign is usually several figures' worth of batches on one
-/// runner).
+/// runner), plus per-phase wall-time histograms ([`RunnerTiming`]).
+///
+/// All timestamps come from an injected [`Clock`] — a
+/// [`hetsim_obs::ManualClock`] under test makes timing and tracing
+/// assertions exact — and, when a
+/// [`TraceRecorder`] is attached via [`Runner::with_recorder`], each
+/// job's phases (`cache-lookup`, `simulate`, `cache-write`) are
+/// recorded as spans on the thread that ran them.
 pub struct Runner<T> {
     workers: usize,
     cache: ResultCache<T>,
     sink: Arc<dyn ProgressSink>,
+    clock: Arc<dyn Clock>,
+    recorder: Option<Arc<TraceRecorder>>,
     total: Mutex<RunnerStats>,
     last: Mutex<RunnerStats>,
+    timing: Mutex<RunnerTiming>,
 }
 
 impl<T> Runner<T>
@@ -48,8 +60,11 @@ where
             workers: workers.max(1),
             cache: ResultCache::in_memory(),
             sink: Arc::new(NullSink),
+            clock: Arc::new(MonotonicClock::new()),
+            recorder: None,
             total: Mutex::default(),
             last: Mutex::default(),
+            timing: Mutex::default(),
         }
     }
 
@@ -85,6 +100,26 @@ where
         self
     }
 
+    /// Replaces the clock used for wall-time and span timestamps
+    /// (tests inject a [`hetsim_obs::ManualClock`]).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Attaches a trace recorder: each job's phases are recorded as
+    /// spans (`cache-lookup` for every probe; `simulate` and
+    /// `cache-write` for misses; one `batch` span per [`Runner::run`]).
+    ///
+    /// The runner adopts the recorder's clock, so span timestamps and
+    /// wall-time histograms share one timeline (a later
+    /// [`Runner::with_clock`] call would split them — don't).
+    pub fn with_recorder(mut self, recorder: Arc<TraceRecorder>) -> Self {
+        self.clock = recorder.clock();
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// The worker-thread count.
     pub fn workers(&self) -> usize {
         self.workers
@@ -92,25 +127,54 @@ where
 
     /// Runs a batch, returning outcomes in submission order.
     pub fn run(&self, jobs: Vec<Job<T>>) -> Vec<T> {
-        let started = Instant::now();
+        let started_us = self.clock.now_us();
         let n = jobs.len();
         self.cache.reset_stats();
         self.sink.event(&ProgressEvent::BatchStarted {
             total: n,
             workers: self.workers,
         });
+        let mut batch_timing = RunnerTiming::default();
 
         // Step 1: probe the cache for every job, in submission order.
         let done = AtomicUsize::new(0);
         let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
         let mut misses: Vec<(usize, Job<T>)> = Vec::new();
         for (index, job) in jobs.into_iter().enumerate() {
-            match self.cache.get_traced(job.key) {
-                Some((value, layer)) => {
-                    let provenance = match layer {
-                        CacheLayer::Memory => Provenance::MemoryCache,
-                        CacheLayer::Disk => Provenance::DiskCache,
-                    };
+            let lookup_start_us = self.clock.now_us();
+            let hit = self.cache.get_traced(job.key);
+            let lookup_end_us = self.clock.now_us();
+            batch_timing
+                .cache_lookup_us
+                .record(lookup_end_us.saturating_sub(lookup_start_us));
+            let provenance = match hit {
+                Some((_, CacheLayer::Memory)) => Provenance::MemoryCache,
+                Some((_, CacheLayer::Disk)) => Provenance::DiskCache,
+                None => Provenance::Executed, // will run on the pool
+            };
+            if let Some(recorder) = &self.recorder {
+                recorder.record_span(
+                    "cache-lookup",
+                    "job",
+                    lookup_start_us,
+                    lookup_end_us,
+                    vec![
+                        ("index".into(), index.to_string()),
+                        ("job".into(), job.label.clone()),
+                        (
+                            "provenance".into(),
+                            if hit.is_some() {
+                                provenance.tag()
+                            } else {
+                                "miss"
+                            }
+                            .to_string(),
+                        ),
+                    ],
+                );
+            }
+            match hit {
+                Some((value, _)) => {
                     self.sink.event(&ProgressEvent::JobFinished {
                         index,
                         label: job.label,
@@ -129,10 +193,15 @@ where
         }
 
         // Step 2: execute the misses on the pool. Each task announces
-        // itself, simulates, stores the outcome, and reports.
+        // itself, simulates, stores the outcome, and reports. Phase
+        // times land in `timing` (shared, per-sample lock) and — when
+        // tracing — as spans on the worker's own track.
         let executed = misses.len() as u64;
         let cache = &self.cache;
         let sink = &self.sink;
+        let clock = &self.clock;
+        let recorder = self.recorder.as_deref();
+        let timing = &self.timing;
         let done = &done;
         let tasks: Vec<Task<'_, (usize, T)>> = misses
             .into_iter()
@@ -143,8 +212,49 @@ where
                         index,
                         label: label.clone(),
                     });
+                    // Queue wait: submission (= batch start; all misses
+                    // are submitted together) to worker pickup. Not a
+                    // span — waits overlap arbitrarily on a worker's
+                    // track — so it rides on the simulate span as an
+                    // annotation instead.
+                    let sim_start_us = clock.now_us();
+                    let queue_us = sim_start_us.saturating_sub(started_us);
                     let value = run();
-                    cache.put(key, &value);
+                    let sim_end_us = clock.now_us();
+                    let write_end_us = {
+                        cache.put(key, &value);
+                        clock.now_us()
+                    };
+                    {
+                        let mut timing = timing.lock().expect("timing lock");
+                        timing.queue_wait_us.record(queue_us);
+                        timing
+                            .simulate_us
+                            .record(sim_end_us.saturating_sub(sim_start_us));
+                        timing
+                            .cache_write_us
+                            .record(write_end_us.saturating_sub(sim_end_us));
+                    }
+                    if let Some(recorder) = recorder {
+                        recorder.record_span(
+                            "simulate",
+                            "job",
+                            sim_start_us,
+                            sim_end_us,
+                            vec![
+                                ("index".into(), index.to_string()),
+                                ("job".into(), label.clone()),
+                                ("queue_us".into(), queue_us.to_string()),
+                            ],
+                        );
+                        recorder.record_span(
+                            "cache-write",
+                            "job",
+                            sim_end_us,
+                            write_end_us,
+                            vec![("index".into(), index.to_string())],
+                        );
+                    }
                     sink.event(&ProgressEvent::JobFinished {
                         index,
                         label,
@@ -168,13 +278,32 @@ where
             .map(|(i, slot)| slot.unwrap_or_else(|| panic!("job {i} produced no outcome")))
             .collect();
 
+        let end_us = self.clock.now_us();
+        // Step-1 lookup times merge here rather than sampling the
+        // shared histogram once per probe on the hot submission path.
+        self.timing
+            .lock()
+            .expect("timing lock")
+            .merge(&batch_timing);
+        if let Some(recorder) = &self.recorder {
+            recorder.record_span(
+                "batch",
+                "runner",
+                started_us,
+                end_us,
+                vec![
+                    ("jobs".into(), n.to_string()),
+                    ("executed".into(), executed.to_string()),
+                ],
+            );
+        }
         let stats = RunnerStats {
             jobs: n as u64,
             executed,
             cache_hits: n as u64 - executed,
             cache: self.cache.stats(),
             sim_seconds: results.iter().map(SimMetrics::sim_seconds).sum(),
-            wall: started.elapsed(),
+            wall: Duration::from_micros(end_us.saturating_sub(started_us)),
         };
         self.sink.event(&ProgressEvent::BatchFinished { stats });
         *self.last.lock().expect("stats lock") = stats;
@@ -190,6 +319,12 @@ where
     /// Cumulative counters across every batch this runner has run.
     pub fn total_stats(&self) -> RunnerStats {
         *self.total.lock().expect("stats lock")
+    }
+
+    /// Cumulative per-phase wall-time histograms across every batch
+    /// (always collected, with or without a recorder attached).
+    pub fn total_timing(&self) -> RunnerTiming {
+        *self.timing.lock().expect("timing lock")
     }
 }
 
@@ -345,5 +480,48 @@ mod tests {
         let runner = Runner::serial();
         runner.run(batch(&RUNS, 4)); // outcomes 0.0 + 1.0 + 2.0 + 3.0
         assert!((runner.last_stats().sim_seconds - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timing_histograms_count_every_phase() {
+        static RUNS: AtomicU64 = AtomicU64::new(0);
+        let runner = Runner::new(4);
+        runner.run(batch(&RUNS, 10)); // cold: 10 misses
+        runner.run(batch(&RUNS, 10)); // warm: 10 memory hits
+        let timing = runner.total_timing();
+        assert_eq!(timing.cache_lookup_us.count(), 20, "every probe sampled");
+        assert_eq!(timing.simulate_us.count(), 10, "misses only");
+        assert_eq!(timing.cache_write_us.count(), 10);
+        assert_eq!(timing.queue_wait_us.count(), 10);
+    }
+
+    #[test]
+    fn recorder_captures_a_structurally_valid_trace() {
+        static RUNS: AtomicU64 = AtomicU64::new(0);
+        let recorder = Arc::new(hetsim_obs::TraceRecorder::new(Arc::new(
+            hetsim_obs::MonotonicClock::new(),
+        )));
+        let sink = Arc::new(crate::TraceEventSink::new(recorder.clone()));
+        let runner = Runner::new(4)
+            .with_recorder(recorder.clone())
+            .with_sink(sink);
+        runner.run(batch(&RUNS, 8)); // cold
+        runner.run(batch(&RUNS, 8)); // warm
+        let events = recorder.events();
+        let spans_named = |name: &str| {
+            events
+                .iter()
+                .filter(|e| e.name == name && matches!(e.kind, hetsim_obs::EventKind::Span { .. }))
+                .count()
+        };
+        assert_eq!(spans_named("cache-lookup"), 16, "one per probe");
+        assert_eq!(spans_named("simulate"), 8, "cold misses only");
+        assert_eq!(spans_named("cache-write"), 8);
+        assert_eq!(spans_named("batch"), 2);
+        assert_eq!(
+            hetsim_obs::validate_events(&events),
+            Vec::<String>::new(),
+            "runner traces must self-validate"
+        );
     }
 }

@@ -1,0 +1,177 @@
+//! Composing progress sinks: fan-out and trace-event capture.
+//!
+//! Progress consumers compose: a campaign may want human-readable
+//! stderr lines *and* a machine-readable trace *and* a live dashboard
+//! at once. [`MultiSink`] fans every event out to a list of sinks;
+//! [`TraceEventSink`] bridges the progress stream into a
+//! [`TraceRecorder`] as instant events, so a trace file carries the
+//! same per-job narrative as the terminal.
+
+use std::sync::Arc;
+
+use hetsim_obs::TraceRecorder;
+
+use crate::progress::{ProgressEvent, ProgressSink};
+
+/// Fans each event out to every wrapped sink, in order.
+pub struct MultiSink {
+    sinks: Vec<Arc<dyn ProgressSink>>,
+}
+
+impl MultiSink {
+    /// A fan-out over `sinks` (an empty list behaves like
+    /// [`NullSink`](crate::NullSink)).
+    pub fn new(sinks: Vec<Arc<dyn ProgressSink>>) -> Self {
+        MultiSink { sinks }
+    }
+}
+
+impl ProgressSink for MultiSink {
+    fn event(&self, event: &ProgressEvent) {
+        for sink in &self.sinks {
+            sink.event(event);
+        }
+    }
+}
+
+/// Records progress events into a [`TraceRecorder`] as instants.
+///
+/// Job phases (cache lookup, simulate, cache write) are recorded as
+/// spans by the [`Runner`](crate::Runner) itself via
+/// [`Runner::with_recorder`](crate::Runner::with_recorder); this sink
+/// adds the event-level narrative — batch boundaries and per-job
+/// completion with provenance — to the same recorder, stamped on
+/// whichever thread delivered the event.
+pub struct TraceEventSink {
+    recorder: Arc<TraceRecorder>,
+}
+
+impl TraceEventSink {
+    /// A sink recording into `recorder`.
+    pub fn new(recorder: Arc<TraceRecorder>) -> Self {
+        TraceEventSink { recorder }
+    }
+}
+
+impl ProgressSink for TraceEventSink {
+    fn event(&self, event: &ProgressEvent) {
+        match event {
+            ProgressEvent::BatchStarted { total, workers } => {
+                self.recorder.instant(
+                    "batch-started",
+                    "runner",
+                    vec![
+                        ("total".into(), total.to_string()),
+                        ("workers".into(), workers.to_string()),
+                    ],
+                );
+            }
+            ProgressEvent::JobStarted { .. } => {}
+            ProgressEvent::JobFinished {
+                index,
+                label,
+                provenance,
+                done,
+                total,
+                ..
+            } => {
+                self.recorder.instant(
+                    "job-finished",
+                    "job",
+                    vec![
+                        ("index".into(), index.to_string()),
+                        ("job".into(), label.clone()),
+                        ("provenance".into(), provenance.tag().to_string()),
+                        ("done".into(), done.to_string()),
+                        ("total".into(), total.to_string()),
+                    ],
+                );
+            }
+            ProgressEvent::BatchFinished { stats } => {
+                self.recorder.instant(
+                    "batch-finished",
+                    "runner",
+                    vec![
+                        ("jobs".into(), stats.jobs.to_string()),
+                        ("executed".into(), stats.executed.to_string()),
+                        ("cache_hits".into(), stats.cache_hits.to_string()),
+                    ],
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use hetsim_obs::{EventKind, ManualClock};
+
+    use crate::progress::{Provenance, RunnerStats};
+
+    fn finished(index: usize) -> ProgressEvent {
+        ProgressEvent::JobFinished {
+            index,
+            label: format!("cpu/lu/AdvHetx{index}"),
+            provenance: Provenance::MemoryCache,
+            done: index + 1,
+            total: 2,
+            counters: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn multi_sink_delivers_to_every_child_in_order() {
+        struct Counting(AtomicU64);
+        impl ProgressSink for Counting {
+            fn event(&self, _event: &ProgressEvent) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let a = Arc::new(Counting(AtomicU64::new(0)));
+        let b = Arc::new(Counting(AtomicU64::new(0)));
+        let multi = MultiSink::new(vec![a.clone(), b.clone()]);
+        multi.event(&finished(0));
+        multi.event(&finished(1));
+        assert_eq!(a.0.load(Ordering::SeqCst), 2);
+        assert_eq!(b.0.load(Ordering::SeqCst), 2);
+        // Degenerate fan-out is a no-op, not a panic.
+        MultiSink::new(Vec::new()).event(&finished(0));
+    }
+
+    #[test]
+    fn trace_event_sink_records_instants_with_provenance() {
+        let clock = Arc::new(ManualClock::new());
+        let recorder = Arc::new(TraceRecorder::new(clock.clone()));
+        let sink = TraceEventSink::new(recorder.clone());
+        sink.event(&ProgressEvent::BatchStarted {
+            total: 2,
+            workers: 4,
+        });
+        clock.advance(10);
+        sink.event(&finished(0));
+        sink.event(&ProgressEvent::JobStarted {
+            index: 1,
+            label: "ignored".into(),
+        });
+        sink.event(&ProgressEvent::BatchFinished {
+            stats: RunnerStats::default(),
+        });
+        let events = recorder.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["batch-started", "job-finished", "batch-finished"]);
+        let job = &events[1];
+        assert_eq!(job.kind, EventKind::Instant { at_us: 10 });
+        let arg = |k: &str| {
+            job.args
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+        };
+        assert_eq!(arg("index"), Some("0"));
+        assert_eq!(arg("provenance"), Some("mem"));
+        assert_eq!(arg("job"), Some("cpu/lu/AdvHetx0"));
+    }
+}

@@ -1,0 +1,244 @@
+//! A bounded-bucket histogram for wall-time telemetry.
+//!
+//! The runner's timing counters (`runner.timing.*` in the stats dump)
+//! need a distribution, not just a sum: one straggler job looks the
+//! same as uniformly slow jobs in a mean, but very different in a
+//! histogram. [`Histogram`] keeps **power-of-two buckets** with a fixed
+//! bucket count, so:
+//!
+//! * memory is constant (no per-sample storage, no unbounded growth);
+//! * any `u64` sample has a bucket — the last bucket absorbs
+//!   everything at or beyond `2^(BUCKETS-2)`, so recording can never
+//!   fail or resize;
+//! * `merge` is element-wise saturating addition, which is
+//!   **associative and commutative** — campaign-level aggregation over
+//!   batches gives the same histogram in any order (the property the
+//!   proptests in `tests/histogram_props.rs` pin).
+//!
+//! Totals (`count`, `sum`) saturate instead of wrapping for the same
+//! reason the counter structs' `minus` saturates: silent wraparound in
+//! release builds would corrupt telemetry invisibly.
+
+use crate::serde::value::Value;
+use crate::serde::{Deserialize, Error, Serialize};
+
+/// Number of buckets: bucket 0 holds zero-valued samples, bucket `i`
+/// (1 ≤ i < 31) holds samples in `[2^(i-1), 2^i)`, and the last bucket
+/// holds everything at or beyond `2^30` (~18 minutes in microseconds —
+/// far beyond any single simulation job).
+pub const BUCKETS: usize = 32;
+
+/// A fixed-size power-of-two-bucket histogram of `u64` samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    /// Samples recorded (saturating).
+    count: u64,
+    /// Sum of all samples (saturating).
+    sum: u64,
+    /// Largest sample seen (0 when empty).
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+/// The bucket index for `value`.
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        // 2^(i-1) <= value < 2^i  =>  bucket i, clamped into range.
+        let i = 64 - value.leading_zeros() as usize;
+        i.min(BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] = self.counts[bucket_of(value)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram in (element-wise saturating addition;
+    /// associative and commutative).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The per-bucket counts (bucket 0 = zeros, bucket `i` =
+    /// `[2^(i-1), 2^i)`, last bucket = overflow).
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// `true` when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+impl Serialize for Histogram {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("count".into(), Value::UInt(self.count)),
+            ("sum".into(), Value::UInt(self.sum)),
+            ("max".into(), Value::UInt(self.max)),
+            (
+                "buckets".into(),
+                Value::Array(self.counts.iter().map(|&c| Value::UInt(c)).collect()),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Histogram {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let u64_field = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| Error::custom(format!("Histogram has no unsigned `{name}`")))
+        };
+        let buckets = v
+            .get("buckets")
+            .and_then(Value::as_array)
+            .ok_or_else(|| Error::custom("Histogram has no `buckets` array"))?;
+        if buckets.len() != BUCKETS {
+            return Err(Error::custom(format!(
+                "Histogram has {} buckets, expected {BUCKETS}",
+                buckets.len()
+            )));
+        }
+        let mut counts = [0u64; BUCKETS];
+        for (slot, bucket) in counts.iter_mut().zip(buckets) {
+            *slot = bucket
+                .as_u64()
+                .ok_or_else(|| Error::custom("Histogram bucket is not an unsigned integer"))?;
+        }
+        Ok(Histogram {
+            counts,
+            count: u64_field("count")?,
+            sum: u64_field("sum")?,
+            max: u64_field("max")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_full_u64_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1 << 29), 30);
+        assert_eq!(bucket_of(1 << 30), 31, "first overflow value");
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1, "clamped, no panic");
+    }
+
+    #[test]
+    fn record_updates_all_summary_stats() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(100);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 105);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 35.0).abs() < 1e-12);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates_and_saturates() {
+        let mut a = Histogram::new();
+        a.record(3);
+        let mut b = Histogram::new();
+        b.record(u64::MAX);
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(a.max(), u64::MAX);
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 7, 4096, u64::MAX] {
+            h.record(v);
+        }
+        let back = Histogram::from_value(&h.to_value()).expect("round trip");
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn deserialize_rejects_wrong_bucket_count() {
+        let mut v = Histogram::new().to_value();
+        if let Value::Object(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "buckets" {
+                    *val = Value::Array(vec![Value::UInt(0); 3]);
+                }
+            }
+        }
+        assert!(Histogram::from_value(&v).is_err());
+    }
+}

@@ -76,6 +76,9 @@
 pub use serde;
 
 pub mod diff;
+pub mod histogram;
+
+pub use histogram::Histogram;
 
 /// Defines one counter struct with derived `merge`, `minus`,
 /// enumeration and serde support.

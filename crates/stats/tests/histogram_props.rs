@@ -1,0 +1,123 @@
+//! Property tests for the bounded-bucket [`Histogram`].
+//!
+//! The runner aggregates per-batch timing histograms into campaign
+//! totals, and the dump layer serializes them — so three algebraic
+//! properties must hold for the `runner.timing.*` telemetry to be
+//! trustworthy:
+//!
+//! 1. **merge associativity/commutativity** — aggregation order (batch
+//!    by batch vs. all at once) cannot change the result;
+//! 2. **bucket-count conservation** — the bucket counts always sum to
+//!    `count()`, under any interleaving of `record` and `merge` (no
+//!    sample is ever dropped or double-counted), and merge conserves
+//!    the total;
+//! 3. **serde round-trip** — a dump written and re-read is the same
+//!    histogram.
+//!
+//! Saturation (samples near `u64::MAX`, e.g. from a clock bug) must
+//! degrade gracefully: clamp, never wrap or panic.
+
+use proptest::prelude::*;
+
+use hetsim_stats::histogram::BUCKETS;
+use hetsim_stats::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// Arbitrary sample lists, mixing small values with full-range ones so
+/// every bucket (including the overflow bucket) gets exercised.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 0..40).prop_map(|values| {
+        values
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| if i % 2 == 0 { v % 1024 } else { v })
+            .collect()
+    })
+}
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `(a ⊔ b) ⊔ c == a ⊔ (b ⊔ c)` and `a ⊔ b == b ⊔ a`: campaign
+    /// aggregation is independent of batch order.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in samples(),
+        b in samples(),
+        c in samples(),
+    ) {
+        let (a, b, c) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right, "associativity");
+
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba, "commutativity");
+    }
+
+    /// Bucket counts are conserved: they sum to `count()` after any
+    /// recording sequence, and merging two histograms yields the sum of
+    /// their counts (nothing dropped, nothing double-counted).
+    #[test]
+    fn bucket_counts_are_conserved(a in samples(), b in samples()) {
+        let ha = hist_of(&a);
+        let hb = hist_of(&b);
+        prop_assert_eq!(ha.bucket_counts().iter().sum::<u64>(), ha.count());
+        prop_assert_eq!(ha.count(), a.len() as u64);
+
+        let mut merged = ha;
+        merged.merge(&hb);
+        prop_assert_eq!(merged.count(), ha.count() + hb.count());
+        prop_assert_eq!(merged.bucket_counts().iter().sum::<u64>(), merged.count());
+        // Element-wise: each bucket is exactly the sum of its parts.
+        for i in 0..BUCKETS {
+            prop_assert_eq!(
+                merged.bucket_counts()[i],
+                ha.bucket_counts()[i] + hb.bucket_counts()[i]
+            );
+        }
+    }
+
+    /// Serialization round-trips exactly, including overflow-bucket
+    /// samples and saturated sums.
+    #[test]
+    fn serde_round_trips(a in samples()) {
+        let h = hist_of(&a);
+        let back = Histogram::from_value(&h.to_value()).expect("round trip");
+        prop_assert_eq!(back, h);
+    }
+
+    /// Extreme samples saturate: `sum` clamps at `u64::MAX`, `max`
+    /// tracks the true maximum, and every sample still lands in a
+    /// bucket.
+    #[test]
+    fn saturation_degrades_gracefully(small in samples()) {
+        let mut h = hist_of(&small);
+        let before = h.count();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        prop_assert_eq!(h.count(), before + 2);
+        prop_assert_eq!(h.sum(), u64::MAX, "sum clamps, never wraps");
+        prop_assert_eq!(h.max(), u64::MAX);
+        prop_assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
+    }
+}
