@@ -1,25 +1,40 @@
-//! Benchmark harness for the HetCore reproduction.
+//! # hetsim-bench: the pinned perf-measurement library
 //!
-//! Each Criterion bench regenerates one (or a group of) paper artifacts —
-//! printing the same series the paper's table/figure reports — and then
-//! times a representative slice of the underlying computation so
-//! performance regressions in the simulators are caught:
+//! `repro bench` measures the simulator the way MGSim and MosaicSim
+//! report theirs: **simulated instructions per wall second** over a
+//! pinned scenario menu, written as schema-versioned `BENCH_*.json`
+//! dumps so the repo accumulates a perf trajectory and CI can ratchet
+//! it. This crate holds the generic machinery:
 //!
-//! * `device_figs` — Table I and Figures 1-3 (device models).
-//! * `cpu_figs` — Figures 7, 8, 9 and 13 (CPU campaign, reduced size).
-//! * `gpu_figs` — Figures 10, 11 and 12 (GPU campaign).
-//! * `dvfs_fig` — Figure 14 (DVFS + process variation).
-//! * `ablations` — design-choice sweeps DESIGN.md calls out: asymmetric
-//!   DL1 fast-way size, steering window, GPU RF-cache size, and the
-//!   conservative-vs-measured-vs-ideal TFET power factor.
+//! * [`measure`] — warmup + timed-repeat loop against an injected
+//!   [`hetsim_obs::Clock`];
+//! * [`RepeatSummary`] — median/min/p95/spread statistics with a
+//!   dispersion flag;
+//! * [`BenchDump`] / [`ScenarioResult`] / [`HostInfo`] — the
+//!   `BENCH_*.json` schema ([`BENCH_SCHEMA`]);
+//! * [`compare`] / [`ComparePolicy`] — the noise-aware regression
+//!   diff behind `repro bench --compare` and the CI ratchet.
 //!
-//! Run with `cargo bench --workspace`.
+//! The pinned scenario *menu* (which campaigns and microbenches run)
+//! lives in `hetcore::bench` — this crate stays simulator-agnostic so
+//! `hetcore` can depend on it without a crate cycle. The criterion
+//! figure benches under `benches/` are unchanged seed functionality
+//! and use the simulator crates as dev-dependencies.
 
 #![warn(missing_docs)]
 
-/// The reduced per-application instruction budget used by the benches so
-/// a full `cargo bench` stays in minutes. The shapes at this budget match
-/// the full runs; EXPERIMENTS.md records full-budget numbers.
+mod compare;
+mod dump;
+mod measure;
+
+pub use compare::{compare, ComparePolicy, CompareReport, ScenarioDiff, Verdict};
+pub use dump::{BenchDump, HostInfo, ScenarioResult, BENCH_SCHEMA};
+pub use measure::{measure, Measurement, RepeatSummary, NOISY_REL_SPREAD};
+
+/// The reduced per-application instruction budget used by the criterion
+/// benches so a full `cargo bench` stays in minutes. The shapes at this
+/// budget match the full runs; EXPERIMENTS.md records full-budget
+/// numbers.
 pub const BENCH_INSTS: u64 = 40_000;
 
 /// Benchmark seed (fixed: benches must be deterministic).

@@ -1,0 +1,184 @@
+//! The warmup + repeat measurement loop and its summary statistics.
+//!
+//! A perf number from a single timed run is noise; `repro bench` runs
+//! every scenario through [`measure`] — discarded warmup iterations
+//! followed by timed repeats against an injected [`Clock`] — and
+//! reports the repeat distribution through [`RepeatSummary`] (median,
+//! min, p95, relative spread). The median, not the mean, is the
+//! headline: one scheduler hiccup shifts a mean but not a median. The
+//! spread rides along into `BENCH_*.json` so the compare step can
+//! widen its threshold for scenarios that measured noisily.
+
+use hetsim_obs::Clock;
+use serde::{Deserialize, Serialize};
+
+/// Relative spread (`(p95 - min) / median`) above which a scenario's
+/// repeats are flagged as too dispersed to trust tightly.
+pub const NOISY_REL_SPREAD: f64 = 0.2;
+
+/// The raw output of one scenario's measurement: the instruction count
+/// the workload reported and each repeat's wall time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Measurement {
+    /// Instructions simulated per repeat (identical across repeats —
+    /// scenarios run fixed seeds on fixed budgets).
+    pub insts: u64,
+    /// Wall time of each timed repeat, microseconds, in run order.
+    pub samples_us: Vec<u64>,
+}
+
+/// Runs `run` through `warmup` discarded iterations, then `repeats`
+/// timed ones (both clamped to at least 0 and 1 respectively), timing
+/// each against `clock`. `run` returns the instructions it simulated.
+pub fn measure(
+    clock: &dyn Clock,
+    warmup: u32,
+    repeats: u32,
+    mut run: impl FnMut() -> u64,
+) -> Measurement {
+    for _ in 0..warmup {
+        run();
+    }
+    let repeats = repeats.max(1);
+    let mut samples_us = Vec::with_capacity(repeats as usize);
+    let mut insts = 0;
+    for _ in 0..repeats {
+        let start_us = clock.now_us();
+        insts = run();
+        let end_us = clock.now_us();
+        samples_us.push(end_us.saturating_sub(start_us));
+    }
+    Measurement { insts, samples_us }
+}
+
+/// Summary statistics over one scenario's timed repeats.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepeatSummary {
+    /// Timed repeats the statistics summarize.
+    pub repeats: u32,
+    /// Fastest repeat, microseconds.
+    pub min_us: u64,
+    /// Median repeat, microseconds (the headline wall time).
+    pub median_us: u64,
+    /// 95th-percentile repeat, microseconds.
+    pub p95_us: u64,
+    /// Slowest repeat, microseconds.
+    pub max_us: u64,
+    /// Mean repeat, microseconds.
+    pub mean_us: f64,
+    /// `(p95 - min) / median`; 0 when the median is 0. The compare
+    /// step adds this to its relative threshold, so noisy scenarios
+    /// get a proportionally wider band.
+    pub rel_spread: f64,
+    /// Whether `rel_spread` exceeds [`NOISY_REL_SPREAD`] — a
+    /// dispersion flag consumers can surface without re-deriving the
+    /// policy.
+    pub noisy: bool,
+}
+
+impl RepeatSummary {
+    /// Statistics for `samples` (empty samples give an all-zero
+    /// summary).
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return RepeatSummary {
+                repeats: 0,
+                min_us: 0,
+                median_us: 0,
+                p95_us: 0,
+                max_us: 0,
+                mean_us: 0.0,
+                rel_spread: 0.0,
+                noisy: false,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let quantile = |q: f64| -> u64 {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        let min_us = sorted[0];
+        let median_us = quantile(0.5);
+        let p95_us = quantile(0.95);
+        let max_us = *sorted.last().expect("non-empty");
+        let mean_us = sorted.iter().sum::<u64>() as f64 / sorted.len() as f64;
+        let rel_spread = if median_us == 0 {
+            0.0
+        } else {
+            (p95_us - min_us) as f64 / median_us as f64
+        };
+        RepeatSummary {
+            repeats: samples.len() as u32,
+            min_us,
+            median_us,
+            p95_us,
+            max_us,
+            mean_us,
+            rel_spread,
+            noisy: rel_spread > NOISY_REL_SPREAD,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use hetsim_obs::ManualClock;
+
+    #[test]
+    fn measure_discards_warmup_and_times_each_repeat() {
+        let clock = Arc::new(ManualClock::new());
+        let ticker = clock.clone();
+        let mut calls = 0u64;
+        let m = measure(&*clock, 2, 3, || {
+            calls += 1;
+            ticker.advance(10 * calls); // runs get slower each call
+            123
+        });
+        assert_eq!(calls, 5, "2 warmup + 3 timed");
+        assert_eq!(m.insts, 123);
+        // Warmup calls advanced the clock but were not timed; the
+        // three timed repeats took 30, 40, 50 us.
+        assert_eq!(m.samples_us, vec![30, 40, 50]);
+    }
+
+    #[test]
+    fn measure_clamps_repeats_to_at_least_one() {
+        let clock = ManualClock::new();
+        let m = measure(&clock, 0, 0, || 7);
+        assert_eq!(m.samples_us.len(), 1);
+    }
+
+    #[test]
+    fn summary_reports_order_statistics() {
+        let s = RepeatSummary::from_samples(&[50, 30, 40]);
+        assert_eq!((s.min_us, s.median_us, s.max_us), (30, 40, 50));
+        assert_eq!(s.p95_us, 50);
+        assert!((s.mean_us - 40.0).abs() < 1e-12);
+        assert!((s.rel_spread - 0.5).abs() < 1e-12, "(50-30)/40");
+        assert!(s.noisy, "0.5 exceeds the 0.2 dispersion flag");
+        let tight = RepeatSummary::from_samples(&[100, 101, 99]);
+        assert!(!tight.noisy);
+    }
+
+    #[test]
+    fn summary_handles_empty_and_zero_samples() {
+        let empty = RepeatSummary::from_samples(&[]);
+        assert_eq!(empty.repeats, 0);
+        assert_eq!(empty.median_us, 0);
+        let zeros = RepeatSummary::from_samples(&[0, 0]);
+        assert_eq!(zeros.rel_spread, 0.0, "zero median must not divide");
+        assert!(!zeros.noisy);
+    }
+
+    #[test]
+    fn summary_round_trips_through_serde() {
+        let s = RepeatSummary::from_samples(&[10, 20, 30, 40]);
+        let json = serde_json::to_string(&s).expect("serializes");
+        let back: RepeatSummary = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, s);
+    }
+}

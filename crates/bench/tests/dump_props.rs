@@ -1,0 +1,85 @@
+//! Property tests for the `BENCH_*.json` dump layer.
+//!
+//! The dump is the repo's perf ledger: `repro bench --out` writes it,
+//! `--compare` and the CI ratchet re-read it, possibly from a build
+//! many PRs later. Three properties keep that ledger trustworthy:
+//!
+//! 1. **serde round-trip** — any dump the library can construct parses
+//!    back identical, through the real JSON text form;
+//! 2. **validation closure** — every constructed dump with non-empty
+//!    unique scenario names validates, so `--out` can never write a
+//!    file `--compare` refuses;
+//! 3. **self-compare identity** — comparing any dump against itself
+//!    passes with every scenario `Unchanged` (the acceptance
+//!    criterion's exit-0 self-compare, generalized).
+
+use proptest::prelude::*;
+
+use hetsim_bench::{
+    compare, BenchDump, ComparePolicy, HostInfo, Measurement, ScenarioResult, Verdict, BENCH_SCHEMA,
+};
+
+/// Arbitrary per-repeat wall times: mixes sub-resolution zeros, small
+/// values, and large ones so the zero-time guard and the spread math
+/// both get exercised.
+fn sample_lists() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..2_000_000, 1..8)
+}
+
+fn scenarios() -> impl Strategy<Value = Vec<ScenarioResult>> {
+    proptest::collection::vec((0u64..10_000_000, sample_lists()), 1..8).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (insts, samples))| {
+                ScenarioResult::new(
+                    format!("scenario-{i}"),
+                    &Measurement {
+                        insts,
+                        samples_us: samples,
+                    },
+                )
+            })
+            .collect()
+    })
+}
+
+fn dumps() -> impl Strategy<Value = BenchDump> {
+    (scenarios(), any::<bool>(), 1u64..1_000_000, any::<u64>()).prop_map(
+        |(scenarios, quick, insts, seed)| BenchDump {
+            schema: BENCH_SCHEMA.to_string(),
+            quick,
+            insts,
+            seed,
+            warmup: 1,
+            repeats: 3,
+            host: HostInfo::detect(),
+            scenarios,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Write → parse is the identity, through the real JSON text.
+    #[test]
+    fn dumps_round_trip_through_json_text(dump in dumps()) {
+        let parsed = BenchDump::from_json(&dump.to_json()).expect("round trip");
+        prop_assert_eq!(parsed, dump);
+    }
+
+    /// Everything the measurement path can produce validates.
+    #[test]
+    fn constructed_dumps_always_validate(dump in dumps()) {
+        prop_assert!(dump.validate().is_ok());
+    }
+
+    /// A dump compared against itself always passes, with each
+    /// scenario `Unchanged` — the ratchet can never flag a no-change PR.
+    #[test]
+    fn self_compare_is_always_clean(dump in dumps()) {
+        let report = compare(&dump, &dump, &ComparePolicy::default());
+        prop_assert!(report.passed());
+        prop_assert!(report.diffs.iter().all(|d| d.verdict == Verdict::Unchanged));
+    }
+}

@@ -14,6 +14,9 @@
 //! repro ci-gate --baseline DIR [--jobs N] [--cache-dir PATH] [--rel-tol X]
 //! repro check [--fuzz N] [--seed S] [--insts N] [--format table|json]
 //!       [--jobs N] [--cache-dir PATH] [--progress] [--trace-in PATH]
+//! repro bench [--quick] [--insts N] [--seed S] [--warmup N] [--repeats N]
+//!       [--jobs N] [--out BENCH.json] [--format table|json]
+//!       [--compare BASELINE.json [CANDIDATE.json]] [--rel-tol X | --ratchet]
 //! repro trace-export IN.jsonl OUT.json
 //! ```
 //!
@@ -41,6 +44,15 @@
 //!   naming the design, counter, delta and violated tolerance;
 //! * `ci-gate` replays every baseline in a directory at its recorded
 //!   configuration and diffs the fresh run against it — the CI job.
+//!
+//! `bench` is the pinned perf-measurement subsystem (see
+//! `hetcore::bench` and `hetsim_bench`): it times a fixed menu of
+//! campaign and microbench scenarios — fixed seeds, fixed budgets,
+//! cache bypassed — and writes a schema-versioned `BENCH_*.json` dump
+//! recording simulated-insts/sec per scenario with full repeat
+//! statistics. `--compare` diffs two dumps with noise-aware relative
+//! thresholds and exits non-zero on regression; `--ratchet` applies
+//! the wide cross-machine CI tolerance the `bench-smoke` job gates on.
 //!
 //! `check` is the runtime-invariant and metamorphic-fuzz harness (see
 //! `hetcore::check`): it reruns the fig7 + fig10 campaigns validating
@@ -73,6 +85,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use hetcore::bench::{run_bench, BenchConfig};
 use hetcore::campaign::traced_campaign;
 use hetcore::check::{
     fuzz_round, perturbation_from_env, validate_cpu_outcome, validate_dump, validate_gpu_outcome,
@@ -178,6 +191,9 @@ fn usage() -> String {
          \x20      repro ci-gate --baseline DIR [--jobs N] [--cache-dir PATH] [--rel-tol X]\n\
          \x20      repro check [--fuzz N] [--seed S] [--insts N] [--format table|json] \
          [--jobs N] [--cache-dir PATH] [--progress] [--trace-in PATH]\n\
+         \x20      repro bench [--quick] [--insts N] [--seed S] [--warmup N] [--repeats N] \
+         [--jobs N] [--out BENCH.json] [--format table|json] \
+         [--compare BASELINE.json [CANDIDATE.json]] [--rel-tol X | --ratchet]\n\
          \x20      repro trace-export IN.jsonl OUT.json\n\
          experiments: all, ext, {}\n\
          extensions:  {}",
@@ -1307,6 +1323,292 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
 }
 
+/// Renders a fresh bench run as a short stdout table (stderr already
+/// narrated the per-scenario progress).
+fn print_bench_table(dump: &hetsim_bench::BenchDump) {
+    println!(
+        "bench: {} scenario(s), --insts {}, seed {}, {} warmup + {} repeat(s){}",
+        dump.scenarios.len(),
+        dump.insts,
+        dump.seed,
+        dump.warmup,
+        dump.repeats,
+        if dump.quick { " (quick)" } else { "" }
+    );
+    println!(
+        "{:<22} {:>12} {:>12} {:>14}  spread",
+        "scenario", "insts", "median_us", "insts/sec"
+    );
+    for s in &dump.scenarios {
+        println!(
+            "{:<22} {:>12} {:>12} {:>14.0}  {:.3}{}",
+            s.name,
+            s.insts,
+            s.wall_us,
+            s.insts_per_sec,
+            s.timing.rel_spread,
+            if s.timing.noisy { " (noisy)" } else { "" }
+        );
+    }
+}
+
+/// Two dumps are ratchet-comparable only when they measured the same
+/// pinned work: same profile, same budget, same seed. Host differences
+/// are fine (that is what the tolerances absorb); workload differences
+/// make the insts/sec ratio meaningless.
+fn bench_comparable(
+    base: &hetsim_bench::BenchDump,
+    cand: &hetsim_bench::BenchDump,
+) -> Result<(), String> {
+    if base.quick != cand.quick || base.insts != cand.insts || base.seed != cand.seed {
+        return Err(format!(
+            "dumps measured different work (baseline: insts {} seed {} quick {}; \
+             candidate: insts {} seed {} quick {}) — rerun with matching \
+             --insts/--seed/--quick",
+            base.insts, base.seed, base.quick, cand.insts, cand.seed, cand.quick
+        ));
+    }
+    Ok(())
+}
+
+fn load_bench_dump(path: &PathBuf) -> Result<hetsim_bench::BenchDump, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    hetsim_bench::BenchDump::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// `repro bench` — measure the pinned scenario menu and write/compare
+/// `BENCH_*.json` perf dumps (see `hetcore::bench`). Without
+/// `--compare`, runs fresh and prints the per-scenario table (or the
+/// dump itself with `--format json`). `--compare BASE.json` runs fresh
+/// and diffs against the baseline; with a positional `CANDIDATE.json`
+/// it diffs the two files without running anything. Exits non-zero
+/// when any scenario regressed past the noise-aware tolerance.
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut insts: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut warmup: Option<u32> = None;
+    let mut repeats: Option<u32> = None;
+    let mut jobs: Option<usize> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut compare_base: Option<PathBuf> = None;
+    let mut candidate: Option<PathBuf> = None;
+    let mut rel_tol: Option<f64> = None;
+    let mut ratchet = false;
+    let mut format = Format::Table;
+    let mut errors = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let (name, inline) = match arg.split_once('=') {
+            Some((n, v)) if n.starts_with("--") => (n, Some(v.to_string())),
+            _ => (arg, None),
+        };
+        let mut value = |errors: &mut Vec<String>| -> Option<String> {
+            if let Some(v) = inline.clone() {
+                return Some(v);
+            }
+            i += 1;
+            match args.get(i) {
+                Some(v) => Some(v.clone()),
+                None => {
+                    errors.push(format!("{name} requires a value"));
+                    None
+                }
+            }
+        };
+        match name {
+            "--quick" => quick = true,
+            "--insts" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<u64>() {
+                        Ok(n) if n >= 1 => insts = Some(n),
+                        _ => errors.push(format!("--insts expects an integer >= 1, got '{v}'")),
+                    }
+                }
+            }
+            "--seed" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<u64>() {
+                        Ok(n) => seed = Some(n),
+                        _ => errors.push(format!("--seed expects an integer, got '{v}'")),
+                    }
+                }
+            }
+            "--warmup" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<u32>() {
+                        Ok(n) => warmup = Some(n),
+                        _ => errors.push(format!("--warmup expects an integer >= 0, got '{v}'")),
+                    }
+                }
+            }
+            "--repeats" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<u32>() {
+                        Ok(n) if n >= 1 => repeats = Some(n),
+                        _ => errors.push(format!("--repeats expects an integer >= 1, got '{v}'")),
+                    }
+                }
+            }
+            "--jobs" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => jobs = Some(n),
+                        _ => errors.push(format!("--jobs expects an integer >= 1, got '{v}'")),
+                    }
+                }
+            }
+            "--out" => {
+                if let Some(v) = value(&mut errors) {
+                    out = Some(PathBuf::from(v));
+                }
+            }
+            "--compare" => {
+                if let Some(v) = value(&mut errors) {
+                    compare_base = Some(PathBuf::from(v));
+                }
+            }
+            "--rel-tol" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<f64>() {
+                        Ok(t) if t >= 0.0 && t.is_finite() => rel_tol = Some(t),
+                        _ => errors.push(format!("--rel-tol expects a number >= 0, got '{v}'")),
+                    }
+                }
+            }
+            "--ratchet" => ratchet = true,
+            "--format" => {
+                if let Some(v) = value(&mut errors) {
+                    match parse_format(&v) {
+                        Ok(f) if f != Format::Csv => format = f,
+                        Ok(_) => errors.push("bench supports --format table or json".to_string()),
+                        Err(e) => errors.push(e),
+                    }
+                }
+            }
+            other if other.starts_with("--") => errors.push(format!("unknown flag '{other}'")),
+            positional => {
+                if candidate.is_none() {
+                    candidate = Some(PathBuf::from(positional));
+                } else {
+                    errors.push(format!("unexpected argument '{positional}'"));
+                }
+            }
+        }
+        i += 1;
+    }
+    if candidate.is_some() && compare_base.is_none() {
+        errors.push("a positional CANDIDATE.json requires --compare BASELINE.json".to_string());
+    }
+    if candidate.is_some() && (out.is_some() || insts.is_some() || quick) {
+        errors.push(
+            "comparing two existing dumps runs nothing; it cannot be combined with \
+             --out, --insts or --quick"
+                .to_string(),
+        );
+    }
+    if ratchet && rel_tol.is_some() {
+        errors.push(
+            "--ratchet pins the CI tolerance; it cannot be combined with --rel-tol".to_string(),
+        );
+    }
+    if !errors.is_empty() {
+        return fail(&errors);
+    }
+
+    let mut policy = hetsim_bench::ComparePolicy::default();
+    if ratchet {
+        policy = hetsim_bench::ComparePolicy::CI_RATCHET;
+    }
+    if let Some(t) = rel_tol {
+        policy.rel_tol = t;
+    }
+
+    // Pure file diff: both dumps already exist.
+    if let (Some(base_path), Some(cand_path)) = (&compare_base, &candidate) {
+        let (base, cand) = match (load_bench_dump(base_path), load_bench_dump(cand_path)) {
+            (Ok(b), Ok(c)) => (b, c),
+            (b, c) => {
+                for e in [b.err(), c.err()].into_iter().flatten() {
+                    eprintln!("error: {e}");
+                }
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = bench_comparable(&base, &cand) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        let report = hetsim_bench::compare(&base, &cand, &policy);
+        print!("{}", report.render());
+        return if report.passed() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    // Measure fresh.
+    let mut cfg = if quick {
+        BenchConfig::quick()
+    } else {
+        BenchConfig::default()
+    };
+    if let Some(n) = insts {
+        // An explicit budget wins over --quick wherever it appears.
+        cfg.insts = n;
+    }
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    if let Some(w) = warmup {
+        cfg.warmup = w;
+    }
+    if let Some(r) = repeats {
+        cfg.repeats = r;
+    }
+    cfg.jobs = jobs.unwrap_or_else(default_jobs);
+    let dump = run_bench(&cfg);
+
+    if let Some(path) = &out {
+        if let Err(e) = write_atomic(path, &dump.to_json()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote bench dump to {}", path.display());
+    }
+
+    if let Some(base_path) = &compare_base {
+        let base = match load_bench_dump(base_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = bench_comparable(&base, &dump) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        let report = hetsim_bench::compare(&base, &dump, &policy);
+        print!("{}", report.render());
+        return if report.passed() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    match format {
+        Format::Table => print_bench_table(&dump),
+        Format::Json | Format::Csv => print!("{}", dump.to_json()),
+    }
+    ExitCode::SUCCESS
+}
+
 /// `repro trace-export IN.jsonl OUT.json` — convert a recorded JSONL
 /// trace into Chrome trace-event JSON, loadable in Perfetto
 /// (<https://ui.perfetto.dev>) or `chrome://tracing`.
@@ -1371,6 +1673,7 @@ fn main() -> ExitCode {
         Some("baseline") => cmd_baseline(&args[1..]),
         Some("ci-gate") => cmd_ci_gate(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("trace-export") => cmd_trace_export(&args[1..]),
         _ => cmd_run(&args),
     }

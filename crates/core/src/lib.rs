@@ -52,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod campaign;
 pub mod check;
 pub mod config;

@@ -44,7 +44,7 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
             event
                 .args
                 .iter()
-                .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                .map(|(k, v)| (k.clone(), serde::Serialize::to_value(v)))
                 .collect(),
         );
         let mut fields: Vec<(String, Value)> = vec![
@@ -120,7 +120,7 @@ mod tests {
             cat: "job".into(),
             track: 0,
             kind: EventKind::Instant { at_us: 99 },
-            args: vec![],
+            args: vec![("index".into(), crate::ArgValue::U64(7))],
         }]);
         let events = doc
             .get("traceEvents")
@@ -132,6 +132,13 @@ mod tests {
             .expect("instant event");
         assert_eq!(i.get("ts").and_then(Value::as_u64), Some(99));
         assert_eq!(i.get("s").and_then(Value::as_str), Some("t"));
+        assert_eq!(
+            i.get("args")
+                .and_then(|a| a.get("index"))
+                .and_then(Value::as_u64),
+            Some(7),
+            "typed args export as JSON numbers"
+        );
     }
 
     #[test]

@@ -32,5 +32,5 @@ mod validate;
 
 pub use chrome::chrome_trace;
 pub use clock::{Clock, ManualClock, MonotonicClock};
-pub use recorder::{EventKind, SpanGuard, TraceEvent, TraceRecorder};
+pub use recorder::{ArgValue, EventKind, SpanGuard, TraceEvent, TraceRecorder};
 pub use validate::{parse_jsonl, validate_events};

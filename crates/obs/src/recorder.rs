@@ -9,6 +9,114 @@ use serde::{Deserialize, Serialize};
 
 use crate::clock::Clock;
 
+/// A typed span/instant annotation value.
+///
+/// Args used to be stringly (`Vec<(String, String)>`); numeric values
+/// — job indices, queue waits, batch totals — now serialize as JSON
+/// numbers, which shrinks the JSONL log and lets consumers read them
+/// without parsing. [`ArgValue::render`] gives the canonical string
+/// form (`U64(3)` and a legacy `Str("3")` render identically), which
+/// is what structural validation matches on, so traces recorded by
+/// older builds keep validating.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned integer (indices, counts, microsecond waits).
+    U64(u64),
+    /// A float (rates, seconds).
+    F64(f64),
+    /// Free-form text (labels, provenance tags).
+    Str(String),
+}
+
+impl ArgValue {
+    /// The canonical string rendering: integers and text render as
+    /// themselves, floats through Rust's shortest-roundtrip `Display`.
+    pub fn render(&self) -> String {
+        match self {
+            ArgValue::U64(v) => v.to_string(),
+            ArgValue::F64(v) => v.to_string(),
+            ArgValue::Str(s) => s.clone(),
+        }
+    }
+
+    /// The value as `u64` when it is one (never parses strings).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            ArgValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` when it is text.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ArgValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+impl Serialize for ArgValue {
+    fn to_value(&self) -> Value {
+        match self {
+            ArgValue::U64(v) => Value::UInt(*v),
+            ArgValue::F64(v) => Value::Float(*v),
+            ArgValue::Str(s) => Value::Str(s.clone()),
+        }
+    }
+}
+
+impl Deserialize for ArgValue {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::UInt(n) => Ok(ArgValue::U64(*n)),
+            Value::Int(n) if *n >= 0 => Ok(ArgValue::U64(*n as u64)),
+            Value::Int(n) => Ok(ArgValue::F64(*n as f64)),
+            Value::Float(f) => Ok(ArgValue::F64(*f)),
+            Value::Str(s) => Ok(ArgValue::Str(s.clone())),
+            other => Err(serde::Error::custom(format!(
+                "trace event arg is not a number or string: {other:?}"
+            ))),
+        }
+    }
+}
+
 /// The temporal shape of one [`TraceEvent`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EventKind {
@@ -29,7 +137,7 @@ pub enum EventKind {
 }
 
 /// One recorded event.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// Event name (`simulate`, `cache-lookup`, `job-finished`, …).
     pub name: String,
@@ -43,8 +151,9 @@ pub struct TraceEvent {
     /// Span or instant, with timestamps.
     pub kind: EventKind,
     /// Free-form `(key, value)` annotations (job label, provenance,
-    /// queue wait), kept as strings so the JSONL stays schema-free.
-    pub args: Vec<(String, String)>,
+    /// queue wait). Values are typed ([`ArgValue`]): numbers serialize
+    /// as JSON numbers, text as strings — the JSONL stays schema-free.
+    pub args: Vec<(String, ArgValue)>,
 }
 
 impl Serialize for TraceEvent {
@@ -72,7 +181,7 @@ impl Serialize for TraceEvent {
             Value::Object(
                 self.args
                     .iter()
-                    .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                    .map(|(k, v)| (k.clone(), v.to_value()))
                     .collect(),
             ),
         ));
@@ -117,10 +226,12 @@ impl Deserialize for TraceEvent {
                 .ok_or_else(|| serde::Error::custom("trace event `args` is not an object"))?
                 .iter()
                 .map(|(k, val)| {
-                    val.as_str()
-                        .map(|s| (k.clone(), s.to_string()))
-                        .ok_or_else(|| {
-                            serde::Error::custom(format!("trace event arg `{k}` is not a string"))
+                    ArgValue::from_value(val)
+                        .map(|a| (k.clone(), a))
+                        .map_err(|_| {
+                            serde::Error::custom(format!(
+                                "trace event arg `{k}` is not a number or string"
+                            ))
                         })
                 })
                 .collect::<Result<Vec<_>, _>>()?,
@@ -196,7 +307,7 @@ impl TraceRecorder {
         cat: impl Into<String>,
         start_us: u64,
         end_us: u64,
-        args: Vec<(String, String)>,
+        args: Vec<(String, ArgValue)>,
     ) {
         self.push(TraceEvent {
             name: name.into(),
@@ -215,7 +326,7 @@ impl TraceRecorder {
         &self,
         name: impl Into<String>,
         cat: impl Into<String>,
-        args: Vec<(String, String)>,
+        args: Vec<(String, ArgValue)>,
     ) {
         self.push(TraceEvent {
             name: name.into(),
@@ -258,12 +369,13 @@ pub struct SpanGuard<'a> {
     name: String,
     cat: String,
     start_us: u64,
-    args: Vec<(String, String)>,
+    args: Vec<(String, ArgValue)>,
 }
 
 impl SpanGuard<'_> {
-    /// Attaches one `(key, value)` annotation.
-    pub fn arg(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+    /// Attaches one `(key, value)` annotation; the value may be a
+    /// string, `u64`/`usize`/`u32` or `f64` (see [`ArgValue`]).
+    pub fn arg(mut self, key: impl Into<String>, value: impl Into<ArgValue>) -> Self {
         self.args.push((key.into(), value.into()));
         self
     }
@@ -314,7 +426,36 @@ mod tests {
         );
         assert_eq!(
             events[0].args,
-            [("job".to_string(), "cpu/lu/AdvHetx4".to_string())]
+            [("job".to_string(), ArgValue::Str("cpu/lu/AdvHetx4".into()))]
+        );
+    }
+
+    #[test]
+    fn typed_args_serialize_as_json_numbers() {
+        let (_clock, recorder) = manual();
+        {
+            let _span = recorder
+                .span("simulate", "job")
+                .arg("index", 3usize)
+                .arg("queue_us", 250u64)
+                .arg("rate", 1.5f64)
+                .arg("job", "cpu/lu/AdvHetx4");
+        }
+        let event = &recorder.events()[0];
+        let args = event.to_value();
+        let args = args.get("args").expect("args object");
+        assert_eq!(args.get("index").and_then(Value::as_u64), Some(3));
+        assert_eq!(args.get("queue_us").and_then(Value::as_u64), Some(250));
+        assert_eq!(args.get("rate").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(
+            args.get("job").and_then(Value::as_str),
+            Some("cpu/lu/AdvHetx4")
+        );
+        // The canonical rendering is the same whether the arg was
+        // recorded typed or stringly — legacy traces keep matching.
+        assert_eq!(
+            ArgValue::U64(3).render(),
+            ArgValue::Str("3".into()).render()
         );
     }
 

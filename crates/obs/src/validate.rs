@@ -40,13 +40,16 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
     Ok(events)
 }
 
-/// An event's arg by key.
-fn arg<'a>(event: &'a TraceEvent, key: &str) -> Option<&'a str> {
+/// An event's arg by key, in canonical string form (see
+/// [`crate::ArgValue::render`]): a typed `U64(3)` and a legacy
+/// stringly `"3"` match identically, so traces recorded before args
+/// were typed keep validating.
+fn arg(event: &TraceEvent, key: &str) -> Option<String> {
     event
         .args
         .iter()
         .find(|(k, _)| k == key)
-        .map(|(_, v)| v.as_str())
+        .map(|(_, v)| v.render())
 }
 
 /// Checks the three structural trace properties, returning one message
@@ -109,7 +112,7 @@ pub fn validate_events(events: &[TraceEvent]) -> Vec<String> {
     }
 
     // ---- property 3: every JobFinished has its spans ----
-    let span_indices = |name: &str| -> Vec<&str> {
+    let span_indices = |name: &str| -> Vec<String> {
         events
             .iter()
             .filter(|e| matches!(e.kind, EventKind::Span { .. }) && e.name == name)
@@ -131,7 +134,7 @@ pub fn validate_events(events: &[TraceEvent]) -> Vec<String> {
                 "job-finished #{index} has no matching `cache-lookup` span"
             ));
         }
-        if arg(event, "provenance") == Some("ran") && !simulates.contains(&index) {
+        if arg(event, "provenance").as_deref() == Some("ran") && !simulates.contains(&index) {
             violations.push(format!(
                 "job-finished #{index} was executed but has no `simulate` span"
             ));
@@ -152,7 +155,7 @@ mod tests {
             track,
             kind: EventKind::Span { start_us, end_us },
             args: index
-                .map(|i| ("index".to_string(), i.to_string()))
+                .map(|i| ("index".to_string(), i.into()))
                 .into_iter()
                 .collect(),
         }
@@ -238,6 +241,17 @@ mod tests {
             violations.iter().any(|v| v.contains("no `simulate` span")),
             "{violations:?}"
         );
+    }
+
+    #[test]
+    fn typed_and_stringly_index_args_match_each_other() {
+        use crate::recorder::ArgValue;
+        // Lookup span carries a typed index, the legacy finished
+        // instant a stringly one — canonical rendering must unify them.
+        let mut lookup = span("cache-lookup", 0, 1, 2, None);
+        lookup.args = vec![("index".to_string(), ArgValue::U64(3))];
+        let events = vec![lookup, finished("3", "mem", 2)];
+        assert_eq!(validate_events(&events), Vec::<String>::new());
     }
 
     #[test]

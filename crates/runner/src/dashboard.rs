@@ -22,29 +22,10 @@ use std::sync::{Arc, Mutex};
 
 use hetsim_obs::Clock;
 
-use crate::progress::{ProgressEvent, ProgressSink, Provenance};
+use crate::progress::{design_of, ProgressEvent, ProgressSink, Provenance};
 
 /// Minimum interval between in-place redraws, in microseconds.
 const REDRAW_INTERVAL_US: u64 = 100_000;
-
-/// The design name encoded in a job label.
-///
-/// Campaign labels are `cpu/{app}/{design}x{cores}` or
-/// `gpu/{kernel}/{design}`; anything unrecognized groups under its
-/// last path segment.
-fn design_of(label: &str) -> &str {
-    let last = label.rsplit('/').next().unwrap_or(label);
-    match last.rsplit_once('x') {
-        Some((design, cores))
-            if !design.is_empty()
-                && !cores.is_empty()
-                && cores.bytes().all(|b| b.is_ascii_digit()) =>
-        {
-            design
-        }
-        _ => last,
-    }
-}
 
 #[derive(Default)]
 struct DashState {
@@ -60,8 +41,36 @@ struct DashState {
     last_draw_us: u64,
     /// Lines currently occupied by the live block (0 = nothing drawn).
     drawn_lines: usize,
-    /// Finished-job count per design (BTreeMap for stable line order).
-    per_design: BTreeMap<String, usize>,
+    /// Per design: finished jobs and accumulated simulated seconds
+    /// (BTreeMap for stable line order).
+    per_design: BTreeMap<String, (usize, f64)>,
+    /// Expected jobs per design, from `BatchStarted` columns.
+    column_totals: BTreeMap<String, usize>,
+    /// Column first-submission order; the first entry is the
+    /// campaign's baseline design.
+    column_order: Vec<String>,
+    /// Baseline simulated seconds, set when the baseline column
+    /// completes — figure-row ratios normalize against it.
+    baseline_sim: Option<f64>,
+    /// Completed non-baseline columns waiting for the baseline:
+    /// `(design, jobs, sim_seconds)` in completion order.
+    pending_rows: Vec<(String, usize, f64)>,
+}
+
+/// A permanent per-design figure row: the column's simulated time and,
+/// when the baseline column has completed, the ratio against it — the
+/// live equivalent of one bar in the paper's per-design figures.
+fn figure_row(design: &str, jobs: usize, sim: f64, baseline: Option<(&str, f64)>) -> String {
+    let rel = match baseline {
+        Some((base, base_sim)) if base_sim > 0.0 => {
+            format!(" · {:.2}x {base}", sim / base_sim)
+        }
+        _ => String::new(),
+    };
+    format!(
+        "[dash] fig {design}: {jobs} jobs, {:.2} sim-ms{rel}\n",
+        sim * 1e3
+    )
 }
 
 /// Renders campaign progress as an in-place, multi-line TTY dashboard.
@@ -109,10 +118,23 @@ impl DashboardSink {
             "[dash] {}/{} jobs · {:.0}% cached · {:.1} jobs/s · ETA {}",
             state.done, state.total, hit_pct, rate, eta
         )];
-        for (design, count) in &state.per_design {
-            lines.push(format!("[dash]   {design}: {count}"));
+        for (design, (count, _sim)) in &state.per_design {
+            match state.column_totals.get(design) {
+                Some(total) => lines.push(format!("[dash]   {design}: {count}/{total}")),
+                None => lines.push(format!("[dash]   {design}: {count}")),
+            }
         }
         lines
+    }
+
+    /// Writes permanent lines below the live block: settle the block,
+    /// emit the lines, and let the next redraw start a fresh block.
+    fn emit_permanent(out: &mut (Box<dyn Write + Send>, DashState), now_us: u64, text: &str) {
+        DashboardSink::redraw(out, now_us, true);
+        let (writer, state) = out;
+        state.drawn_lines = 0;
+        let _ = writer.write_all(text.as_bytes());
+        let _ = writer.flush();
     }
 
     /// Redraws the live block in place: move the cursor up over the
@@ -146,29 +168,70 @@ impl ProgressSink for DashboardSink {
         let now_us = self.clock.now_us();
         let mut out = self.out.lock().expect("dashboard lock");
         match event {
-            ProgressEvent::BatchStarted { total, .. } => {
-                out.1.total += total;
-                out.1.started_us.get_or_insert(now_us);
+            ProgressEvent::BatchStarted { total, columns, .. } => {
+                let state = &mut out.1;
+                state.total += total;
+                state.started_us.get_or_insert(now_us);
+                for (design, count) in columns {
+                    *state.column_totals.entry(design.clone()).or_insert(0) += count;
+                    if !state.column_order.contains(design) {
+                        state.column_order.push(design.clone());
+                    }
+                }
                 DashboardSink::redraw(&mut out, now_us, true);
             }
             ProgressEvent::JobStarted { .. } => {}
             ProgressEvent::JobFinished {
-                label, provenance, ..
+                label,
+                provenance,
+                sim_seconds,
+                ..
             } => {
-                out.1.done += 1;
+                let state = &mut out.1;
+                state.done += 1;
                 if !matches!(provenance, Provenance::Executed) {
-                    out.1.cache_hits += 1;
+                    state.cache_hits += 1;
                 }
-                *out.1
-                    .per_design
-                    .entry(design_of(label).to_string())
-                    .or_insert(0) += 1;
-                DashboardSink::redraw(&mut out, now_us, false);
+                let design = design_of(label).to_string();
+                let entry = state.per_design.entry(design.clone()).or_insert((0, 0.0));
+                entry.0 += 1;
+                entry.1 += sim_seconds;
+                let (jobs, sim) = *entry;
+                // When a whole campaign column completes, stream its
+                // figure row out as a permanent line. Columns that
+                // finish before the baseline queue until its sim-time
+                // is known, so every row carries a ratio.
+                let column_done = state
+                    .column_totals
+                    .get(&design)
+                    .is_some_and(|&t| t > 0 && jobs == t);
+                let mut rows = String::new();
+                if column_done {
+                    let is_baseline =
+                        state.column_order.first().map(String::as_str) == Some(design.as_str());
+                    if is_baseline {
+                        state.baseline_sim = Some(sim);
+                    }
+                    match (state.column_order.first(), state.baseline_sim) {
+                        (Some(base), Some(base_sim)) => {
+                            let base = base.clone();
+                            rows.push_str(&figure_row(&design, jobs, sim, Some((&base, base_sim))));
+                            for (d, j, s) in std::mem::take(&mut state.pending_rows) {
+                                rows.push_str(&figure_row(&d, j, s, Some((&base, base_sim))));
+                            }
+                        }
+                        _ => state.pending_rows.push((design, jobs, sim)),
+                    }
+                }
+                if rows.is_empty() {
+                    DashboardSink::redraw(&mut out, now_us, false);
+                } else {
+                    DashboardSink::emit_permanent(&mut out, now_us, &rows);
+                }
             }
             ProgressEvent::BatchFinished { stats } => {
                 // Settle the block, then leave a permanent summary
                 // line below it; the next batch draws a fresh block.
-                DashboardSink::redraw(&mut out, now_us, true);
                 let summary = format!(
                     "[dash] batch done: {} jobs, {} executed, {} cached, {:.2} s wall\n",
                     stats.jobs,
@@ -176,9 +239,7 @@ impl ProgressSink for DashboardSink {
                     stats.cache_hits,
                     stats.wall.as_secs_f64(),
                 );
-                out.1.drawn_lines = 0;
-                let _ = out.0.write_all(summary.as_bytes());
-                let _ = out.0.flush();
+                DashboardSink::emit_permanent(&mut out, now_us, &summary);
             }
         }
     }
@@ -214,6 +275,15 @@ mod tests {
     }
 
     fn finished(index: usize, label: &str, provenance: Provenance) -> ProgressEvent {
+        finished_sim(index, label, provenance, 0.0)
+    }
+
+    fn finished_sim(
+        index: usize,
+        label: &str,
+        provenance: Provenance,
+        sim_seconds: f64,
+    ) -> ProgressEvent {
         ProgressEvent::JobFinished {
             index,
             label: label.to_string(),
@@ -221,17 +291,8 @@ mod tests {
             done: index + 1,
             total: 4,
             counters: Vec::new(),
+            sim_seconds,
         }
-    }
-
-    #[test]
-    fn design_names_parse_from_both_label_shapes() {
-        assert_eq!(design_of("cpu/lu/AdvHetx4"), "AdvHet");
-        assert_eq!(design_of("cpu/lu/AdvHetx16"), "AdvHet");
-        assert_eq!(design_of("gpu/matmul/HetGPU"), "HetGPU");
-        assert_eq!(design_of("HetGPU"), "HetGPU");
-        // An `x` not followed by a pure core count is part of the name.
-        assert_eq!(design_of("cpu/lu/Extreme"), "Extreme");
     }
 
     #[test]
@@ -242,6 +303,7 @@ mod tests {
         sink.event(&ProgressEvent::BatchStarted {
             total: 4,
             workers: 2,
+            columns: Vec::new(),
         });
         clock.advance(1_000_000); // 1 s per job => 1.0 jobs/s
         sink.event(&finished(0, "cpu/lu/AdvHetx4", Provenance::Executed));
@@ -270,6 +332,56 @@ mod tests {
     }
 
     #[test]
+    fn figure_rows_stream_as_columns_complete_and_wait_for_the_baseline() {
+        let clock = Arc::new(ManualClock::new());
+        let buf = SharedBuf::default();
+        let sink = DashboardSink::with_writer(clock.clone(), Box::new(buf.clone()));
+        sink.event(&ProgressEvent::BatchStarted {
+            total: 4,
+            workers: 2,
+            columns: vec![("BaseCmosHP".into(), 2), ("AdvHet".into(), 2)],
+        });
+        // The non-baseline column completes first: its row must wait
+        // for the baseline so it can carry a ratio.
+        sink.event(&finished_sim(
+            0,
+            "cpu/lu/AdvHetx4",
+            Provenance::Executed,
+            0.25,
+        ));
+        sink.event(&finished_sim(
+            1,
+            "cpu/fft/AdvHetx4",
+            Provenance::Executed,
+            0.25,
+        ));
+        assert!(!buf.text().contains("fig AdvHet"), "{}", buf.text());
+        // Baseline completes: its own row, then the queued one.
+        sink.event(&finished_sim(
+            2,
+            "cpu/lu/BaseCmosHPx4",
+            Provenance::Executed,
+            0.5,
+        ));
+        sink.event(&finished_sim(
+            3,
+            "cpu/fft/BaseCmosHPx4",
+            Provenance::MemoryCache,
+            0.5,
+        ));
+        let text = buf.text();
+        let base_at = text
+            .find("fig BaseCmosHP: 2 jobs, 1000.00 sim-ms · 1.00x BaseCmosHP")
+            .unwrap_or_else(|| panic!("no baseline row in {text}"));
+        let adv_at = text
+            .find("fig AdvHet: 2 jobs, 500.00 sim-ms · 0.50x BaseCmosHP")
+            .unwrap_or_else(|| panic!("no AdvHet row in {text}"));
+        assert!(base_at < adv_at, "baseline row flushes first: {text}");
+        // Rows are permanent: the live block shows per-column progress.
+        assert!(text.contains("AdvHet: 2/2"), "{text}");
+    }
+
+    #[test]
     fn redraws_are_rate_limited_by_the_injected_clock() {
         let clock = Arc::new(ManualClock::new());
         let buf = SharedBuf::default();
@@ -277,6 +389,7 @@ mod tests {
         sink.event(&ProgressEvent::BatchStarted {
             total: 100,
             workers: 2,
+            columns: Vec::new(),
         });
         let drawn_after_start = buf.text().matches("[dash] ").count();
         // A burst of completions inside one redraw interval coalesces

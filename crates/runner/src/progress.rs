@@ -38,6 +38,25 @@ impl Provenance {
     }
 }
 
+/// The design name encoded in a job label.
+///
+/// Campaign labels are `cpu/{app}/{design}x{cores}` or
+/// `gpu/{kernel}/{design}`; anything unrecognized groups under its
+/// last path segment.
+pub fn design_of(label: &str) -> &str {
+    let last = label.rsplit('/').next().unwrap_or(label);
+    match last.rsplit_once('x') {
+        Some((design, cores))
+            if !design.is_empty()
+                && !cores.is_empty()
+                && cores.bytes().all(|b| b.is_ascii_digit()) =>
+        {
+            design
+        }
+        _ => last,
+    }
+}
+
 /// One progress event.
 #[derive(Debug, Clone)]
 pub enum ProgressEvent {
@@ -47,6 +66,12 @@ pub enum ProgressEvent {
         total: usize,
         /// Worker threads executing it.
         workers: usize,
+        /// Per-design job counts (`(design, jobs)` parsed from labels
+        /// with [`design_of`], in first-submission order — the first
+        /// entry is the campaign's baseline column). Sinks that render
+        /// per-design completion (the dashboard's figure rows) read
+        /// the expected column sizes from here.
+        columns: Vec<(String, usize)>,
     },
     /// A job started executing on a worker (cache misses only).
     JobStarted {
@@ -73,6 +98,10 @@ pub enum ProgressEvent {
         /// outcome's counters, so the telemetry stream is identical
         /// whether a campaign ran cold or warm.
         counters: Vec<(String, u64)>,
+        /// Simulated seconds covered by the outcome
+        /// ([`crate::SimMetrics::sim_seconds`]); like `counters`,
+        /// identical whether the job ran or was answered from cache.
+        sim_seconds: f64,
     },
     /// The batch completed.
     BatchFinished {
@@ -204,7 +233,7 @@ impl StderrSink {
     /// for events this sink does not narrate.
     fn format(event: &ProgressEvent) -> Option<String> {
         match event {
-            ProgressEvent::BatchStarted { total, workers } => {
+            ProgressEvent::BatchStarted { total, workers, .. } => {
                 Some(format!("[runner] {total} jobs on {workers} worker(s)\n"))
             }
             ProgressEvent::JobStarted { .. } => None,
@@ -328,11 +357,22 @@ mod tests {
     }
 
     #[test]
+    fn design_names_parse_from_both_label_shapes() {
+        assert_eq!(design_of("cpu/lu/AdvHetx4"), "AdvHet");
+        assert_eq!(design_of("cpu/lu/AdvHetx16"), "AdvHet");
+        assert_eq!(design_of("gpu/matmul/HetGPU"), "HetGPU");
+        assert_eq!(design_of("HetGPU"), "HetGPU");
+        // An `x` not followed by a pure core count is part of the name.
+        assert_eq!(design_of("cpu/lu/Extreme"), "Extreme");
+    }
+
+    #[test]
     fn stderr_sink_formats_without_panicking() {
         let sink = StderrSink::default();
         sink.event(&ProgressEvent::BatchStarted {
             total: 2,
             workers: 2,
+            columns: vec![("AdvHet".into(), 2)],
         });
         sink.event(&ProgressEvent::JobFinished {
             index: 0,
@@ -341,6 +381,7 @@ mod tests {
             done: 1,
             total: 2,
             counters: vec![("core.cycles".into(), 42)],
+            sim_seconds: 0.25,
         });
         sink.event(&ProgressEvent::BatchFinished {
             stats: RunnerStats::default(),
@@ -381,6 +422,7 @@ mod tests {
                             done: i + 1,
                             total: THREADS * EVENTS,
                             counters: Vec::new(),
+                            sim_seconds: 0.0,
                         });
                     }
                 });

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use crate::cache::{CacheLayer, ResultCache};
 use crate::job::Job;
 use crate::pool::{run_batch, Task};
-use crate::progress::{NullSink, ProgressEvent, ProgressSink, Provenance, RunnerStats};
+use crate::progress::{design_of, NullSink, ProgressEvent, ProgressSink, Provenance, RunnerStats};
 use crate::timing::RunnerTiming;
 use crate::SimMetrics;
 
@@ -41,6 +41,7 @@ use crate::SimMetrics;
 pub struct Runner<T> {
     workers: usize,
     cache: ResultCache<T>,
+    bypass_cache: bool,
     sink: Arc<dyn ProgressSink>,
     clock: Arc<dyn Clock>,
     recorder: Option<Arc<TraceRecorder>>,
@@ -59,6 +60,7 @@ where
         Runner {
             workers: workers.max(1),
             cache: ResultCache::in_memory(),
+            bypass_cache: false,
             sink: Arc::new(NullSink),
             clock: Arc::new(MonotonicClock::new()),
             recorder: None,
@@ -92,6 +94,19 @@ where
     pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
         self.cache = ResultCache::on_disk(dir)?;
         Ok(self)
+    }
+
+    /// Bypasses the result cache entirely: every job executes, nothing
+    /// is probed or stored, and the `cache_lookup_us`/`cache_write_us`
+    /// timing histograms stay empty.
+    ///
+    /// This is the benchmark mode — a perf measurement must time the
+    /// simulation itself, never a warm-cache lookup, and must follow
+    /// the *identical* timing path whether or not a previous run
+    /// populated a cache.
+    pub fn with_cache_bypass(mut self, bypass: bool) -> Self {
+        self.bypass_cache = bypass;
+        self
     }
 
     /// Replaces the progress sink.
@@ -130,9 +145,20 @@ where
         let started_us = self.clock.now_us();
         let n = jobs.len();
         self.cache.reset_stats();
+        // Per-design job counts, first-submission order, so sinks know
+        // each campaign column's size up front.
+        let mut columns: Vec<(String, usize)> = Vec::new();
+        for job in &jobs {
+            let design = design_of(&job.label);
+            match columns.iter_mut().find(|(d, _)| d == design) {
+                Some((_, count)) => *count += 1,
+                None => columns.push((design.to_string(), 1)),
+            }
+        }
         self.sink.event(&ProgressEvent::BatchStarted {
             total: n,
             workers: self.workers,
+            columns,
         });
         let mut batch_timing = RunnerTiming::default();
 
@@ -141,6 +167,13 @@ where
         let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
         let mut misses: Vec<(usize, Job<T>)> = Vec::new();
         for (index, job) in jobs.into_iter().enumerate() {
+            if self.bypass_cache {
+                // Benchmark mode: no probe, no lookup sample, no span —
+                // the timing path is identical cold and warm.
+                slots.push(None);
+                misses.push((index, job));
+                continue;
+            }
             let lookup_start_us = self.clock.now_us();
             let hit = self.cache.get_traced(job.key);
             let lookup_end_us = self.clock.now_us();
@@ -159,8 +192,8 @@ where
                     lookup_start_us,
                     lookup_end_us,
                     vec![
-                        ("index".into(), index.to_string()),
-                        ("job".into(), job.label.clone()),
+                        ("index".into(), index.into()),
+                        ("job".into(), job.label.clone().into()),
                         (
                             "provenance".into(),
                             if hit.is_some() {
@@ -168,7 +201,7 @@ where
                             } else {
                                 "miss"
                             }
-                            .to_string(),
+                            .into(),
                         ),
                     ],
                 );
@@ -182,6 +215,7 @@ where
                         done: done.fetch_add(1, Ordering::SeqCst) + 1,
                         total: n,
                         counters: value.counters(),
+                        sim_seconds: value.sim_seconds(),
                     });
                     slots.push(Some(value));
                 }
@@ -197,6 +231,7 @@ where
         // times land in `timing` (shared, per-sample lock) and — when
         // tracing — as spans on the worker's own track.
         let executed = misses.len() as u64;
+        let bypass_cache = self.bypass_cache;
         let cache = &self.cache;
         let sink = &self.sink;
         let clock = &self.clock;
@@ -221,7 +256,9 @@ where
                     let queue_us = sim_start_us.saturating_sub(started_us);
                     let value = run();
                     let sim_end_us = clock.now_us();
-                    let write_end_us = {
+                    let write_end_us = if bypass_cache {
+                        sim_end_us // nothing stored, no write phase
+                    } else {
                         cache.put(key, &value);
                         clock.now_us()
                     };
@@ -231,9 +268,11 @@ where
                         timing
                             .simulate_us
                             .record(sim_end_us.saturating_sub(sim_start_us));
-                        timing
-                            .cache_write_us
-                            .record(write_end_us.saturating_sub(sim_end_us));
+                        if !bypass_cache {
+                            timing
+                                .cache_write_us
+                                .record(write_end_us.saturating_sub(sim_end_us));
+                        }
                     }
                     if let Some(recorder) = recorder {
                         recorder.record_span(
@@ -242,18 +281,20 @@ where
                             sim_start_us,
                             sim_end_us,
                             vec![
-                                ("index".into(), index.to_string()),
-                                ("job".into(), label.clone()),
-                                ("queue_us".into(), queue_us.to_string()),
+                                ("index".into(), index.into()),
+                                ("job".into(), label.clone().into()),
+                                ("queue_us".into(), queue_us.into()),
                             ],
                         );
-                        recorder.record_span(
-                            "cache-write",
-                            "job",
-                            sim_end_us,
-                            write_end_us,
-                            vec![("index".into(), index.to_string())],
-                        );
+                        if !bypass_cache {
+                            recorder.record_span(
+                                "cache-write",
+                                "job",
+                                sim_end_us,
+                                write_end_us,
+                                vec![("index".into(), index.into())],
+                            );
+                        }
                     }
                     sink.event(&ProgressEvent::JobFinished {
                         index,
@@ -262,6 +303,7 @@ where
                         done: done.fetch_add(1, Ordering::SeqCst) + 1,
                         total: n,
                         counters: value.counters(),
+                        sim_seconds: value.sim_seconds(),
                     });
                     (index, value)
                 }) as Task<'_, (usize, T)>
@@ -292,8 +334,8 @@ where
                 started_us,
                 end_us,
                 vec![
-                    ("jobs".into(), n.to_string()),
-                    ("executed".into(), executed.to_string()),
+                    ("jobs".into(), n.into()),
+                    ("executed".into(), executed.into()),
                 ],
             );
         }
@@ -493,6 +535,47 @@ mod tests {
         assert_eq!(timing.simulate_us.count(), 10, "misses only");
         assert_eq!(timing.cache_write_us.count(), 10);
         assert_eq!(timing.queue_wait_us.count(), 10);
+    }
+
+    #[test]
+    fn cache_bypass_follows_the_identical_timing_path_cold_and_warm() {
+        static RUNS: AtomicU64 = AtomicU64::new(0);
+        let runner = Runner::new(4).with_cache_bypass(true);
+        let cold = runner.run(batch(&RUNS, 7));
+        assert_eq!(RUNS.load(Ordering::SeqCst), 7);
+        let warm = runner.run(batch(&RUNS, 7));
+        assert_eq!(
+            RUNS.load(Ordering::SeqCst),
+            14,
+            "a bypassing runner re-executes every job"
+        );
+        assert_eq!(cold, warm, "determinism is unaffected");
+        let last = runner.last_stats();
+        assert_eq!((last.executed, last.cache_hits), (7, 0));
+        let timing = runner.total_timing();
+        assert_eq!(
+            timing.cache_lookup_us.count(),
+            0,
+            "no lookup ever sampled — cold and warm time the same phases"
+        );
+        assert_eq!(timing.cache_write_us.count(), 0, "no write phase either");
+        assert_eq!(timing.simulate_us.count(), 14, "every job, both batches");
+    }
+
+    #[test]
+    fn bypass_leaves_a_shared_cache_dir_untouched() {
+        static RUNS: AtomicU64 = AtomicU64::new(0);
+        let dir =
+            std::env::temp_dir().join(format!("hetsim-runner-bypass-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let bench = Runner::new(2)
+            .with_cache_dir(&dir)
+            .expect("cache dir")
+            .with_cache_bypass(true);
+        bench.run(batch(&RUNS, 5));
+        let leaked = std::fs::read_dir(&dir).expect("dir exists").count();
+        assert_eq!(leaked, 0, "bench runs must not populate the cache");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

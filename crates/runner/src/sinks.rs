@@ -56,13 +56,13 @@ impl TraceEventSink {
 impl ProgressSink for TraceEventSink {
     fn event(&self, event: &ProgressEvent) {
         match event {
-            ProgressEvent::BatchStarted { total, workers } => {
+            ProgressEvent::BatchStarted { total, workers, .. } => {
                 self.recorder.instant(
                     "batch-started",
                     "runner",
                     vec![
-                        ("total".into(), total.to_string()),
-                        ("workers".into(), workers.to_string()),
+                        ("total".into(), (*total).into()),
+                        ("workers".into(), (*workers).into()),
                     ],
                 );
             }
@@ -79,11 +79,11 @@ impl ProgressSink for TraceEventSink {
                     "job-finished",
                     "job",
                     vec![
-                        ("index".into(), index.to_string()),
-                        ("job".into(), label.clone()),
-                        ("provenance".into(), provenance.tag().to_string()),
-                        ("done".into(), done.to_string()),
-                        ("total".into(), total.to_string()),
+                        ("index".into(), (*index).into()),
+                        ("job".into(), label.clone().into()),
+                        ("provenance".into(), provenance.tag().into()),
+                        ("done".into(), (*done).into()),
+                        ("total".into(), (*total).into()),
                     ],
                 );
             }
@@ -92,9 +92,9 @@ impl ProgressSink for TraceEventSink {
                     "batch-finished",
                     "runner",
                     vec![
-                        ("jobs".into(), stats.jobs.to_string()),
-                        ("executed".into(), stats.executed.to_string()),
-                        ("cache_hits".into(), stats.cache_hits.to_string()),
+                        ("jobs".into(), stats.jobs.into()),
+                        ("executed".into(), stats.executed.into()),
+                        ("cache_hits".into(), stats.cache_hits.into()),
                     ],
                 );
             }
@@ -119,6 +119,7 @@ mod tests {
             done: index + 1,
             total: 2,
             counters: Vec::new(),
+            sim_seconds: 0.0,
         }
     }
 
@@ -149,6 +150,7 @@ mod tests {
         sink.event(&ProgressEvent::BatchStarted {
             total: 2,
             workers: 4,
+            columns: Vec::new(),
         });
         clock.advance(10);
         sink.event(&finished(0));
@@ -168,10 +170,10 @@ mod tests {
             job.args
                 .iter()
                 .find(|(key, _)| key == k)
-                .map(|(_, v)| v.as_str())
+                .map(|(_, v)| v.render())
         };
-        assert_eq!(arg("index"), Some("0"));
-        assert_eq!(arg("provenance"), Some("mem"));
-        assert_eq!(arg("job"), Some("cpu/lu/AdvHetx0"));
+        assert_eq!(arg("index").as_deref(), Some("0"), "typed, renders as 0");
+        assert_eq!(arg("provenance").as_deref(), Some("mem"));
+        assert_eq!(arg("job").as_deref(), Some("cpu/lu/AdvHetx0"));
     }
 }

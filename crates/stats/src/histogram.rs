@@ -117,6 +117,54 @@ impl Histogram {
         &self.counts
     }
 
+    /// An upper-bound estimate of the `q`-quantile sample (`q` in
+    /// `[0, 1]`), resolved to bucket granularity: the smallest bucket
+    /// upper bound at which the cumulative count reaches `q * count`.
+    ///
+    /// Buckets are power-of-two wide, so the estimate can overshoot the
+    /// true sample by at most 2x; it never undershoots, and it is
+    /// clamped to [`Histogram::max`] (exact for the overflow bucket and
+    /// for any quantile landing in the top occupied bucket). Returns 0
+    /// when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // The rank of the q-quantile sample, 1-based, clamped into
+        // [1, count] so q=0 means "first sample" and q=1 "last".
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                // Upper bound of bucket i: 0 for the zero bucket,
+                // 2^i - 1 for [2^(i-1), 2^i), and `max` for overflow.
+                let bound = match i {
+                    0 => 0,
+                    i if i == BUCKETS - 1 => self.max,
+                    i => (1u64 << i) - 1,
+                };
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate (see [`Histogram::quantile`]).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate (see [`Histogram::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// `true` when no sample has been recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0
@@ -125,10 +173,16 @@ impl Histogram {
 
 impl Serialize for Histogram {
     fn to_value(&self) -> Value {
+        // p50/p95/p99 are derived fields for dump consumers; the
+        // deserializer ignores them (they reconstruct from `buckets`),
+        // so round-trip equality is preserved.
         Value::Object(vec![
             ("count".into(), Value::UInt(self.count)),
             ("sum".into(), Value::UInt(self.sum)),
             ("max".into(), Value::UInt(self.max)),
+            ("p50".into(), Value::UInt(self.p50())),
+            ("p95".into(), Value::UInt(self.p95())),
+            ("p99".into(), Value::UInt(self.p99())),
             (
                 "buckets".into(),
                 Value::Array(self.counts.iter().map(|&c| Value::UInt(c)).collect()),
@@ -217,6 +271,46 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.sum(), u64::MAX, "sum saturates instead of wrapping");
         assert_eq!(a.max(), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket 4: [8, 16)
+        }
+        h.record(1000); // bucket 10: [512, 1024)
+        assert_eq!(h.p50(), 15, "median lands in the [8,16) bucket");
+        assert_eq!(h.p95(), 15);
+        assert_eq!(h.p99(), 15, "rank 99 of 100 is still a 10");
+        assert_eq!(h.quantile(1.0), 1000, "top quantile clamps to max");
+    }
+
+    #[test]
+    fn quantiles_handle_edge_shapes() {
+        assert_eq!(Histogram::new().p50(), 0, "empty");
+        let mut zeros = Histogram::new();
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.p99(), 0, "all-zero samples");
+        let mut one = Histogram::new();
+        one.record(u64::MAX);
+        assert_eq!(one.p50(), u64::MAX, "overflow bucket reports max");
+        assert_eq!(one.quantile(0.0), u64::MAX, "single sample at any q");
+    }
+
+    #[test]
+    fn serialized_quantiles_ride_along_and_round_trip() {
+        let mut h = Histogram::new();
+        for v in [3, 3, 3, 900] {
+            h.record(v);
+        }
+        let v = h.to_value();
+        assert_eq!(v.get("p50").and_then(Value::as_u64), Some(h.p50()));
+        assert_eq!(v.get("p95").and_then(Value::as_u64), Some(h.p95()));
+        assert_eq!(v.get("p99").and_then(Value::as_u64), Some(h.p99()));
+        let back = Histogram::from_value(&v).expect("round trip");
+        assert_eq!(back, h, "derived fields must not break round-tripping");
     }
 
     #[test]
