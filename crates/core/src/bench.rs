@@ -19,7 +19,9 @@
 //! * `micro-gpu-step` — one GPU kernel simulation;
 //! * `micro-mem-hierarchy` — raw cache-hierarchy accesses, no core;
 //! * `micro-power-dvfs` — energy-model + DVFS operating-point
-//!   evaluations, no simulation.
+//!   evaluations, no simulation;
+//! * `micro-event-queue` — a memory-bound run on the slowest core,
+//!   stressing the timing wheel and the dead-cycle skip machinery.
 //!
 //! Campaign scenarios run on `Runner::with_cache_bypass(true)`: a perf
 //! measurement must time simulation, never a warm-cache lookup, and
@@ -49,7 +51,7 @@ pub const DEFAULT_REPEATS: u32 = 3;
 /// The pinned scenario names, menu order. Compare joins dumps on these
 /// names, so renaming one orphans its perf trajectory — add, don't
 /// rename.
-pub const SCENARIOS: [&str; 7] = [
+pub const SCENARIOS: [&str; 8] = [
     "fig7-cpu-campaign",
     "fig10-gpu-campaign",
     "fig14-dvfs",
@@ -57,6 +59,7 @@ pub const SCENARIOS: [&str; 7] = [
     "micro-gpu-step",
     "micro-mem-hierarchy",
     "micro-power-dvfs",
+    "micro-event-queue",
 ];
 
 /// One `repro bench` run's configuration.
@@ -216,6 +219,17 @@ fn run_micro_power(cfg: &BenchConfig) -> u64 {
     evals
 }
 
+/// Event-queue stress: the paper's most memory-bound application on the
+/// all-TFET core (the slowest clock and deepest relative miss
+/// latencies), so the pipeline spends most cycles stalled and
+/// throughput is dominated by the timing wheel and the dead-cycle skip
+/// machinery rather than by dispatch/commit work. Returns committed
+/// instructions.
+fn run_micro_event_queue(cfg: &BenchConfig) -> u64 {
+    let app = apps::profile("canneal").expect("pinned app exists");
+    run_cpu(CpuDesign::BaseTfet, &app, cfg.seed, cfg.insts).committed
+}
+
 /// Runs one scenario's body once; returns the instructions it
 /// simulated. Panics on an unknown name (the menu is [`SCENARIOS`]).
 fn run_scenario(name: &str, cfg: &BenchConfig) -> u64 {
@@ -227,6 +241,7 @@ fn run_scenario(name: &str, cfg: &BenchConfig) -> u64 {
         "micro-gpu-step" => run_micro_gpu(cfg),
         "micro-mem-hierarchy" => run_micro_mem(cfg),
         "micro-power-dvfs" => run_micro_power(cfg),
+        "micro-event-queue" => run_micro_event_queue(cfg),
         other => panic!("unknown bench scenario `{other}`"),
     }
 }

@@ -427,6 +427,11 @@ fn execute(
         })
         .transpose()
         .map_err(|e| format!("cannot open cache directory: {e}"))?;
+    // Zero the event-driven-step telemetry so the skip counters in this
+    // dump cover exactly this execution (the atomics are process-global
+    // and otherwise accumulate across runs in one process).
+    hetsim_cpu::telemetry::reset();
+    hetsim_gpu::telemetry::reset();
     let recorder_ref = recorder.map(Arc::as_ref);
     let cpu = cpu_runner.as_ref().map(|r| {
         eprintln!("running CPU campaign (11 chips x 14 applications, {jobs} worker(s))...");
@@ -484,14 +489,22 @@ fn execute(
         dump = dump.with_gpu_campaign(c);
     }
     if let Some(r) = &cpu_runner {
+        // Fold the event-driven core's skip totals into the (already
+        // regression-exempt) timing section.
+        let mut timing = r.total_timing();
+        timing.skipped_cycles = hetsim_cpu::telemetry::skipped_cycles();
+        timing.wakeup_jumps = hetsim_cpu::telemetry::wakeup_jumps();
         dump = dump
             .with_runner("cpu", r.total_stats())
-            .with_runner_timing("cpu", r.total_timing());
+            .with_runner_timing("cpu", timing);
     }
     if let Some(r) = &gpu_runner {
+        let mut timing = r.total_timing();
+        timing.skipped_cycles = hetsim_gpu::telemetry::skipped_cycles();
+        timing.wakeup_jumps = hetsim_gpu::telemetry::wakeup_jumps();
         dump = dump
             .with_runner("gpu", r.total_stats())
-            .with_runner_timing("gpu", r.total_timing());
+            .with_runner_timing("gpu", timing);
     }
     dump = dump.with_reports(&reports);
     let execution = Execution {
@@ -983,6 +996,12 @@ fn cmd_ci_gate(args: &[String]) -> ExitCode {
         let base_doc = match DumpDoc::load(file) {
             Ok(d) => d,
             Err(e) => {
+                // The bench ratchet lives in the same directory but is
+                // gated by `repro bench --ratchet`, not by replay.
+                if load_bench_dump(file).is_ok() {
+                    eprintln!("[ci-gate] {name}: bench dump, skipped (gated by `repro bench`)");
+                    continue;
+                }
                 eprintln!("error: {e}");
                 failed = true;
                 continue;

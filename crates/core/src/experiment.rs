@@ -15,7 +15,6 @@ use hetsim_gpu::stats::GpuStats;
 use hetsim_mem::stats::MemStats;
 use hetsim_power::account::{EnergyBreakdown, GpuActivity, GpuEnergy, GpuEnergyModel};
 use hetsim_runner::SimMetrics;
-use hetsim_trace::stream::TraceGenerator;
 use hetsim_trace::WorkloadProfile;
 use serde::{Deserialize, Serialize};
 
@@ -92,10 +91,14 @@ impl SimMetrics for GpuOutcome {
 /// the paper's figures use [`run_cpu_multicore`] with 4 cores).
 pub fn run_cpu(design: CpuDesign, app: &WorkloadProfile, seed: u64, insts: u64) -> CpuOutcome {
     let cfg = design.core_config();
+    let window = cfg.steering.lookahead_window();
     let mut core = Core::new(cfg, 0);
     core.prewarm(0, app.memory.working_set_bytes);
     let warmup = (insts / 4).min(25_000);
-    let result = core.run_warmed(TraceGenerator::new(app, seed), warmup, insts);
+    // Same-stream sweeps (one app across every design) replay the
+    // memoized trace instead of regenerating it per design.
+    let trace = hetsim_trace::cache::replay(app, seed, 0, warmup + insts + window + 1);
+    let result = core.run_warmed(trace, warmup, insts);
     let seconds = result.seconds();
     let energy = design
         .energy_model()

@@ -197,12 +197,30 @@ fn baseline_writer_and_ci_gate_round_trip() {
     assert!(basedir.join("fig14.json").exists());
     assert!(basedir.join("ext.json").exists());
 
+    // A bench ratchet sharing the directory is not replayable — the
+    // gate must skip it (it is gated by `repro bench --ratchet`), not
+    // fail on it.
+    std::fs::write(
+        basedir.join("bench-ratchet.json"),
+        r#"{"schema":"hetsim-bench-v1","quick":true,"insts":1,"seed":1,"warmup":1,
+            "repeats":1,"host":{"os":"linux","arch":"x86_64","cpus":1},
+            "scenarios":[{"name":"s","insts":1,"wall_us":1,"insts_per_sec":1.0,
+            "timing":{"repeats":1,"min_us":1,"median_us":1,"p95_us":1,"max_us":1,
+            "mean_us":1.0,"rel_spread":0.0,"noisy":false}}]}"#,
+    )
+    .expect("ratchet written");
+
     // The gate replays each baseline's recorded configuration and
     // passes against an unchanged simulator.
     let out = repro(&["ci-gate", "--baseline", basedir.to_str().unwrap()]);
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "gate must pass: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "gate must pass: {stdout}\n{stderr}");
     assert!(stdout.contains("[fig14]") && stdout.contains("[ext]"));
+    assert!(
+        stderr.contains("bench dump, skipped"),
+        "gate announces the skipped ratchet: {stderr}"
+    );
 
     // Corrupt one baseline's recorded figure values (the run section
     // stays intact, so the gate replays the same configuration and

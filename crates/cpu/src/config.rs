@@ -21,6 +21,19 @@ pub enum SteeringPolicy {
     },
 }
 
+impl SteeringPolicy {
+    /// The dispatch lookahead this policy requires, in instructions (0
+    /// when no steering). A run of `n` committed instructions pulls at
+    /// most `warmup + n + lookahead_window() + 1` from its trace, which
+    /// callers use to bound memoized-trace requests.
+    pub fn lookahead_window(self) -> u64 {
+        match self {
+            SteeringPolicy::None => 0,
+            SteeringPolicy::DualSpeed { window } => u64::from(window),
+        }
+    }
+}
+
 /// Full configuration of one out-of-order core.
 #[derive(Debug, Clone)]
 pub struct CoreConfig {

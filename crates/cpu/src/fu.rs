@@ -171,7 +171,12 @@ pub struct Issued {
     pub on_fast_alu: bool,
 }
 
-/// Runtime state of the pool: per-instance next-free cycles.
+/// Runtime state of the pool: per-instance next-free cycles. The ALU
+/// instances are *permuted at construction* so the fast (lowest-latency)
+/// cluster occupies indices `0..n_fast_alus` — both steering orders then
+/// become contiguous scans over `alu_free` with no index indirection.
+/// (Units within a cluster are interchangeable, so the permutation is
+/// invisible in any timing or statistic.)
 #[derive(Debug, Clone)]
 pub struct FuPool {
     cfg: FuPoolConfig,
@@ -179,6 +184,11 @@ pub struct FuPool {
     muldiv_free: Vec<u64>,
     fpu_free: Vec<u64>,
     lsu_free: Vec<u64>,
+    /// Per-ALU timings in the permuted (fast-cluster-first) order.
+    alu_timing: Vec<FuTiming>,
+    /// Number of fastest-latency ALUs (they sit first in `alu_free`).
+    n_fast_alus: usize,
+    fast_latency: u32,
 }
 
 impl FuPool {
@@ -190,11 +200,31 @@ impl FuPool {
     pub fn new(cfg: FuPoolConfig) -> Self {
         assert!(!cfg.alus.is_empty(), "need at least one ALU");
         assert!(cfg.int_muldiv_units > 0 && cfg.fpu_units > 0 && cfg.lsu_units > 0);
+        let fast_latency = cfg.fast_alu_latency();
+        // Permute fast cluster first, stable within each cluster (ascending
+        // unit index) — the same candidate order the old per-issue index
+        // vectors produced.
+        let mut alu_timing: Vec<FuTiming> = cfg
+            .alus
+            .iter()
+            .copied()
+            .filter(|t| t.latency == fast_latency)
+            .collect();
+        let n_fast_alus = alu_timing.len();
+        alu_timing.extend(
+            cfg.alus
+                .iter()
+                .copied()
+                .filter(|t| t.latency != fast_latency),
+        );
         FuPool {
             alu_free: vec![0; cfg.alus.len()],
             muldiv_free: vec![0; cfg.int_muldiv_units as usize],
             fpu_free: vec![0; cfg.fpu_units as usize],
             lsu_free: vec![0; cfg.lsu_units as usize],
+            alu_timing,
+            n_fast_alus,
+            fast_latency,
             cfg,
         }
     }
@@ -209,6 +239,7 @@ impl FuPool {
     /// tried first when `true`, the slow ones first when `false`; either
     /// way a free unit from the other cluster is used as fallback (the
     /// mis-steer penalty is only the latency difference, Section IV-C2).
+    #[inline]
     pub fn try_issue(&mut self, op: OpClass, cycle: u64, prefer_fast: bool) -> Option<Issued> {
         match op {
             OpClass::IntAlu => self.issue_alu(cycle, prefer_fast),
@@ -253,35 +284,65 @@ impl FuPool {
         }
     }
 
+    #[inline]
     fn issue_alu(&mut self, cycle: u64, prefer_fast: bool) -> Option<Issued> {
-        let fast_latency = self.cfg.fast_alu_latency();
-        // Order candidate ALUs by the steering preference.
-        let mut order: Vec<usize> = (0..self.cfg.alus.len()).collect();
-        order.sort_by_key(|&i| {
-            let is_fast = self.cfg.alus[i].latency == fast_latency;
-            if prefer_fast {
-                usize::from(!is_fast)
-            } else {
-                usize::from(is_fast)
-            }
-        });
-        for i in order {
+        // The fast cluster is 0..n_fast_alus; scan it first or last
+        // depending on steering. Candidate order within each cluster is
+        // the stable construction order, matching the pre-permutation
+        // implementation unit-for-unit.
+        let n = self.alu_free.len();
+        let (first, second) = if prefer_fast {
+            (0..n, n..n)
+        } else {
+            (self.n_fast_alus..n, 0..self.n_fast_alus)
+        };
+        for i in first.chain(second) {
             if self.alu_free[i] <= cycle {
-                let timing = self.cfg.alus[i];
+                let timing = self.alu_timing[i];
                 self.alu_free[i] = cycle + u64::from(timing.issue_interval);
                 return Some(Issued {
                     latency: timing.latency,
-                    on_fast_alu: timing.latency == fast_latency,
+                    on_fast_alu: timing.latency == self.fast_latency,
                 });
             }
         }
         None
     }
 
+    #[inline]
     fn issue_on(free: &mut [u64], timing: FuTiming, cycle: u64) -> Option<u32> {
         let slot = free.iter_mut().find(|f| **f <= cycle)?;
         *slot = cycle + u64::from(timing.issue_interval);
         Some(timing.latency)
+    }
+
+    /// The arbitration pool `op` competes in (0 = ALU, 1 = int mul/div,
+    /// 2 = FPU, 3 = LSU). Two ops with the same pool id contend for the
+    /// same units: if one fails to issue at a cycle, the other cannot
+    /// succeed at that cycle either (pool state advances only on issue).
+    #[inline]
+    pub fn pool_of(op: OpClass) -> u32 {
+        match op {
+            OpClass::IntAlu | OpClass::Branch => 0,
+            OpClass::IntMul | OpClass::IntDiv => 1,
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => 2,
+            OpClass::Load | OpClass::Store => 3,
+        }
+    }
+
+    /// The earliest cycle at which *some* unit capable of executing `op`
+    /// is free. A [`FuPool::try_issue`] for `op` at that cycle is
+    /// guaranteed a unit; any earlier attempt returns `None`. Used by
+    /// the event-driven core step to compute wakeup times.
+    #[inline]
+    pub fn next_free(&self, op: OpClass) -> u64 {
+        let free = match op {
+            OpClass::IntAlu | OpClass::Branch => &self.alu_free,
+            OpClass::IntMul | OpClass::IntDiv => &self.muldiv_free,
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => &self.fpu_free,
+            OpClass::Load | OpClass::Store => &self.lsu_free,
+        };
+        free.iter().copied().min().expect("pools are never empty")
     }
 }
 
@@ -398,6 +459,20 @@ mod tests {
         assert!(FuPoolConfig::dual_speed().has_dual_speed_alus());
         assert!(!FuPoolConfig::cmos().has_dual_speed_alus());
         assert!(!FuPoolConfig::tfet().has_dual_speed_alus());
+    }
+
+    #[test]
+    fn next_free_predicts_issue_success() {
+        let mut p = FuPool::new(FuPoolConfig::cmos());
+        // Saturate both int div units (unpipelined, 4-cycle interval).
+        assert!(p.try_issue(OpClass::IntDiv, 0, false).is_some());
+        assert!(p.try_issue(OpClass::IntDiv, 0, false).is_some());
+        let at = p.next_free(OpClass::IntDiv);
+        assert_eq!(at, 4);
+        assert!(p.try_issue(OpClass::IntDiv, at - 1, false).is_none());
+        assert!(p.try_issue(OpClass::IntDiv, at, false).is_some());
+        // An idle class is free immediately.
+        assert_eq!(p.next_free(OpClass::FpAdd), 0);
     }
 
     #[test]

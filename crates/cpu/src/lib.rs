@@ -38,6 +38,7 @@ pub mod fu;
 pub mod multicore;
 pub mod predictor;
 pub mod stats;
+pub mod telemetry;
 
 pub use config::CoreConfig;
 pub use core::{Core, RunResult};

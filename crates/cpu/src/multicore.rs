@@ -13,7 +13,6 @@
 //! that sit out the serial phase.
 
 use hetsim_check::{CheckConfig, Checker, Violation};
-use hetsim_trace::stream::TraceGenerator;
 use hetsim_trace::WorkloadProfile;
 
 use crate::config::CoreConfig;
@@ -109,12 +108,17 @@ pub fn run_multicore_checked(
 
     let mut checker = Checker::new();
     let warmup = |n: u64| (n / 4).min(25_000);
+    // Design sweeps rerun the same (profile, seed) streams, so pull them
+    // through the trace memo. A run of `n` committed instructions pulls at
+    // most `warmup + n + steering window + 1` from the stream (the
+    // dispatch lookahead holds up to `window + 1` undispatched insts).
+    let pull_bound = |n: u64| warmup(n) + n + core_cfg.steering.lookahead_window() + 1;
     let ws = profile.memory.working_set_bytes;
     let serial = if serial_insts > 0 {
         let mut core = Core::new(core_cfg.clone(), 0).with_checks(check);
         core.prewarm(0, ws);
         let r = core.run_warmed(
-            TraceGenerator::for_thread(profile, seed, 0),
+            hetsim_trace::cache::replay(profile, seed, 0, pull_bound(serial_insts)),
             warmup(serial_insts),
             serial_insts,
         );
@@ -133,7 +137,7 @@ pub fn run_multicore_checked(
                 ws,
             );
             let r = core.run_warmed(
-                TraceGenerator::for_thread(profile, seed.wrapping_add(1), t),
+                hetsim_trace::cache::replay(profile, seed.wrapping_add(1), t, pull_bound(per_core)),
                 warmup(per_core),
                 per_core,
             );

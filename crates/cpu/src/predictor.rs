@@ -18,11 +18,12 @@ impl Counter2 {
     }
 
     fn update(&mut self, taken: bool) {
-        if taken {
-            self.0 = (self.0 + 1).min(3);
-        } else {
-            self.0 = self.0.saturating_sub(1);
-        }
+        // Branchless saturating walk: +1 clamped to 3 on taken, -1
+        // clamped to 0 on not-taken. Identical to the naive
+        // min/saturating_sub pair, but compiles to straight-line
+        // arithmetic on the predictor-update hot path.
+        let delta = i8::from(taken) * 2 - 1;
+        self.0 = (self.0 as i8 + delta).clamp(0, 3) as u8;
     }
 }
 
@@ -82,8 +83,13 @@ pub struct TournamentPredictor {
     chooser: Vec<Counter2>,
     /// Global history register.
     ghr: u64,
-    /// BTB: per set, list of resident tags (MRU first).
-    btb: Vec<Vec<u64>>,
+    /// BTB: flat `sets x ways` tag rows, MRU-first (same layout idea as
+    /// `hetsim_mem::Cache`); `btb_lens[set]` live entries per row.
+    btb: Vec<u64>,
+    btb_lens: Vec<u8>,
+    /// `sets - 1` (sets are a power of two, so set selection is a mask,
+    /// not a division).
+    btb_set_mask: usize,
     /// Return address stack (depth only; targets are exact in the trace).
     ras_depth: usize,
     /// Count of RAS overflows (pushes beyond capacity corrupt the stack).
@@ -105,16 +111,19 @@ impl TournamentPredictor {
         let local_pattern_entries = 1usize << cfg.local_history_bits;
         let global_entries = 1usize << cfg.global_history_bits;
         let btb_sets = cfg.btb_entries / cfg.btb_ways;
+        assert!(btb_sets.is_power_of_two(), "BTB sets must be 2^n");
         TournamentPredictor {
-            cfg,
             local_history: vec![0; cfg.local_entries],
             local_pattern: vec![Counter2::WEAKLY_TAKEN; local_pattern_entries],
             global: vec![Counter2::WEAKLY_TAKEN; global_entries],
             chooser: vec![Counter2::WEAKLY_TAKEN; global_entries],
             ghr: 0,
-            btb: vec![Vec::new(); btb_sets],
+            btb: vec![0; btb_sets * cfg.btb_ways],
+            btb_lens: vec![0; btb_sets],
+            btb_set_mask: btb_sets - 1,
             ras_depth: 0,
             ras_corrupted: 0,
+            cfg,
         }
     }
 
@@ -178,23 +187,32 @@ impl TournamentPredictor {
     }
 
     fn btb_set(&self, pc: u64) -> usize {
-        (pc >> 2) as usize % self.btb.len()
+        (pc >> 2) as usize & self.btb_set_mask
     }
 
     fn btb_hit(&self, pc: u64) -> bool {
-        self.btb[self.btb_set(pc)].contains(&pc)
+        let base = self.btb_set(pc) * self.cfg.btb_ways;
+        let len = self.btb_lens[self.btb_set(pc)] as usize;
+        self.btb[base..base + len].contains(&pc)
     }
 
     fn btb_install(&mut self, pc: u64) {
         let ways = self.cfg.btb_ways;
         let set_idx = self.btb_set(pc);
-        let set = &mut self.btb[set_idx];
-        if let Some(pos) = set.iter().position(|&t| t == pc) {
-            set.remove(pos);
-        } else if set.len() == ways {
-            set.pop();
+        let base = set_idx * ways;
+        let mut len = self.btb_lens[set_idx] as usize;
+        let row = &mut self.btb[base..base + len];
+        if let Some(pos) = row.iter().position(|&t| t == pc) {
+            // Refresh to MRU.
+            row[..=pos].rotate_right(1);
+            return;
         }
-        set.insert(0, pc);
+        if len < ways {
+            len += 1;
+            self.btb_lens[set_idx] = len as u8;
+        }
+        self.btb[base..base + len].rotate_right(1);
+        self.btb[base] = pc;
     }
 
     /// Records a call: pushes the RAS. Returns beyond capacity corrupt the

@@ -30,17 +30,22 @@ fn hashed_bool(key: u64, p: f64) -> bool {
     (hash64(key) as f64 / u64::MAX as f64) < p
 }
 
-/// Per-wavefront execution state.
-#[derive(Debug)]
-struct Wave {
-    /// Global wavefront id (stable across configurations).
-    id: u64,
-    pc: usize,
-    /// Completion time of the previous instruction (scoreboard).
-    prev_done: u64,
-    /// Earliest cycle the wavefront may issue again (SIMD occupancy).
-    next_issue: u64,
-    rfc: Option<RfCache>,
+/// Per-wavefront execution state, struct-of-arrays: the issue scan is a
+/// dense walk over small parallel vectors (`pc`, `next_issue`,
+/// `prev_done`) instead of hopping across per-wave structs, and the
+/// rarely-touched fields (`id`, RF caches) stay out of the scanned
+/// lines.
+struct WavePool {
+    /// Global wavefront ids (stable across configurations).
+    id: Vec<u64>,
+    pc: Vec<u32>,
+    /// Completion time of each wavefront's previous instruction
+    /// (scoreboard).
+    prev_done: Vec<u64>,
+    /// Earliest cycle each wavefront may issue again (SIMD occupancy).
+    next_issue: Vec<u64>,
+    /// Per-wave RF caches; empty when the config has none.
+    rfc: Vec<RfCache>,
 }
 
 /// Runs `wave_count` wavefronts of `kernel` on one compute unit.
@@ -71,41 +76,65 @@ pub fn run_cu(
     // effects, which are small for the launch sizes used).
     let resident = cfg.waves_per_cu.min(wave_count);
     let batches = wave_count.div_ceil(resident);
+    let kernel_len = u32::try_from(kernel.len()).expect("kernel fits in u32 pcs");
     let mut cycle: u64 = 0;
+    let mut skipped_cycles: u64 = 0;
+    let mut wakeup_jumps: u64 = 0;
 
     for batch in 0..batches {
-        let waves_in_batch = resident.min(wave_count - batch * resident);
-        let mut waves: Vec<Wave> = (0..waves_in_batch)
-            .map(|w| Wave {
-                id: seed ^ hash64(u64::from(batch * resident + w)),
-                pc: 0,
-                prev_done: 0,
-                next_issue: cycle,
-                rfc: cfg.rf_cache.map(|c| RfCache::new(c.entries as usize)),
-            })
-            .collect();
+        let n = resident.min(wave_count - batch * resident) as usize;
+        let mut pool = WavePool {
+            id: (0..n as u32)
+                .map(|w| seed ^ hash64(u64::from(batch * resident + w)))
+                .collect(),
+            pc: vec![0; n],
+            prev_done: vec![0; n],
+            next_issue: vec![cycle; n],
+            rfc: match cfg.rf_cache {
+                Some(c) => (0..n).map(|_| RfCache::new(c.entries as usize)).collect(),
+                None => Vec::new(),
+            },
+        };
         let mut rr = 0usize;
-        let mut remaining = waves.len();
+        let mut remaining = n;
         while remaining > 0 {
+            // Round-robin scan for the first issuable wavefront. The
+            // next-event search is folded into the scan: if every
+            // wavefront refuses, `next_ready` already holds the
+            // earliest cycle one could issue, so the idle jump below
+            // needs no second pass over the pool.
             let mut issued = false;
-            for k in 0..waves.len() {
-                let i = (rr + k) % waves.len();
-                let done = {
-                    let w = &waves[i];
-                    w.pc >= kernel.len()
-                };
-                if done {
+            let mut next_ready = u64::MAX;
+            for k in 0..n {
+                let mut i = rr + k;
+                if i >= n {
+                    i -= n;
+                }
+                let pc = pool.pc[i];
+                if pc >= kernel_len {
                     continue;
                 }
-                let inst = kernel[waves[i].pc];
-                let w = &mut waves[i];
-                if w.next_issue > cycle || (inst.dep_on_prev && w.prev_done > cycle) {
+                let inst = kernel[pc as usize];
+                let dep = if inst.dep_on_prev {
+                    pool.prev_done[i]
+                } else {
+                    0
+                };
+                let ready = pool.next_issue[i].max(dep);
+                if ready > cycle {
+                    next_ready = next_ready.min(ready);
                     continue;
                 }
                 // ---- Issue this wavefront instruction ----
-                let read_latency =
-                    read_sources(cfg, w, &inst, &mut stats, threads, fast_regs.as_ref());
-                if let (Some(dst), Some(rfc)) = (inst.dst, w.rfc.as_mut()) {
+                let read_latency = read_sources(
+                    cfg,
+                    pool.rfc.get_mut(i),
+                    &inst,
+                    &mut stats,
+                    threads,
+                    fast_regs.as_ref(),
+                );
+                if let (Some(dst), Some(rfc)) = (inst.dst, pool.rfc.get_mut(i)) {
                     let evict_before = rfc.evictions();
                     rfc.write(dst);
                     stats.rf_cache_accesses += threads;
@@ -127,7 +156,9 @@ pub fn run_cu(
                     }
                     GpuOp::Mem => {
                         stats.mem_insts += 1;
-                        let key = w.id.wrapping_mul(0x1000_0001).wrapping_add(w.pc as u64);
+                        let key = pool.id[i]
+                            .wrapping_mul(0x1000_0001)
+                            .wrapping_add(u64::from(pc));
                         if hashed_bool(key, profile.mem_miss_rate) {
                             stats.dram_accesses += 1;
                             u64::from(cfg.mem_miss_latency)
@@ -141,43 +172,41 @@ pub fn run_cu(
                         u64::from(cfg.lds_latency)
                     }
                 };
-                w.prev_done = cycle + read_latency + fu_latency;
-                w.next_issue = cycle + issue_occupancy;
-                w.pc += 1;
+                pool.prev_done[i] = cycle + read_latency + fu_latency;
+                pool.next_issue[i] = cycle + issue_occupancy;
+                pool.pc[i] = pc + 1;
                 stats.wavefront_insts += 1;
-                if w.pc >= kernel.len() {
+                if pc + 1 >= kernel_len {
                     remaining -= 1;
                 }
-                rr = (i + 1) % waves.len();
+                rr = i + 1;
+                if rr == n {
+                    rr = 0;
+                }
                 issued = true;
                 break;
             }
             if !issued {
                 // Skip ahead to the next event rather than ticking idle
                 // cycles one by one.
-                let next = waves
-                    .iter()
-                    .filter(|w| w.pc < kernel.len())
-                    .map(|w| {
-                        let dep = if kernel[w.pc].dep_on_prev {
-                            w.prev_done
-                        } else {
-                            0
-                        };
-                        w.next_issue.max(dep)
-                    })
-                    .min()
-                    .expect("remaining > 0 implies an unfinished wave");
-                cycle = next.max(cycle + 1);
+                assert!(
+                    next_ready != u64::MAX,
+                    "remaining > 0 implies an unfinished wave"
+                );
+                let next = next_ready.max(cycle + 1);
+                skipped_cycles += next - (cycle + 1);
+                wakeup_jumps += 1;
+                cycle = next;
                 continue;
             }
             cycle += 1;
         }
         // Drain the batch: the batch ends when its slowest wavefront's
         // last instruction completes.
-        let drain = waves.iter().map(|w| w.prev_done).max().unwrap_or(cycle);
+        let drain = pool.prev_done.iter().copied().max().unwrap_or(cycle);
         cycle = cycle.max(drain);
     }
+    crate::telemetry::record(skipped_cycles, wakeup_jumps);
     stats.cycles = cycle;
     stats
 }
@@ -186,7 +215,7 @@ pub fn run_cu(
 /// returning the register-read latency and counting energy events.
 fn read_sources(
     cfg: &GpuConfig,
-    w: &mut Wave,
+    mut rfc: Option<&mut RfCache>,
     inst: &GpuInst,
     stats: &mut GpuStats,
     threads: u64,
@@ -194,7 +223,7 @@ fn read_sources(
 ) -> u64 {
     let mut latency = 0u64;
     for src in inst.srcs.into_iter().flatten() {
-        let lat = match (w.rfc.as_mut(), cfg.rf_cache) {
+        let lat = match (rfc.as_deref_mut(), cfg.rf_cache) {
             (Some(rfc), Some(rfc_cfg)) => {
                 if rfc.read(src) {
                     stats.rf_cache_hits += threads;

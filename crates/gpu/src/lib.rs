@@ -24,6 +24,8 @@
 //! * [`cu`] — one compute unit: wavefront pool, scoreboard, issue.
 //! * [`gpu`] — the whole GPU: wavefront distribution over CUs.
 //! * [`stats`] — event counters for the GPUWattch-like energy model.
+//! * [`telemetry`] — process-global idle-skip counters for the
+//!   event-driven CU step (surfaced under `runner.timing.*`).
 //!
 //! # Example
 //!
@@ -47,6 +49,7 @@ pub mod partitioned;
 pub mod rfcache;
 pub mod schedule;
 pub mod stats;
+pub mod telemetry;
 
 pub use config::GpuConfig;
 pub use gpu::{Gpu, GpuRunResult};

@@ -1,0 +1,63 @@
+//! Process-global telemetry for the event-driven CU step.
+//!
+//! The compute unit's idle-cycle jump (see [`crate::cu`]) is a pure
+//! performance device: it must never change a single `GpuStats`
+//! counter, so its own accounting cannot live there (outcome layouts
+//! are pinned by the result-cache schema and the regression baselines).
+//! Instead each finished CU run folds its skip totals into these
+//! relaxed process-wide atomics, and the CLI surfaces them under the
+//! machine-dependent `runner.timing.*` section of the stats dump —
+//! exempt from the regression diff by the same policy that covers the
+//! wall-time histograms.
+//!
+//! One atomic add per *run* (not per skip), so the hot loop never
+//! touches shared cache lines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SKIPPED_CYCLES: AtomicU64 = AtomicU64::new(0);
+static WAKEUP_JUMPS: AtomicU64 = AtomicU64::new(0);
+
+/// Folds one CU run's skip totals in: `skipped` idle cycles elided
+/// across `jumps` next-event jumps.
+pub fn record(skipped: u64, jumps: u64) {
+    if skipped == 0 && jumps == 0 {
+        return;
+    }
+    SKIPPED_CYCLES.fetch_add(skipped, Ordering::Relaxed);
+    WAKEUP_JUMPS.fetch_add(jumps, Ordering::Relaxed);
+}
+
+/// Total idle cycles skipped by every CU run since the last [`reset`].
+pub fn skipped_cycles() -> u64 {
+    SKIPPED_CYCLES.load(Ordering::Relaxed)
+}
+
+/// Total next-event jumps taken by every CU run since the last
+/// [`reset`].
+pub fn wakeup_jumps() -> u64 {
+    WAKEUP_JUMPS.load(Ordering::Relaxed)
+}
+
+/// Zeroes both totals (start of a measured region).
+pub fn reset() {
+    SKIPPED_CYCLES.store(0, Ordering::Relaxed);
+    WAKEUP_JUMPS.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Other tests in this crate run CUs concurrently (which also
+    /// record), so only delta-monotonicity is assertable here.
+    #[test]
+    fn record_accumulates() {
+        let before_skipped = skipped_cycles();
+        let before_jumps = wakeup_jumps();
+        record(100, 3);
+        record(50, 1);
+        assert!(skipped_cycles() >= before_skipped + 150);
+        assert!(wakeup_jumps() >= before_jumps + 4);
+    }
+}

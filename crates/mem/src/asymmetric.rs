@@ -155,9 +155,7 @@ impl AsymmetricCache {
     pub fn prewarm(&mut self, base: u64, working_set_bytes: u64) {
         let line = self.slow.config().line_bytes;
         let slow_lines = self.slow.config().size_bytes.min(working_set_bytes) / line;
-        for i in 0..slow_lines {
-            self.slow.fill(base + i * line, false);
-        }
+        self.slow.prewarm_sequential(base, slow_lines);
         let fast_lines = self.fast.config().size_bytes.min(working_set_bytes) / line;
         for i in 0..fast_lines {
             // Keep exclusivity: move the head lines fast.

@@ -57,13 +57,6 @@ impl CacheConfig {
     }
 }
 
-/// One resident line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Line {
-    tag: u64,
-    dirty: bool,
-}
-
 /// Result of a cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessOutcome {
@@ -83,22 +76,53 @@ pub struct RemovedLine {
 }
 
 /// A set-associative write-back cache.
+///
+/// Storage is a flat `sets x ways` matrix of packed line words: the
+/// live lines of set `s` are `words[s*ways..s*ways+lens[s]]`, ordered
+/// MRU-first, each word holding `(tag << 1) | dirty`. A tag probe scans
+/// a short contiguous `u64` slice and an LRU touch is one `copy_within`
+/// memmove — no per-set heap indirection, no element shuffling through
+/// `Vec::remove`/`insert`, and no second parallel array for the dirty
+/// bit. Set/tag extraction is shift-and-mask (geometry is asserted
+/// power-of-two at construction), not division: this sits on the
+/// simulator's per-load critical path.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    /// `sets[s]` is ordered MRU-first; length <= ways.
-    sets: Vec<Vec<Line>>,
+    /// `log2(line_bytes)`.
+    line_shift: u32,
+    /// `sets - 1`.
+    set_mask: u64,
+    /// `log2(sets)`.
+    tag_shift: u32,
+    ways: usize,
+    /// Packed `(tag << 1) | dirty` words, MRU-first within each set's
+    /// `ways`-wide row.
+    words: Vec<u64>,
+    /// Live lines per set (<= ways).
+    lens: Vec<u8>,
     stats: CacheStats,
 }
 
 impl Cache {
     /// Creates an empty cache.
     pub fn new(cfg: CacheConfig) -> Self {
-        let sets = vec![Vec::with_capacity(cfg.ways as usize); cfg.sets() as usize];
+        let sets = cfg.sets();
+        assert!(
+            sets.is_power_of_two() && cfg.line_bytes.is_power_of_two(),
+            "cache geometry must be power-of-two"
+        );
+        assert!(cfg.ways <= u32::from(u8::MAX), "associativity fits in u8");
+        let slots = sets as usize * cfg.ways as usize;
         Cache {
-            cfg,
-            sets,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+            tag_shift: sets.trailing_zeros(),
+            ways: cfg.ways as usize,
+            words: vec![0; slots],
+            lens: vec![0; sets as usize],
             stats: CacheStats::default(),
+            cfg,
         }
     }
 
@@ -112,15 +136,37 @@ impl Cache {
         &self.stats
     }
 
+    #[inline]
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.cfg.line_bytes;
-        let set = (line % self.cfg.sets()) as usize;
-        let tag = line / self.cfg.sets();
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.tag_shift;
+        debug_assert!(tag < 1 << 63, "tag must leave bit 63 free for packing");
         (set, tag)
     }
 
+    #[inline]
     fn line_addr(&self, set: usize, tag: u64) -> u64 {
-        (tag * self.cfg.sets() + set as u64) * self.cfg.line_bytes
+        ((tag << self.tag_shift) | set as u64) << self.line_shift
+    }
+
+    /// Position of `tag` among set `set`'s live lines (MRU-first).
+    #[inline]
+    fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.ways;
+        self.words[base..base + self.lens[set] as usize]
+            .iter()
+            .position(|&w| w >> 1 == tag)
+    }
+
+    /// Moves the line at `pos` to the MRU front of its set, merging
+    /// `is_write` into its dirty bit.
+    #[inline]
+    fn touch(&mut self, set: usize, pos: usize, is_write: bool) {
+        let base = set * self.ways;
+        let w = self.words[base + pos] | u64::from(is_write);
+        self.words.copy_within(base..base + pos, base + 1);
+        self.words[base] = w;
     }
 
     /// Accesses `addr`; on a miss the line is allocated (write-allocate),
@@ -131,12 +177,9 @@ impl Cache {
             self.stats.writes += 1;
         }
         let (set, tag) = self.set_and_tag(addr);
-        let lines = &mut self.sets[set];
-        if let Some(pos) = lines.iter().position(|l| l.tag == tag) {
+        if let Some(pos) = self.find(set, tag) {
             self.stats.hits += 1;
-            let mut line = lines.remove(pos);
-            line.dirty |= is_write;
-            lines.insert(0, line);
+            self.touch(set, pos, is_write);
             return AccessOutcome {
                 hit: true,
                 writeback: None,
@@ -153,7 +196,7 @@ impl Cache {
     /// Checks residency without updating LRU or stats.
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        self.sets[set].iter().any(|l| l.tag == tag)
+        self.find(set, tag).is_some()
     }
 
     /// Records a demand access in the statistics without touching cache
@@ -175,12 +218,10 @@ impl Cache {
     /// resident. Returns whether the line was present.
     pub fn mark_used(&mut self, addr: u64, is_write: bool) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        let Some(pos) = self.sets[set].iter().position(|l| l.tag == tag) else {
+        let Some(pos) = self.find(set, tag) else {
             return false;
         };
-        let mut line = self.sets[set].remove(pos);
-        line.dirty |= is_write;
-        self.sets[set].insert(0, line);
+        self.touch(set, pos, is_write);
         true
     }
 
@@ -188,12 +229,41 @@ impl Cache {
     /// accept a new line right now (`None` if the set has a free way).
     pub fn occupant_of_set(&self, addr: u64) -> Option<u64> {
         let (set, _) = self.set_and_tag(addr);
-        let lines = &self.sets[set];
-        if lines.len() < self.cfg.ways as usize {
+        let len = self.lens[set] as usize;
+        if len < self.ways {
             None
         } else {
-            lines.last().map(|l| self.line_addr(set, l.tag))
+            Some(self.line_addr(set, self.words[set * self.ways + len - 1] >> 1))
         }
+    }
+
+    /// Bulk-installs `n_lines` consecutive clean lines starting at `base`:
+    /// exactly equivalent (final state and statistics) to calling
+    /// `fill(base + i * line_bytes, false)` for `i` in `0..n_lines`, but
+    /// linear-time with no per-line LRU rotation — walking the lines
+    /// newest-first writes each set's row directly in MRU order, and any
+    /// line beyond a set's associativity is precisely the (clean, so
+    /// silently dropped) victim the literal loop would have evicted.
+    /// Falls back to that literal loop if the cache is not empty, where
+    /// the bulk construction's cold-set assumption breaks.
+    pub fn prewarm_sequential(&mut self, base: u64, n_lines: u64) {
+        if self.lens.iter().any(|&l| l != 0) {
+            for i in 0..n_lines {
+                self.fill(base + (i << self.line_shift), false);
+            }
+            return;
+        }
+        let line0 = base >> self.line_shift;
+        for i in (0..n_lines).rev() {
+            let line = line0 + i;
+            let set = (line & self.set_mask) as usize;
+            let len = self.lens[set] as usize;
+            if len < self.ways {
+                self.words[set * self.ways + len] = (line >> self.tag_shift) << 1;
+                self.lens[set] = len as u8 + 1;
+            }
+        }
+        self.stats.fills += n_lines;
     }
 
     /// Inserts a line (MRU position) without counting an access — used for
@@ -201,11 +271,9 @@ impl Cache {
     /// Returns the dirty victim's address, if any.
     pub fn fill(&mut self, addr: u64, dirty: bool) -> Option<u64> {
         let (set, tag) = self.set_and_tag(addr);
-        if let Some(pos) = self.sets[set].iter().position(|l| l.tag == tag) {
+        if let Some(pos) = self.find(set, tag) {
             // Already resident: merge dirtiness, refresh LRU.
-            let mut line = self.sets[set].remove(pos);
-            line.dirty |= dirty;
-            self.sets[set].insert(0, line);
+            self.touch(set, pos, dirty);
             return None;
         }
         self.install(set, tag, dirty)
@@ -213,16 +281,23 @@ impl Cache {
 
     fn install(&mut self, set: usize, tag: u64, dirty: bool) -> Option<u64> {
         self.stats.fills += 1;
-        let ways = self.cfg.ways as usize;
+        let base = set * self.ways;
         let mut writeback = None;
-        if self.sets[set].len() == ways {
-            let victim = self.sets[set].pop().expect("full set has a victim");
-            if victim.dirty {
+        let mut len = self.lens[set] as usize;
+        if len == self.ways {
+            // Full set: the LRU line at the back is the victim; the
+            // shift below recycles its slot for the new MRU line.
+            let victim = self.words[base + len - 1];
+            if victim & 1 != 0 {
                 self.stats.writebacks += 1;
-                writeback = Some(self.line_addr(set, victim.tag));
+                writeback = Some(self.line_addr(set, victim >> 1));
             }
+        } else {
+            len += 1;
+            self.lens[set] = len as u8;
         }
-        self.sets[set].insert(0, Line { tag, dirty });
+        self.words.copy_within(base..base + len - 1, base + 1);
+        self.words[base] = (tag << 1) | u64::from(dirty);
         writeback
     }
 
@@ -230,17 +305,22 @@ impl Cache {
     /// for promotions into a FastCache and for coherence invalidations.
     pub fn remove(&mut self, addr: u64) -> Option<RemovedLine> {
         let (set, tag) = self.set_and_tag(addr);
-        let pos = self.sets[set].iter().position(|l| l.tag == tag)?;
-        let line = self.sets[set].remove(pos);
-        Some(RemovedLine {
+        let pos = self.find(set, tag)?;
+        let base = set * self.ways;
+        let len = self.lens[set] as usize;
+        let removed = RemovedLine {
             addr: self.line_addr(set, tag),
-            dirty: line.dirty,
-        })
+            dirty: self.words[base + pos] & 1 != 0,
+        };
+        self.words
+            .copy_within(base + pos + 1..base + len, base + pos);
+        self.lens[set] = (len - 1) as u8;
+        Some(removed)
     }
 
     /// Number of resident lines.
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// The line-aligned address of `addr`.
@@ -255,19 +335,24 @@ impl Cache {
     pub fn validate(&self, level: &str, checker: &mut hetsim_check::Checker) {
         crate::stats::validate_cache_stats(level, &self.stats, checker);
         checker.scoped(level, |c| {
-            for (set, lines) in self.sets.iter().enumerate() {
+            for (set, &len) in self.lens.iter().enumerate() {
+                let len = len as usize;
                 c.le_u64(
                     "mem.set_occupancy",
-                    (&format!("set[{set}].len"), lines.len() as u64),
+                    (&format!("set[{set}].len"), len as u64),
                     ("ways", u64::from(self.cfg.ways)),
                 );
-                let mut tags: Vec<u64> = lines.iter().map(|l| l.tag).collect();
+                let base = set * self.ways;
+                let mut tags: Vec<u64> = self.words[base..base + len]
+                    .iter()
+                    .map(|&w| w >> 1)
+                    .collect();
                 tags.sort_unstable();
                 tags.dedup();
                 c.eq_u64(
                     "mem.unique_tags",
                     (&format!("set[{set}] distinct tags"), tags.len() as u64),
-                    ("resident lines", lines.len() as u64),
+                    ("resident lines", len as u64),
                 );
             }
         });
@@ -281,6 +366,66 @@ mod tests {
     fn small() -> Cache {
         // 4 sets x 2 ways x 64 B = 512 B.
         Cache::new(CacheConfig::new(512, 2, 64, 1))
+    }
+
+    /// The bulk prewarm must be observably identical to the literal
+    /// fill loop it replaces: same residency, same MRU/victim order,
+    /// same statistics — including when the span only partially fills
+    /// the sets and when it exceeds capacity (clean evictions).
+    #[test]
+    fn prewarm_sequential_matches_fill_loop() {
+        for n_lines in [0u64, 3, 7, 8, 11, 16] {
+            let mut bulk = small();
+            let mut looped = small();
+            bulk.prewarm_sequential(0, n_lines);
+            for i in 0..n_lines {
+                looped.fill(i * 64, false);
+            }
+            assert_eq!(bulk.stats(), looped.stats(), "n={n_lines}");
+            for i in 0..n_lines {
+                assert_eq!(
+                    bulk.probe(i * 64),
+                    looped.probe(i * 64),
+                    "n={n_lines} line {i}"
+                );
+            }
+            // Same LRU state: a conflicting install must evict the same
+            // victim from both.
+            for probe_set in 0..4u64 {
+                bulk.fill(0x1000 + probe_set * 64, false);
+                looped.fill(0x1000 + probe_set * 64, false);
+            }
+            for i in 0..n_lines {
+                assert_eq!(
+                    bulk.probe(i * 64),
+                    looped.probe(i * 64),
+                    "post-evict n={n_lines}"
+                );
+            }
+            let mut checker = hetsim_check::Checker::new();
+            bulk.validate("bulk", &mut checker);
+            assert!(
+                checker.into_violations().is_empty(),
+                "bulk state is well formed (n={n_lines})"
+            );
+        }
+    }
+
+    /// On a non-empty cache the bulk path falls back to literal fills.
+    #[test]
+    fn prewarm_sequential_fallback_on_warm_cache() {
+        let mut warm = small();
+        warm.access(0x40, true);
+        let mut looped = small();
+        looped.access(0x40, true);
+        warm.prewarm_sequential(0, 8);
+        for i in 0..8 {
+            looped.fill(i * 64, false);
+        }
+        assert_eq!(warm.stats(), looped.stats());
+        for i in 0..8u64 {
+            assert_eq!(warm.probe(i * 64), looped.probe(i * 64));
+        }
     }
 
     #[test]

@@ -226,9 +226,7 @@ impl Hierarchy {
         let line = self.l3.config().line_bytes;
         let fill_lines = |cache: &mut Cache, bytes: u64| {
             let n = bytes.min(working_set_bytes) / line;
-            for i in 0..n {
-                cache.fill(base + i * line, false);
-            }
+            cache.prewarm_sequential(base, n);
         };
         let l3_capacity = self.l3.config().size_bytes;
         let l2_capacity = self.l2.config().size_bytes;

@@ -28,6 +28,13 @@ pub struct RunnerTiming {
     pub simulate_us: Histogram,
     /// Time spent writing the outcome back to the cache (misses only).
     pub cache_write_us: Histogram,
+    /// Dead cycles elided by the event-driven simulator step (folded in
+    /// from the simulator's process-global telemetry by the CLI; zero
+    /// unless the caller attaches it).
+    pub skipped_cycles: u64,
+    /// Next-event jumps taken by the event-driven simulator step (same
+    /// provenance as `skipped_cycles`).
+    pub wakeup_jumps: u64,
 }
 
 impl RunnerTiming {
@@ -38,14 +45,19 @@ impl RunnerTiming {
         self.cache_lookup_us.merge(&other.cache_lookup_us);
         self.simulate_us.merge(&other.simulate_us);
         self.cache_write_us.merge(&other.cache_write_us);
+        self.skipped_cycles += other.skipped_cycles;
+        self.wakeup_jumps += other.wakeup_jumps;
     }
 
-    /// `true` when no phase has recorded a sample.
+    /// `true` when no phase has recorded a sample and no skip counter
+    /// is set.
     pub fn is_empty(&self) -> bool {
         self.queue_wait_us.is_empty()
             && self.cache_lookup_us.is_empty()
             && self.simulate_us.is_empty()
             && self.cache_write_us.is_empty()
+            && self.skipped_cycles == 0
+            && self.wakeup_jumps == 0
     }
 }
 
@@ -56,6 +68,8 @@ impl Serialize for RunnerTiming {
             ("cache_lookup_us".into(), self.cache_lookup_us.to_value()),
             ("simulate_us".into(), self.simulate_us.to_value()),
             ("cache_write_us".into(), self.cache_write_us.to_value()),
+            ("skipped_cycles".into(), Value::UInt(self.skipped_cycles)),
+            ("wakeup_jumps".into(), Value::UInt(self.wakeup_jumps)),
         ])
     }
 }
@@ -71,11 +85,23 @@ mod tests {
         let mut b = RunnerTiming::default();
         b.cache_lookup_us.record(20);
         b.simulate_us.record(1000);
+        b.skipped_cycles = 40;
+        b.wakeup_jumps = 4;
         a.merge(&b);
         assert_eq!(a.cache_lookup_us.count(), 2);
         assert_eq!(a.simulate_us.count(), 1);
         assert!(a.queue_wait_us.is_empty());
+        assert_eq!(a.skipped_cycles, 40);
+        assert_eq!(a.wakeup_jumps, 4);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn skip_counters_alone_make_it_non_empty() {
+        let mut t = RunnerTiming::default();
+        assert!(t.is_empty());
+        t.skipped_cycles = 1;
+        assert!(!t.is_empty());
     }
 
     #[test]
@@ -92,7 +118,9 @@ mod tests {
                 "queue_wait_us",
                 "cache_lookup_us",
                 "simulate_us",
-                "cache_write_us"
+                "cache_write_us",
+                "skipped_cycles",
+                "wakeup_jumps"
             ]
         );
     }

@@ -1,0 +1,276 @@
+//! Memoized trace replay for design-space sweeps.
+//!
+//! A [`crate::stream::TraceGenerator`] stream is a pure function of
+//! `(profile, seed, thread)` — it does not depend on the core design being
+//! simulated. Campaign sweeps (e.g. the paper's Figure 7: 14 apps x 11
+//! designs) therefore regenerate the *identical* instruction stream once
+//! per design, and generation is a large fraction of simulator wall time
+//! (the stream's RNG-driven control flow defeats the host branch
+//! predictor). [`replay`] memoizes the materialized stream per
+//! `(profile, seed, thread)` and hands out cheap replay iterators over a
+//! shared slice, so a sweep pays for generation once.
+//!
+//! # Equivalence
+//!
+//! A replay yields exactly the prefix of the generator's stream that was
+//! materialized. Callers state an upper bound on how many instructions the
+//! run can pull (committed instructions plus any lookahead the dispatch
+//! stage keeps); the cache materializes at least that many, so the
+//! simulated core observes the same instruction at every pull as it would
+//! from a fresh generator. Requests beyond [`MAX_CACHED_INSTS`] fall back
+//! to streaming generation rather than holding giant traces resident.
+//!
+//! The memo is thread-local: parallel runners each keep their own small
+//! cache (entries are evicted LRU beyond [`MAX_ENTRIES`] keys), so no
+//! locking sits on the hot path and cross-thread sharing never blocks.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::isa::Inst;
+use crate::profile::WorkloadProfile;
+use crate::stream::TraceGenerator;
+
+/// Total materialized instructions kept resident across all keys. A full
+/// campaign (14 apps x serial + parallel seeds at figure scale) sums to a
+/// few tens of millions, so a whole sweep — including its repeat runs —
+/// replays from memory; beyond the budget, least-recently-used keys are
+/// evicted whole.
+const MAX_TOTAL_INSTS: u64 = 64_000_000;
+
+/// Longest per-thread trace worth materializing (beyond this, streaming
+/// regeneration beats holding the trace resident).
+const MAX_CACHED_INSTS: u64 = 8_000_000;
+
+struct ThreadTrace {
+    /// Generator positioned exactly `insts.len()` draws into the stream.
+    generator: TraceGenerator,
+    insts: Arc<Vec<Inst>>,
+}
+
+struct Entry {
+    profile: WorkloadProfile,
+    seed: u64,
+    /// Indexed by thread id; `None` until that thread's stream is first
+    /// requested.
+    threads: Vec<Option<ThreadTrace>>,
+    /// LRU stamp (monotonic use counter).
+    stamp: u64,
+}
+
+thread_local! {
+    static CACHE: RefCell<(u64, Vec<Entry>)> = const { RefCell::new((0, Vec::new())) };
+}
+
+/// An iterator over a thread's instruction stream: either a replay of the
+/// memoized prefix or a fresh streaming generator (cache bypass).
+// One value is built per run and then only iterated in place, so the
+// size skew between the variants never hits a hot move; boxing `Fresh`
+// would instead add a pointer chase to every `next()` on the bypass
+// path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum CachedTrace {
+    /// Replays the shared materialized stream.
+    Replay(Replay),
+    /// Streams from a fresh generator (request exceeded the cache bound).
+    Fresh(TraceGenerator),
+}
+
+impl Iterator for CachedTrace {
+    type Item = Inst;
+
+    #[inline]
+    fn next(&mut self) -> Option<Inst> {
+        match self {
+            CachedTrace::Replay(r) => r.next(),
+            CachedTrace::Fresh(g) => g.next(),
+        }
+    }
+}
+
+/// Replay of a memoized stream prefix.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    insts: Arc<Vec<Inst>>,
+    pos: usize,
+}
+
+impl Iterator for Replay {
+    type Item = Inst;
+
+    #[inline]
+    fn next(&mut self) -> Option<Inst> {
+        let i = self.insts.get(self.pos).copied();
+        self.pos += 1;
+        i
+    }
+}
+
+/// The instruction stream of `thread` for `(profile, seed)`, guaranteed to
+/// yield at least `min_len` instructions before ending (the memoized
+/// prefix is extended on demand and shared across calls).
+///
+/// `min_len` must upper-bound the number of instructions the caller will
+/// pull; pulls past it may see the stream end early (a fresh
+/// [`TraceGenerator`] never ends).
+///
+/// # Panics
+///
+/// Panics if the profile fails validation.
+pub fn replay(profile: &WorkloadProfile, seed: u64, thread: u32, min_len: u64) -> CachedTrace {
+    replay_budgeted(profile, seed, thread, min_len, MAX_TOTAL_INSTS)
+}
+
+fn replay_budgeted(
+    profile: &WorkloadProfile,
+    seed: u64,
+    thread: u32,
+    min_len: u64,
+    budget: u64,
+) -> CachedTrace {
+    if min_len > MAX_CACHED_INSTS {
+        return CachedTrace::Fresh(TraceGenerator::for_thread(profile, seed, thread));
+    }
+    CACHE.with(|cell| {
+        let (stamp, entries) = &mut *cell.borrow_mut();
+        *stamp += 1;
+        let mut idx = match entries
+            .iter()
+            .position(|e| e.seed == seed && e.profile == *profile)
+        {
+            Some(i) => i,
+            None => {
+                entries.push(Entry {
+                    profile: profile.clone(),
+                    seed,
+                    threads: Vec::new(),
+                    stamp: 0,
+                });
+                entries.len() - 1
+            }
+        };
+        // Stay under the global budget: evict whole LRU keys (never the
+        // one being served) until the new request fits.
+        let cached = |e: &Entry| -> u64 {
+            e.threads
+                .iter()
+                .flatten()
+                .map(|t| t.insts.len() as u64)
+                .sum()
+        };
+        let mut total: u64 = entries.iter().map(cached).sum();
+        while total + min_len > budget && entries.len() > 1 {
+            let lru = entries
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != idx)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("more than one entry");
+            total -= cached(&entries[lru]);
+            // `swap_remove` relocates only the old last element (to `lru`).
+            entries.swap_remove(lru);
+            if idx == entries.len() {
+                idx = lru;
+            }
+        }
+        let entry = &mut entries[idx];
+        entry.stamp = *stamp;
+        let t = thread as usize;
+        if entry.threads.len() <= t {
+            entry.threads.resize_with(t + 1, || None);
+        }
+        let slot = entry.threads[t].get_or_insert_with(|| ThreadTrace {
+            generator: TraceGenerator::for_thread(profile, seed, thread),
+            insts: Arc::new(Vec::new()),
+        });
+        if (slot.insts.len() as u64) < min_len {
+            // Extend the shared prefix in place. Outstanding replays from
+            // a previous run have been dropped by now, so `make_mut`
+            // normally extends without copying.
+            let insts = Arc::make_mut(&mut slot.insts);
+            while (insts.len() as u64) < min_len {
+                insts.push(slot.generator.next().expect("generator is infinite"));
+            }
+        }
+        CachedTrace::Replay(Replay {
+            insts: Arc::clone(&slot.insts),
+            pos: 0,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+
+    #[test]
+    fn replay_matches_fresh_generator() {
+        let profile = apps::profile("fft").expect("fft exists");
+        let fresh: Vec<Inst> = TraceGenerator::for_thread(&profile, 77, 2)
+            .take(4000)
+            .collect();
+        let cached: Vec<Inst> = replay(&profile, 77, 2, 4000).take(4000).collect();
+        assert_eq!(fresh, cached);
+    }
+
+    #[test]
+    fn prefix_extends_in_place_and_stays_consistent() {
+        let profile = apps::profile("lu").expect("lu exists");
+        let short: Vec<Inst> = replay(&profile, 5, 0, 100).take(100).collect();
+        let long: Vec<Inst> = replay(&profile, 5, 0, 5000).take(5000).collect();
+        assert_eq!(short, long[..100]);
+        let fresh: Vec<Inst> = TraceGenerator::for_thread(&profile, 5, 0)
+            .take(5000)
+            .collect();
+        assert_eq!(long, fresh);
+    }
+
+    #[test]
+    fn distinct_seeds_and_threads_do_not_collide() {
+        let profile = apps::profile("fft").expect("fft exists");
+        let a: Vec<Inst> = replay(&profile, 1, 0, 500).take(500).collect();
+        let b: Vec<Inst> = replay(&profile, 2, 0, 500).take(500).collect();
+        let c: Vec<Inst> = replay(&profile, 1, 1, 500).take(500).collect();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn eviction_keeps_the_cache_bounded_and_correct() {
+        let profile = apps::profile("fft").expect("fft exists");
+        let expect: Vec<Inst> = TraceGenerator::for_thread(&profile, 100, 0)
+            .take(200)
+            .collect();
+        let first: Vec<Inst> = replay_budgeted(&profile, 100, 0, 200, 1000)
+            .take(200)
+            .collect();
+        // Cycle enough keys through a tiny budget to force whole-key
+        // evictions, then re-request the original: it must regenerate the
+        // same stream from scratch.
+        for seed in 200..220 {
+            let _ = replay_budgeted(&profile, seed, 0, 400, 1000);
+        }
+        let again: Vec<Inst> = replay_budgeted(&profile, 100, 0, 200, 1000)
+            .take(200)
+            .collect();
+        assert_eq!(first, expect);
+        assert_eq!(again, expect);
+    }
+
+    #[test]
+    fn oversized_requests_stream_instead_of_materializing() {
+        let profile = apps::profile("fft").expect("fft exists");
+        let t = replay(&profile, 3, 0, MAX_CACHED_INSTS + 1);
+        assert!(matches!(t, CachedTrace::Fresh(_)));
+        let fresh: Vec<Inst> = TraceGenerator::for_thread(&profile, 3, 0)
+            .take(64)
+            .collect();
+        let streamed: Vec<Inst> = replay(&profile, 3, 0, MAX_CACHED_INSTS + 1)
+            .take(64)
+            .collect();
+        assert_eq!(fresh, streamed);
+    }
+}

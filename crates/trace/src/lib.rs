@@ -45,6 +45,7 @@
 pub mod addr;
 pub mod apps;
 pub mod branch;
+pub mod cache;
 pub mod fuzz;
 pub mod isa;
 pub mod profile;

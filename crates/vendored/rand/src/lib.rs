@@ -90,10 +90,14 @@ macro_rules! impl_int_range {
         impl SampleRange<$t> for Range<$t> {
             fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
-                let span = (self.end as u128).wrapping_sub(self.start as u128);
                 // Modulo reduction: the bias over a u64 draw is far below
-                // anything the stochastic simulators can observe.
-                self.start + (rng.next_u64() as u128 % span) as $t
+                // anything the stochastic simulators can observe. The span
+                // of any range over a <= 64-bit type fits in a u64, so the
+                // reduction stays in hardware-division width (a u128
+                // modulo lowers to a libcall an order of magnitude
+                // slower) — the result is bit-identical.
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + (rng.next_u64() % span) as $t
             }
         }
     )*};
@@ -103,8 +107,10 @@ impl_int_range!(u8, u16, u32, u64, usize);
 impl SampleRange<i64> for Range<i64> {
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> i64 {
         assert!(self.start < self.end, "cannot sample empty range");
-        let span = (self.end as i128 - self.start as i128) as u128;
-        (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as i64
+        // As above: the span fits in a u64, and two's-complement wrapping
+        // reproduces the wide-arithmetic result exactly.
+        let span = (self.end as u64).wrapping_sub(self.start as u64);
+        self.start.wrapping_add((rng.next_u64() % span) as i64)
     }
 }
 

@@ -1,0 +1,165 @@
+//! Old-vs-new equivalence goldens for the simulator-core rewrite.
+//!
+//! The event-driven, struct-of-arrays core must be *counter-exact*
+//! against the cycle-by-cycle implementation it replaced — not just on
+//! headline IPC, but on every `counters!` field of `CoreStats`,
+//! `MemStats`, and `GpuStats`. These tests drive the seeded
+//! `hetsim_trace::fuzz` workload generators (mixes far outside the 14
+//! calibrated applications: div-heavy, branch-heavy, tiny and huge
+//! working sets) through the multicore CPU path and the GPU launch path,
+//! and compare the full counter sets against goldens recorded from the
+//! pre-rewrite implementation.
+//!
+//! Regenerate (only when intentionally changing simulator *semantics*,
+//! never for a pure-performance refactor) with:
+//!
+//! ```sh
+//! STEP_EQUIV_BLESS=1 cargo test --release --offline step_equivalence
+//! ```
+
+use std::fmt::Write as _;
+
+use hetcore_repro::hetcore::config::{CpuDesign, GpuDesign};
+use hetcore_repro::hetsim_cpu::multicore::run_multicore;
+use hetcore_repro::hetsim_gpu::kernel::KernelProfile;
+use hetcore_repro::hetsim_gpu::Gpu;
+use hetcore_repro::hetsim_trace::fuzz;
+
+/// Fuzz seeds pinned into the golden. Each seed runs on a different
+/// design (rotating through the menu), so the golden spans CMOS/TFET
+/// functional units, the asymmetric DL1, and dual-speed ALU steering.
+const SEEDS: [u64; 6] = [1, 2, 3, 5, 8, 13];
+
+/// Instructions per CPU run: enough to fill the ROB many times over,
+/// trigger every structural stall, and reach DRAM on big working sets.
+const CPU_INSTS: u64 = 24_000;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/goldens/step_equivalence.txt"
+);
+
+fn bless_requested() -> bool {
+    std::env::var("STEP_EQUIV_BLESS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Renders every counter of one CPU phase result as stable text lines.
+fn dump_cpu_phase(
+    out: &mut String,
+    seed: u64,
+    design: CpuDesign,
+    phase: &str,
+    r: &hetcore_repro::hetsim_cpu::core::RunResult,
+) {
+    for (name, value) in r.stats.iter() {
+        writeln!(
+            out,
+            "cpu seed={seed} design={} phase={phase} core.{name}={value}",
+            design.name()
+        )
+        .expect("write to string");
+    }
+    for (name, value) in r.mem.iter() {
+        writeln!(
+            out,
+            "cpu seed={seed} design={} phase={phase} mem.{name}={value}",
+            design.name()
+        )
+        .expect("write to string");
+    }
+}
+
+/// The full golden text: CPU multicore runs (serial + parallel phases)
+/// and GPU launches over the fuzzed workloads.
+fn render_current() -> String {
+    let mut out = String::new();
+    for (i, &seed) in SEEDS.iter().enumerate() {
+        let design = CpuDesign::ALL[i % CpuDesign::ALL.len()];
+        let profile = fuzz::workload(seed);
+        let result = run_multicore(&design.core_config(), 2, &profile, seed, CPU_INSTS);
+        if let Some(serial) = &result.serial {
+            dump_cpu_phase(&mut out, seed, design, "serial", serial);
+        }
+        for (t, r) in result.parallel.iter().enumerate() {
+            dump_cpu_phase(&mut out, seed, design, &format!("parallel{t}"), r);
+        }
+    }
+    for (i, &seed) in SEEDS.iter().enumerate() {
+        let design = GpuDesign::ALL[i % GpuDesign::ALL.len()];
+        let mix = fuzz::kernel_mix(seed);
+        let kernel = KernelProfile {
+            name: "step-equivalence",
+            insts_per_wavefront: mix.insts_per_wavefront,
+            wavefronts: mix.wavefronts,
+            valu_frac: mix.valu_frac,
+            mem_frac: mix.mem_frac,
+            lds_frac: mix.lds_frac,
+            dep_prob: mix.dep_prob,
+            reg_reuse: mix.reg_reuse,
+            mem_miss_rate: mix.mem_miss_rate,
+        };
+        let result = Gpu::new(design.gpu_config()).run(&kernel, seed);
+        for (name, value) in result.stats.iter() {
+            writeln!(
+                out,
+                "gpu seed={seed} design={} {name}={value}",
+                design.name()
+            )
+            .expect("write to string");
+        }
+    }
+    out
+}
+
+#[test]
+fn fuzzed_workload_counters_match_pre_rewrite_goldens() {
+    let current = render_current();
+    if bless_requested() {
+        std::fs::write(GOLDEN, &current).expect("write golden");
+        eprintln!("blessed {} lines into {GOLDEN}", current.lines().count());
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN)
+        .expect("golden missing: run once with STEP_EQUIV_BLESS=1 on the reference build");
+    if golden == current {
+        return;
+    }
+    // Report the first few diverging lines, not a 2000-line dump.
+    let mut diffs = golden
+        .lines()
+        .zip(current.lines())
+        .filter(|(g, c)| g != c)
+        .take(10)
+        .map(|(g, c)| format!("  golden:  {g}\n  current: {c}"))
+        .collect::<Vec<_>>();
+    if golden.lines().count() != current.lines().count() {
+        diffs.push(format!(
+            "  line count: golden {} vs current {}",
+            golden.lines().count(),
+            current.lines().count()
+        ));
+    }
+    panic!(
+        "simulator counters diverged from the pre-rewrite goldens ({} first diffs):\n{}",
+        diffs.len(),
+        diffs.join("\n")
+    );
+}
+
+/// The golden must cover both phases of the Amdahl model and both
+/// simulators — guards against a generator change silently emptying it.
+#[test]
+fn golden_spans_every_section() {
+    let golden = std::fs::read_to_string(GOLDEN).expect("golden present");
+    for needle in [
+        "phase=serial",
+        "phase=parallel0",
+        "phase=parallel1",
+        "gpu seed=",
+    ] {
+        assert!(
+            golden.contains(needle),
+            "golden lost its `{needle}` section"
+        );
+    }
+}
