@@ -12,6 +12,9 @@
 //!
 //! * `fig7-cpu-campaign` — the full CPU design x application sweep
 //!   (the figure 7/8/9/13 workload), on a cache-bypassing runner;
+//! * `fig7-sharded` — the same sweep split into two shards by the
+//!   shard protocol's partitioner and merged back by submission index,
+//!   pinning the partition-and-merge overhead;
 //! * `fig10-gpu-campaign` — the full GPU design x kernel sweep
 //!   (figures 10/11/12), same runner mode;
 //! * `fig14-dvfs` — the DVFS / process-variation evaluation loop;
@@ -51,8 +54,9 @@ pub const DEFAULT_REPEATS: u32 = 3;
 /// The pinned scenario names, menu order. Compare joins dumps on these
 /// names, so renaming one orphans its perf trajectory — add, don't
 /// rename.
-pub const SCENARIOS: [&str; 8] = [
+pub const SCENARIOS: [&str; 9] = [
     "fig7-cpu-campaign",
+    "fig7-sharded",
     "fig10-gpu-campaign",
     "fig14-dvfs",
     "micro-cpu-step",
@@ -130,6 +134,54 @@ fn run_fig7(cfg: &BenchConfig) -> u64 {
         .iter()
         .flatten()
         .map(|o| o.committed)
+        .sum()
+}
+
+/// The CPU campaign executed through the shard protocol's partitioner:
+/// the job list splits into two shards by key (the exact partition
+/// `--shards 2` uses), each shard runs on its own bypass runner in a
+/// separate thread, and outcomes merge back into submission order.
+/// Same simulated work as `fig7-cpu-campaign`, so the insts/sec gap
+/// between the two is the partition-and-merge overhead (without the
+/// process-spawn and cache-transport costs of real `--shards`, which
+/// a wall-clock benchmark of subprocesses would smear with exec and
+/// I/O noise). Returns total committed instructions.
+fn run_fig7_sharded(cfg: &BenchConfig) -> u64 {
+    const SHARDS: usize = 2;
+    let jobs = cfg.suite().cpu_campaign_jobs();
+    let total = jobs.len();
+    let mut per_shard: Vec<Vec<(usize, hetsim_runner::Job<crate::experiment::CpuOutcome>)>> =
+        (0..SHARDS).map(|_| Vec::new()).collect();
+    for (index, job) in jobs.into_iter().enumerate() {
+        per_shard[job.key.shard_of(SHARDS)].push((index, job));
+    }
+    let mut slots: Vec<Option<crate::experiment::CpuOutcome>> = (0..total).map(|_| None).collect();
+    let shard_results: Vec<(Vec<usize>, Vec<crate::experiment::CpuOutcome>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = per_shard
+                .into_iter()
+                .map(|shard_jobs| {
+                    let jobs_per_worker = cfg.jobs;
+                    scope.spawn(move || {
+                        let (indices, batch): (Vec<usize>, Vec<_>) = shard_jobs.into_iter().unzip();
+                        let outcomes = bench_runner(jobs_per_worker).run(batch);
+                        (indices, outcomes)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard bench thread panicked"))
+                .collect()
+        });
+    for (indices, outcomes) in shard_results {
+        for (index, outcome) in indices.into_iter().zip(outcomes) {
+            slots[index] = Some(outcome);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("partition is an exact cover").committed)
         .sum()
 }
 
@@ -235,6 +287,7 @@ fn run_micro_event_queue(cfg: &BenchConfig) -> u64 {
 fn run_scenario(name: &str, cfg: &BenchConfig) -> u64 {
     match name {
         "fig7-cpu-campaign" => run_fig7(cfg),
+        "fig7-sharded" => run_fig7_sharded(cfg),
         "fig10-gpu-campaign" => run_fig10(cfg),
         "fig14-dvfs" => run_fig14(cfg),
         "micro-cpu-step" => run_micro_cpu(cfg),
@@ -341,6 +394,19 @@ mod tests {
         for (x, y) in a.scenarios.iter().zip(&b.scenarios) {
             assert_eq!(x.insts, y.insts, "{}: insts must be pinned", x.name);
         }
+    }
+
+    #[test]
+    fn sharded_scenario_simulates_exactly_the_campaign_work() {
+        // The sharded variant measures coordination overhead, not
+        // different work: its committed-instruction total must equal
+        // the plain campaign's, or the two trajectories stop being
+        // comparable.
+        let cfg = tiny();
+        assert_eq!(
+            run_scenario("fig7-sharded", &cfg),
+            run_scenario("fig7-cpu-campaign", &cfg)
+        );
     }
 
     #[test]

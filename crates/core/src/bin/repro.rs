@@ -95,10 +95,13 @@ use hetcore::report::Report;
 use hetcore::suite::{CpuCampaign, Experiment, Extension, GpuCampaign, Suite};
 use hetcore::telemetry::StatsDump;
 use hetsim_check::Checker;
-use hetsim_obs::{chrome_trace, parse_jsonl, validate_events, MonotonicClock, TraceRecorder};
+use hetsim_obs::{
+    chrome_trace, parse_jsonl, stitch_traces, validate_events, MonotonicClock, TraceRecorder,
+};
 use hetsim_runner::{
-    write_atomic, DashboardSink, MultiSink, NullSink, ProgressSink, Runner, StderrSink,
-    TraceEventSink,
+    design_of, fragment_path, manifest_path, supervise, trace_path, write_atomic, DashboardSink,
+    MultiSink, NullSink, ProgressEvent, ProgressSink, Runner, RunnerStats, ShardEventSink,
+    ShardManifest, ShardPolicy, StderrSink, TraceEventSink, WorkerEvent, SHARD_SCHEMA,
 };
 use serde::Serialize as _;
 
@@ -183,7 +186,7 @@ fn progress_sink(mode: Progress, recorder: Option<&Arc<TraceRecorder>>) -> Arc<d
 fn usage() -> String {
     format!(
         "usage: repro [--quick] [--insts N] [--format table|json|csv] [--stats-out PATH] \
-         [--trace-out PATH] [--jobs N] [--cache-dir PATH] \
+         [--trace-out PATH] [--jobs N] [--shards N] [--cache-dir PATH] \
          [--progress[=stderr|dashboard]] [EXPERIMENT]...\n\
          \x20      repro baseline DIR [--insts N] [--jobs N] [--cache-dir PATH] [TARGET]...\n\
          \x20      repro diff BASELINE.json CANDIDATE.json [--format F] [--rel-tol X] \
@@ -194,7 +197,7 @@ fn usage() -> String {
          \x20      repro bench [--quick] [--insts N] [--seed S] [--warmup N] [--repeats N] \
          [--jobs N] [--out BENCH.json] [--format table|json] \
          [--compare BASELINE.json [CANDIDATE.json]] [--rel-tol X | --ratchet]\n\
-         \x20      repro trace-export IN.jsonl OUT.json\n\
+         \x20      repro trace-export IN.jsonl [IN2.jsonl]... OUT.json\n\
          experiments: all, ext, {}\n\
          extensions:  {}",
         Experiment::ALL
@@ -220,6 +223,7 @@ struct Options {
     stats_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     jobs: usize,
+    shards: Option<usize>,
     cache_dir: Option<PathBuf>,
     progress: Progress,
 }
@@ -238,6 +242,7 @@ fn parse(args: &[String]) -> Result<Options, Vec<String>> {
     let mut stats_out = None;
     let mut trace_out = None;
     let mut jobs = None;
+    let mut shards = None;
     let mut cache_dir = None;
     let mut progress = Progress::Quiet;
     let mut errors = Vec::new();
@@ -305,6 +310,14 @@ fn parse(args: &[String]) -> Result<Options, Vec<String>> {
                     }
                 }
             }
+            "--shards" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => shards = Some(n),
+                        _ => errors.push(format!("--shards expects an integer >= 1, got '{v}'")),
+                    }
+                }
+            }
             "--cache-dir" => {
                 if let Some(v) = value(&mut errors) {
                     cache_dir = Some(PathBuf::from(v));
@@ -342,6 +355,7 @@ fn parse(args: &[String]) -> Result<Options, Vec<String>> {
         stats_out,
         trace_out,
         jobs,
+        shards,
         cache_dir,
         progress,
     })
@@ -601,6 +615,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
         Ok(opts) => opts,
         Err(errors) => return fail(&errors),
     };
+    if let Some(shards) = opts.shards {
+        return cmd_run_sharded(opts, shards);
+    }
     // The recorder exists only when a trace was requested; without it
     // the run takes exactly the untraced code path, so headline output
     // stays byte-identical.
@@ -644,6 +661,526 @@ fn cmd_run(args: &[String]) -> ExitCode {
             recorder.events().len(),
             path.display()
         );
+    }
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------
+// Sharded execution (`--shards N`): the shard protocol's supervisor and
+// worker sides. See `hetsim_runner::shard` for the process-independent
+// pieces (partition, manifests, wire events, retry loop).
+//
+// The supervisor never moves outcome values through pipes. Workers
+// execute their shard of the campaign against the *shared*
+// content-addressed cache, commit a manifest, and exit; the supervisor
+// then replays the whole campaign through the ordinary `execute()`
+// path, where every job is answered from the warm cache. Because a
+// cache hit is bit-identical to a fresh simulation and results merge by
+// submission index, the headline stdout and stats dump are the ones a
+// single-process run produces.
+// ---------------------------------------------------------------------
+
+/// Removes an ephemeral shard cache directory on scope exit (kept when
+/// the user named the directory themselves).
+struct EphemeralDir(Option<PathBuf>);
+
+impl Drop for EphemeralDir {
+    fn drop(&mut self) {
+        if let Some(dir) = &self.0 {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+/// Whether this worker should crash mid-shard: `HETSIM_SHARD_FAIL=<I>`
+/// kills shard `I` on its first attempt (retry heals it),
+/// `HETSIM_SHARD_FAIL=<I>:always` kills every attempt (retries
+/// exhaust). Fault injection for the chaos tests, same pattern as
+/// `HETSIM_CHECK_PERTURB`.
+fn shard_fail_requested(shard: usize, attempt: u64) -> bool {
+    let Ok(spec) = std::env::var("HETSIM_SHARD_FAIL") else {
+        return false;
+    };
+    let (target, always) = match spec.strip_suffix(":always") {
+        Some(t) => (t, true),
+        None => (spec.as_str(), false),
+    };
+    target.parse::<usize>() == Ok(shard) && (always || attempt == 0)
+}
+
+/// The experiments that drive job batches (the rest compute inline and
+/// need no sharding).
+fn campaign_needs(requested: &[Experiment]) -> (bool, bool) {
+    let cpu = requested.iter().any(|e| {
+        matches!(
+            e,
+            Experiment::Fig7 | Experiment::Fig8 | Experiment::Fig9 | Experiment::Fig13
+        )
+    });
+    let gpu = requested
+        .iter()
+        .any(|e| matches!(e, Experiment::Fig10 | Experiment::Fig11 | Experiment::Fig12));
+    (cpu, gpu)
+}
+
+/// The `--shards N` run command: warm the shared cache through N worker
+/// processes, then produce the report through the ordinary path.
+fn cmd_run_sharded(opts: Options, shards: usize) -> ExitCode {
+    // Workers and supervisor communicate through one cache directory.
+    // Without --cache-dir an ephemeral one lives for exactly this run.
+    let (cache_dir, cleanup) = match &opts.cache_dir {
+        Some(dir) => (dir.clone(), EphemeralDir(None)),
+        None => {
+            let dir = std::env::temp_dir().join(format!("hetsim-shard-run-{}", std::process::id()));
+            (dir.clone(), EphemeralDir(Some(dir)))
+        }
+    };
+    let out_dir = cache_dir.join("shards");
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("error: cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = run_sharded(&opts, shards, &cache_dir, &out_dir) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // The merge pass: the unchanged single-process path, answered
+    // entirely from the warm cache, so stdout and the stats dump are
+    // byte-for-byte what `--jobs` alone produces. Progress stays quiet
+    // here — the shard phase already narrated the batch.
+    let recorder = opts
+        .trace_out
+        .is_some()
+        .then(|| Arc::new(TraceRecorder::new(Arc::new(MonotonicClock::new()))));
+    let shared_cache = Some(cache_dir.clone());
+    let execution = match execute(
+        &opts.suite,
+        &opts.requested,
+        &opts.extensions,
+        opts.jobs,
+        &shared_cache,
+        Progress::Quiet,
+        recorder.as_ref(),
+    ) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = print_reports(&execution.reports, opts.format) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = &opts.stats_out {
+        if let Err(e) = execution.dump.write_to(path) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote counter telemetry to {}", path.display());
+    }
+    if let (Some(path), Some(recorder)) = (&opts.trace_out, &recorder) {
+        // Per-worker trace logs plus the merge pass, stitched onto
+        // disjoint track lanes.
+        let mut inputs = Vec::new();
+        for shard in 0..shards {
+            let shard_trace = trace_path(&out_dir, shard);
+            let text = match std::fs::read_to_string(&shard_trace) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", shard_trace.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match parse_jsonl(&text) {
+                Ok(events) => inputs.push(events),
+                Err(e) => {
+                    eprintln!("error: {}: {e}", shard_trace.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        inputs.push(recorder.events());
+        let stitched = stitch_traces(inputs);
+        let mut jsonl = String::new();
+        for event in &stitched {
+            jsonl.push_str(&serde_json::to_string(event).expect("value trees always serialize"));
+            jsonl.push('\n');
+        }
+        if let Err(e) = write_atomic(path, &jsonl) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {} trace event(s) to {} (stitched from {shards} worker(s) + merge pass)",
+            stitched.len(),
+            path.display()
+        );
+    }
+    drop(cleanup);
+    ExitCode::SUCCESS
+}
+
+/// The supervisor phase: spawn `shards` workers over the shared cache,
+/// fan their progress into this process's sink, retry crashed shards,
+/// and audit the merged manifests against the canonical job cover.
+fn run_sharded(
+    opts: &Options,
+    shards: usize,
+    cache_dir: &std::path::Path,
+    out_dir: &std::path::Path,
+) -> Result<(), String> {
+    use serde::value::Value;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let exe =
+        std::env::current_exe().map_err(|e| format!("cannot locate the repro binary: {e}"))?;
+    let (needs_cpu, needs_gpu) = campaign_needs(&opts.requested);
+
+    // The canonical batch, enumerated exactly as workers enumerate it
+    // (CPU campaign then GPU campaign, submission order), giving the
+    // progress fan-in its label→index map and the audit its expected
+    // key cover.
+    let mut labels: Vec<String> = Vec::new();
+    let mut expected: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    if needs_cpu {
+        for job in opts.suite.cpu_campaign_jobs() {
+            expected.insert(job.key.hex());
+            labels.push(job.label);
+        }
+    }
+    if needs_gpu {
+        for job in opts.suite.gpu_campaign_jobs() {
+            expected.insert(job.key.hex());
+            labels.push(job.label);
+        }
+    }
+    let total = labels.len();
+    let words: Vec<String> = opts
+        .requested
+        .iter()
+        .map(|e| e.cli_name().to_string())
+        .collect();
+    eprintln!("running sharded campaign ({total} job(s) across {shards} worker process(es))...");
+
+    // One aggregate batch over all workers: columns in first-submission
+    // design order, like the in-process runner announces them.
+    let sink = progress_sink(opts.progress, None);
+    let mut columns: Vec<(String, usize)> = Vec::new();
+    for label in &labels {
+        let design = design_of(label);
+        match columns.iter_mut().find(|(name, _)| name == design) {
+            Some((_, count)) => *count += 1,
+            None => columns.push((design.to_string(), 1)),
+        }
+    }
+    sink.event(&ProgressEvent::BatchStarted {
+        total,
+        workers: shards,
+        columns,
+    });
+    let label_index: std::collections::HashMap<&str, usize> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (l.as_str(), i))
+        .collect();
+    let done = AtomicUsize::new(0);
+
+    // Split the worker-thread budget across the worker processes so
+    // `--shards N` does not oversubscribe the machine N-fold.
+    let worker_jobs = opts.jobs.div_ceil(shards).max(1);
+    let runs = supervise(
+        shards,
+        out_dir,
+        &ShardPolicy::default(),
+        &|shard, attempt| {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("shard-worker")
+                .arg("--shard")
+                .arg(shard.to_string())
+                .arg("--shards")
+                .arg(shards.to_string())
+                .arg("--attempt")
+                .arg(attempt.to_string())
+                .arg("--cache-dir")
+                .arg(cache_dir)
+                .arg("--out-dir")
+                .arg(out_dir)
+                .arg("--insts")
+                .arg(opts.suite.insts_per_app.to_string())
+                .arg("--seed")
+                .arg(opts.suite.seed.to_string())
+                .arg("--jobs")
+                .arg(worker_jobs.to_string());
+            if opts.trace_out.is_some() {
+                cmd.arg("--trace");
+            }
+            cmd.args(&words);
+            cmd
+        },
+        &|_shard, line| {
+            let Some(event) = WorkerEvent::from_line(line) else {
+                return;
+            };
+            let Some(&index) = label_index.get(event.label.as_str()) else {
+                return;
+            };
+            let done_now = done.fetch_add(1, Ordering::SeqCst) + 1;
+            sink.event(&ProgressEvent::JobFinished {
+                index,
+                label: event.label,
+                provenance: event.provenance,
+                done: done_now,
+                total,
+                counters: Vec::new(),
+                sim_seconds: event.sim_seconds,
+            });
+        },
+    )?;
+
+    // Audit the cover: every canonical key claimed by exactly one
+    // manifest. A mismatch means a worker and the supervisor disagree
+    // about the partition — refusing to merge beats silently reporting
+    // a half-run campaign.
+    let mut claimed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for run in &runs {
+        for key in &run.manifest.keys {
+            if !claimed.insert(key.clone()) {
+                return Err(format!(
+                    "shard cover violation: key {key} claimed by more than one shard"
+                ));
+            }
+        }
+    }
+    if claimed != expected {
+        return Err(format!(
+            "shard cover mismatch: workers claimed {} job(s), supervisor expected {}",
+            claimed.len(),
+            expected.len()
+        ));
+    }
+
+    // Merge the per-shard StatsDump fragments' runner sections — value
+    // trees folded leaf-wise, then parsed back into `RunnerStats` so
+    // the batch summary goes through the same merge machinery an
+    // in-process campaign uses.
+    let fragments: Vec<Value> = runs
+        .iter()
+        .map(|run| {
+            let path = fragment_path(out_dir, run.shard);
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+        })
+        .collect::<Result<_, String>>()?;
+    let mut merged = RunnerStats::default();
+    for section in ["cpu", "gpu"] {
+        let parts: Vec<Value> = fragments
+            .iter()
+            .filter_map(|f| f.get("runner").and_then(|r| r.get(section)).cloned())
+            .collect();
+        if parts.is_empty() {
+            continue;
+        }
+        let folded = hetsim_stats::merge_counter_fragments(&parts)?;
+        let stats = RunnerStats::from_dump_value(&folded)
+            .ok_or_else(|| format!("malformed runner.{section} section in shard fragments"))?;
+        merged.merge(&stats);
+    }
+    sink.event(&ProgressEvent::BatchFinished { stats: merged });
+    Ok(())
+}
+
+/// The hidden worker subcommand the supervisor spawns: run this shard's
+/// slice of the campaign into the shared cache, narrate wire events on
+/// stdout, then commit fragment + manifest (manifest last — it is the
+/// shard's commit record).
+fn cmd_shard_worker(args: &[String]) -> ExitCode {
+    // Invocations are machine-generated by the supervisor; parsing is
+    // strict and failures are fatal without usage chatter.
+    let mut shard = None;
+    let mut shards = None;
+    let mut attempt = 0u64;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut insts: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut jobs = 1usize;
+    let mut trace = false;
+    let mut words: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let mut value = || -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{arg} requires a value"))
+        };
+        let step = (|| -> Result<(), String> {
+            match arg {
+                "--shard" => shard = Some(value()?.parse::<usize>().map_err(|e| e.to_string())?),
+                "--shards" => shards = Some(value()?.parse::<usize>().map_err(|e| e.to_string())?),
+                "--attempt" => attempt = value()?.parse::<u64>().map_err(|e| e.to_string())?,
+                "--cache-dir" => cache_dir = Some(PathBuf::from(value()?)),
+                "--out-dir" => out_dir = Some(PathBuf::from(value()?)),
+                "--insts" => insts = Some(value()?.parse::<u64>().map_err(|e| e.to_string())?),
+                "--seed" => seed = Some(value()?.parse::<u64>().map_err(|e| e.to_string())?),
+                "--jobs" => jobs = value()?.parse::<usize>().map_err(|e| e.to_string())?,
+                "--trace" => trace = true,
+                word if !word.starts_with("--") => words.push(word.to_string()),
+                other => return Err(format!("unknown shard-worker flag '{other}'")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = step {
+            eprintln!("error: shard-worker: {e}");
+            return ExitCode::FAILURE;
+        }
+        i += 1;
+    }
+    let (Some(shard), Some(shards), Some(cache_dir), Some(out_dir)) =
+        (shard, shards, cache_dir, out_dir)
+    else {
+        eprintln!("error: shard-worker requires --shard, --shards, --cache-dir and --out-dir");
+        return ExitCode::FAILURE;
+    };
+    let mut suite = Suite::default();
+    if let Some(n) = insts {
+        suite.insts_per_app = n;
+    }
+    if let Some(s) = seed {
+        suite.seed = s;
+    }
+    let mut requested = Vec::new();
+    for word in &words {
+        match Experiment::from_cli_name(word) {
+            Some(e) => requested.push(e),
+            None => {
+                eprintln!("error: shard-worker: unknown experiment '{word}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (needs_cpu, needs_gpu) = campaign_needs(&requested);
+
+    let sink: Arc<dyn ProgressSink> = Arc::new(ShardEventSink::stdout());
+    let recorder = trace.then(|| Arc::new(TraceRecorder::new(Arc::new(MonotonicClock::new()))));
+
+    // This shard's slice of the canonical batch, by key — every worker
+    // and the supervisor compute the same partition independently.
+    let cpu_mine: Vec<_> = if needs_cpu {
+        suite
+            .cpu_campaign_jobs()
+            .into_iter()
+            .filter(|j| j.key.shard_of(shards) == shard)
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let gpu_mine: Vec<_> = if needs_gpu {
+        suite
+            .gpu_campaign_jobs()
+            .into_iter()
+            .filter(|j| j.key.shard_of(shards) == shard)
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let keys: Vec<String> = cpu_mine
+        .iter()
+        .map(|j| j.key.hex())
+        .chain(gpu_mine.iter().map(|j| j.key.hex()))
+        .collect();
+    let total = keys.len();
+
+    // Fault injection: crash after roughly half the shard's work, with
+    // results of the completed half already committed to the shared
+    // cache — exactly the mid-shard death the supervisor must survive.
+    let fail_now = shard_fail_requested(shard, attempt);
+    let mut budget = if fail_now { Some(total / 2) } else { None };
+
+    let mut dump = StatsDump::new().with_run(suite.insts_per_app, suite.seed, &words);
+    let mut executed = 0u64;
+    if needs_cpu {
+        let mut batch = cpu_mine;
+        if let Some(b) = &mut budget {
+            let take = (*b).min(batch.len());
+            batch.truncate(take);
+            *b -= take;
+        }
+        let runner = match Runner::new(jobs).with_cache_dir(&cache_dir) {
+            Ok(r) => r.with_sink(sink.clone()),
+            Err(e) => {
+                eprintln!("error: shard {shard}: cannot open cache directory: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let runner = match &recorder {
+            Some(rec) => runner.with_recorder(rec.clone()),
+            None => runner,
+        };
+        runner.run(batch);
+        executed += runner.total_stats().executed;
+        dump = dump
+            .with_runner("cpu", runner.total_stats())
+            .with_runner_timing("cpu", runner.total_timing());
+    }
+    if needs_gpu {
+        let mut batch = gpu_mine;
+        if let Some(b) = &mut budget {
+            let take = (*b).min(batch.len());
+            batch.truncate(take);
+            *b -= take;
+        }
+        let runner = match Runner::new(jobs).with_cache_dir(&cache_dir) {
+            Ok(r) => r.with_sink(sink.clone()),
+            Err(e) => {
+                eprintln!("error: shard {shard}: cannot open cache directory: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let runner = match &recorder {
+            Some(rec) => runner.with_recorder(rec.clone()),
+            None => runner,
+        };
+        runner.run(batch);
+        executed += runner.total_stats().executed;
+        dump = dump
+            .with_runner("gpu", runner.total_stats())
+            .with_runner_timing("gpu", runner.total_timing());
+    }
+    if fail_now {
+        // Die without a manifest: the half-done work stays in the
+        // cache, the commit record does not exist, and the supervisor
+        // must retry this shard.
+        eprintln!("[shard {shard}] HETSIM_SHARD_FAIL: crashing mid-shard (attempt {attempt})");
+        std::process::exit(3);
+    }
+
+    if let Some(rec) = &recorder {
+        if let Err(e) = write_atomic(&trace_path(&out_dir, shard), &rec.to_jsonl()) {
+            eprintln!("error: shard {shard}: cannot write trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = dump.write_to(&fragment_path(&out_dir, shard)) {
+        eprintln!("error: shard {shard}: cannot write stats fragment: {e}");
+        return ExitCode::FAILURE;
+    }
+    let manifest = ShardManifest {
+        schema: SHARD_SCHEMA.into(),
+        shard: shard as u64,
+        shards: shards as u64,
+        attempt,
+        jobs: total as u64,
+        executed,
+        keys,
+    };
+    if let Err(e) = manifest.write_to(&manifest_path(&out_dir, shard)) {
+        eprintln!("error: shard {shard}: cannot write manifest: {e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
@@ -1641,30 +2178,37 @@ fn cmd_trace_export(args: &[String]) -> ExitCode {
             paths.push(PathBuf::from(arg));
         }
     }
-    if paths.len() != 2 {
+    if paths.len() < 2 {
         errors.push(format!(
-            "trace-export expects IN.jsonl and OUT.json, got {} path(s)",
+            "trace-export expects IN.jsonl [IN2.jsonl]... and OUT.json, got {} path(s)",
             paths.len()
         ));
     }
     if !errors.is_empty() {
         return fail(&errors);
     }
-    let (input, output) = (&paths[0], &paths[1]);
-    let text = match std::fs::read_to_string(input) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read {}: {e}", input.display());
-            return ExitCode::FAILURE;
+    let output = paths.last().expect("length checked").clone();
+    // Multiple inputs (per-worker traces of a sharded run) stitch onto
+    // disjoint track lanes before export; one input passes through
+    // untouched.
+    let mut inputs = Vec::new();
+    for input in &paths[..paths.len() - 1] {
+        let text = match std::fs::read_to_string(input) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", input.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match parse_jsonl(&text) {
+            Ok(events) => inputs.push(events),
+            Err(e) => {
+                eprintln!("error: {}: {e}", input.display());
+                return ExitCode::FAILURE;
+            }
         }
-    };
-    let events = match parse_jsonl(&text) {
-        Ok(events) => events,
-        Err(e) => {
-            eprintln!("error: {}: {e}", input.display());
-            return ExitCode::FAILURE;
-        }
-    };
+    }
+    let events = stitch_traces(inputs);
     let chrome = chrome_trace(&events);
     let json = match serde_json::to_string_pretty(&chrome) {
         Ok(s) => s,
@@ -1673,7 +2217,7 @@ fn cmd_trace_export(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = write_atomic(output, &json) {
+    if let Err(e) = write_atomic(&output, &json) {
         eprintln!("error: cannot write {}: {e}", output.display());
         return ExitCode::FAILURE;
     }
@@ -1694,6 +2238,8 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("trace-export") => cmd_trace_export(&args[1..]),
+        // Hidden: the worker half of `--shards` (see `cmd_shard_worker`).
+        Some("shard-worker") => cmd_shard_worker(&args[1..]),
         _ => cmd_run(&args),
     }
 }

@@ -272,17 +272,16 @@ impl Suite {
         self.cpu_campaign_with(&Runner::serial())
     }
 
-    /// Runs the full CPU campaign — every Table IV design on every
-    /// application as a 4-core chip, plus the 8-core AdvHet-2X chip —
-    /// as one job batch on `runner`.
+    /// The CPU campaign's job batch in canonical submission order —
+    /// every Table IV design on every application as a 4-core chip,
+    /// plus the 8-core AdvHet-2X chip, row-major (app, then design).
     ///
-    /// Jobs are submitted in row-major (app, then design) order and the
-    /// runner merges results by submission index, so the campaign is
-    /// identical for any worker count.
-    pub fn cpu_campaign_with(&self, runner: &Runner<CpuOutcome>) -> CpuCampaign {
-        let all_apps = apps::all();
+    /// Exposed separately from [`Suite::cpu_campaign_with`] so shard
+    /// workers can enumerate the identical batch in their own process
+    /// and filter it by [`hetsim_runner::JobKey::shard_of`].
+    pub fn cpu_campaign_jobs(&self) -> Vec<Job<CpuOutcome>> {
         let mut jobs: Vec<Job<CpuOutcome>> = Vec::new();
-        for app in &all_apps {
+        for app in &apps::all() {
             for design in CpuDesign::ALL {
                 jobs.push(cpu_job(
                     design,
@@ -300,7 +299,19 @@ impl Suite {
                 self.insts_per_app,
             ));
         }
-        let mut results = runner.run(jobs).into_iter();
+        jobs
+    }
+
+    /// Runs the full CPU campaign — every Table IV design on every
+    /// application as a 4-core chip, plus the 8-core AdvHet-2X chip —
+    /// as one job batch on `runner`.
+    ///
+    /// Jobs are submitted in row-major (app, then design) order and the
+    /// runner merges results by submission index, so the campaign is
+    /// identical for any worker count.
+    pub fn cpu_campaign_with(&self, runner: &Runner<CpuOutcome>) -> CpuCampaign {
+        let all_apps = apps::all();
+        let mut results = runner.run(self.cpu_campaign_jobs()).into_iter();
         let per_app = CpuDesign::ALL.len() + 1;
         let outcomes = all_apps
             .iter()
@@ -499,19 +510,25 @@ impl Suite {
         self.gpu_campaign_with(&Runner::serial())
     }
 
-    /// Runs the full GPU campaign — every design on every kernel — as
-    /// one job batch on `runner` (submission order: kernel-major).
-    pub fn gpu_campaign_with(&self, runner: &Runner<GpuOutcome>) -> GpuCampaign {
-        let kernels = hetsim_gpu::kernels::all();
-        let jobs: Vec<Job<GpuOutcome>> = kernels
+    /// The GPU campaign's job batch in canonical submission order
+    /// (kernel-major) — the shard-worker counterpart of
+    /// [`Suite::cpu_campaign_jobs`].
+    pub fn gpu_campaign_jobs(&self) -> Vec<Job<GpuOutcome>> {
+        hetsim_gpu::kernels::all()
             .iter()
             .flat_map(|kernel| {
                 GpuDesign::ALL
                     .iter()
                     .map(|&d| gpu_job(d, kernel, self.seed))
             })
-            .collect();
-        let mut results = runner.run(jobs).into_iter();
+            .collect()
+    }
+
+    /// Runs the full GPU campaign — every design on every kernel — as
+    /// one job batch on `runner` (submission order: kernel-major).
+    pub fn gpu_campaign_with(&self, runner: &Runner<GpuOutcome>) -> GpuCampaign {
+        let kernels = hetsim_gpu::kernels::all();
+        let mut results = runner.run(self.gpu_campaign_jobs()).into_iter();
         let outcomes = kernels
             .iter()
             .map(|_| results.by_ref().take(GpuDesign::ALL.len()).collect())

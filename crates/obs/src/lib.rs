@@ -28,9 +28,11 @@
 mod chrome;
 mod clock;
 mod recorder;
+mod stitch;
 mod validate;
 
 pub use chrome::chrome_trace;
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use recorder::{ArgValue, EventKind, SpanGuard, TraceEvent, TraceRecorder};
+pub use stitch::stitch_traces;
 pub use validate::{parse_jsonl, validate_events};

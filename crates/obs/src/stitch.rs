@@ -1,0 +1,95 @@
+//! Combining trace logs from multiple processes into one timeline.
+//!
+//! A sharded run produces one JSONL trace per worker. Each worker
+//! numbers its tracks independently (track 0 is its main thread), so
+//! naive concatenation would interleave unrelated threads on the same
+//! lane. [`stitch_traces`] rebases every input's track ids into a
+//! disjoint range — input 0 keeps its ids, each later input starts
+//! right after the previous input's highest lane — and concatenates
+//! the events in input order. Timestamps are left untouched: workers
+//! of one run share a wall clock closely enough for side-by-side
+//! inspection, and rewriting times would falsify the one thing the
+//! trace exists to show.
+
+use crate::recorder::TraceEvent;
+
+/// Merges per-process event logs into one, giving each input a
+/// disjoint track range (in input order) so no two processes share a
+/// lane. Returns the rebased events concatenated in input order, each
+/// input's internal order preserved.
+pub fn stitch_traces(inputs: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
+    let mut out = Vec::with_capacity(inputs.iter().map(Vec::len).sum());
+    let mut base = 0u64;
+    for events in inputs {
+        let top = events.iter().map(|e| e.track).max();
+        for mut event in events {
+            event.track += base;
+            out.push(event);
+        }
+        if let Some(top) = top {
+            base += top + 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::EventKind;
+
+    fn ev(name: &str, track: u64, at_us: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat: "test".into(),
+            track,
+            kind: EventKind::Instant { at_us },
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn single_input_is_untouched() {
+        let events = vec![ev("a", 0, 1), ev("b", 3, 2)];
+        let stitched = stitch_traces(vec![events.clone()]);
+        assert_eq!(stitched, events);
+    }
+
+    #[test]
+    fn later_inputs_get_disjoint_track_ranges() {
+        let a = vec![ev("a0", 0, 1), ev("a1", 2, 2)];
+        let b = vec![ev("b0", 0, 3), ev("b1", 1, 4)];
+        let c = vec![ev("c0", 0, 5)];
+        let stitched = stitch_traces(vec![a, b, c]);
+        let tracks: Vec<(String, u64)> =
+            stitched.iter().map(|e| (e.name.clone(), e.track)).collect();
+        // a occupies 0..=2, so b rebases to 3.., c after b's top (4).
+        assert_eq!(
+            tracks,
+            vec![
+                ("a0".into(), 0),
+                ("a1".into(), 2),
+                ("b0".into(), 3),
+                ("b1".into(), 4),
+                ("c0".into(), 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_inputs_consume_no_track_space() {
+        let a = vec![ev("a", 1, 1)];
+        let c = vec![ev("c", 0, 2)];
+        let stitched = stitch_traces(vec![a, Vec::new(), c]);
+        assert_eq!(stitched[0].track, 1);
+        assert_eq!(stitched[1].track, 2, "empty middle input shifts nothing");
+    }
+
+    #[test]
+    fn event_order_within_an_input_is_preserved() {
+        let a = vec![ev("x", 0, 9), ev("y", 0, 3)];
+        let stitched = stitch_traces(vec![a]);
+        assert_eq!(stitched[0].name, "x");
+        assert_eq!(stitched[1].name, "y", "no re-sorting by timestamp");
+    }
+}

@@ -42,6 +42,7 @@ mod job;
 mod pool;
 mod progress;
 mod runner;
+mod shard;
 mod sinks;
 mod timing;
 
@@ -49,8 +50,14 @@ pub use cache::{write_atomic, CacheLayer, CacheStats, ResultCache};
 pub use dashboard::DashboardSink;
 pub use job::{config_object, Job, JobKey};
 pub use pool::{run_batch, Task};
-pub use progress::{NullSink, ProgressEvent, ProgressSink, Provenance, RunnerStats, StderrSink};
+pub use progress::{
+    design_of, NullSink, ProgressEvent, ProgressSink, Provenance, RunnerStats, StderrSink,
+};
 pub use runner::Runner;
+pub use shard::{
+    fragment_path, manifest_path, partition, supervise, trace_path, ShardEventSink, ShardManifest,
+    ShardPolicy, ShardRun, WorkerEvent, SHARD_SCHEMA,
+};
 pub use sinks::{MultiSink, TraceEventSink};
 pub use timing::RunnerTiming;
 

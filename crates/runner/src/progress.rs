@@ -36,6 +36,17 @@ impl Provenance {
             Provenance::DiskCache => "disk",
         }
     }
+
+    /// Parses a [`Provenance::tag`] rendering back (the shard wire
+    /// protocol ships provenance as its tag).
+    pub fn from_tag(tag: &str) -> Option<Provenance> {
+        match tag {
+            "ran" => Some(Provenance::Executed),
+            "mem" => Some(Provenance::MemoryCache),
+            "disk" => Some(Provenance::DiskCache),
+            _ => None,
+        }
+    }
 }
 
 /// The design name encoded in a job label.
@@ -178,6 +189,22 @@ impl Serialize for RunnerStats {
             ("sim_seconds".into(), self.sim_seconds.to_value()),
             ("wall_seconds".into(), self.wall.as_secs_f64().to_value()),
         ])
+    }
+}
+
+impl RunnerStats {
+    /// Parses the [`Serialize`] rendering back — the shard supervisor
+    /// reads worker `StatsDump` fragments this way before merging them.
+    pub fn from_dump_value(v: &Value) -> Option<RunnerStats> {
+        use serde::Deserialize;
+        Some(RunnerStats {
+            jobs: v.get("jobs")?.as_u64()?,
+            executed: v.get("executed")?.as_u64()?,
+            cache_hits: v.get("cache_hits")?.as_u64()?,
+            cache: CacheStats::from_value(v.get("cache")?).ok()?,
+            sim_seconds: v.get("sim_seconds")?.as_f64()?,
+            wall: Duration::from_secs_f64(v.get("wall_seconds")?.as_f64()?),
+        })
     }
 }
 

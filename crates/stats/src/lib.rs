@@ -77,8 +77,10 @@ pub use serde;
 
 pub mod diff;
 pub mod histogram;
+pub mod merge;
 
 pub use histogram::Histogram;
+pub use merge::{merge_counter_fragments, merge_counter_values};
 
 /// Defines one counter struct with derived `merge`, `minus`,
 /// enumeration and serde support.

@@ -1,0 +1,208 @@
+//! Leaf-wise merging of serialized counter trees.
+//!
+//! The shard protocol moves counter state between processes as JSON:
+//! each worker serializes its runner/cache counters into a `StatsDump`
+//! fragment, and the supervisor folds the fragments back together.
+//! Inside one process that fold is the `counters!`-generated `merge`;
+//! across processes the fragments arrive as [`Value`] trees, so this
+//! module provides the value-level counterpart for *additive* counter
+//! sections:
+//!
+//! * unsigned-integer leaves add (saturating — a merge must never
+//!   panic on adversarial fragment bytes),
+//! * float leaves add (wall seconds, simulated seconds),
+//! * objects merge key-wise (keys missing on either side are kept,
+//!   appended in first-seen order so the result is deterministic),
+//! * anything else — or a leaf/subtree shape mismatch — is an error
+//!   naming the offending dotted path, because it means the fragments
+//!   disagree about the schema and silently preferring one side would
+//!   corrupt telemetry.
+//!
+//! This is deliberately *only* for sections whose fields are all
+//! sum-policy (the `runner.*` execution counters). Sections with `max`
+//! or `keep` policies (simulator counters) must be merged by their
+//! typed structs, where the per-field policy lives — the supervisor
+//! does exactly that by deserializing them first.
+
+use serde::value::Value;
+
+/// Folds `other` into `acc` leaf-wise (see the module docs for the
+/// exact rules).
+///
+/// # Errors
+///
+/// Returns the dotted path and a description when the trees disagree
+/// about a node's shape or a leaf is not a number.
+pub fn merge_counter_values(acc: &mut Value, other: &Value) -> Result<(), String> {
+    merge_at("", acc, other)
+}
+
+/// Merges a sequence of counter trees into one (the first tree is the
+/// starting accumulator).
+///
+/// # Errors
+///
+/// Propagates the first shape mismatch; `fragments` being empty is an
+/// error too (there is no identity element without a schema).
+pub fn merge_counter_fragments(fragments: &[Value]) -> Result<Value, String> {
+    let (first, rest) = fragments
+        .split_first()
+        .ok_or_else(|| "no fragments to merge".to_string())?;
+    let mut acc = first.clone();
+    for fragment in rest {
+        merge_counter_values(&mut acc, fragment)?;
+    }
+    Ok(acc)
+}
+
+fn merge_at(path: &str, acc: &mut Value, other: &Value) -> Result<(), String> {
+    let describe = |v: &Value| match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Int(_) => "int",
+        Value::UInt(_) => "uint",
+        Value::Float(_) => "float",
+        Value::Str(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    };
+    match (&mut *acc, other) {
+        (Value::UInt(a), Value::UInt(b)) => {
+            *a = a.saturating_add(*b);
+            Ok(())
+        }
+        // Any numeric pairing that isn't uint+uint merges in float
+        // space: fragment floats (wall/sim seconds) may round-trip
+        // through JSON as integers when they happen to be whole.
+        (a @ (Value::UInt(_) | Value::Int(_) | Value::Float(_)), b) if b.as_f64().is_some() => {
+            let sum = a.as_f64().expect("lhs is numeric") + b.as_f64().expect("rhs is numeric");
+            *a = Value::Float(sum);
+            Ok(())
+        }
+        (Value::Object(a), Value::Object(b)) => {
+            for (key, bv) in b {
+                let child_path = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                match a.iter_mut().find(|(k, _)| k == key) {
+                    Some((_, av)) => merge_at(&child_path, av, bv)?,
+                    None => a.push((key.clone(), bv.clone())),
+                }
+            }
+            Ok(())
+        }
+        (a, b) => Err(format!(
+            "counter merge mismatch at `{path}`: {} vs {}",
+            describe(a),
+            describe(b)
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(entries: Vec<(&str, Value)>) -> Value {
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn uint_leaves_add_and_saturate() {
+        let mut a = Value::UInt(7);
+        merge_counter_values(&mut a, &Value::UInt(5)).expect("merge");
+        assert_eq!(a, Value::UInt(12));
+        let mut big = Value::UInt(u64::MAX);
+        merge_counter_values(&mut big, &Value::UInt(3)).expect("merge");
+        assert_eq!(big, Value::UInt(u64::MAX), "saturates instead of panicking");
+    }
+
+    #[test]
+    fn float_leaves_add_even_when_one_side_parsed_integral() {
+        let mut a = Value::Float(0.5);
+        merge_counter_values(&mut a, &Value::Float(0.25)).expect("merge");
+        assert_eq!(a, Value::Float(0.75));
+        // A whole-valued float can reparse as UInt; merging must still
+        // treat it as a number, not a shape mismatch.
+        let mut b = Value::Float(1.5);
+        merge_counter_values(&mut b, &Value::UInt(2)).expect("merge");
+        assert_eq!(b, Value::Float(3.5));
+        let mut c = Value::UInt(2);
+        merge_counter_values(&mut c, &Value::Float(0.5)).expect("merge");
+        assert_eq!(c, Value::Float(2.5));
+    }
+
+    #[test]
+    fn objects_merge_keywise_preserving_first_seen_order() {
+        let mut a = obj(vec![("jobs", Value::UInt(3)), ("hits", Value::UInt(1))]);
+        let b = obj(vec![
+            ("hits", Value::UInt(2)),
+            ("extra", Value::UInt(9)),
+            ("jobs", Value::UInt(4)),
+        ]);
+        merge_counter_values(&mut a, &b).expect("merge");
+        assert_eq!(
+            a,
+            obj(vec![
+                ("jobs", Value::UInt(7)),
+                ("hits", Value::UInt(3)),
+                ("extra", Value::UInt(9)),
+            ]),
+            "existing keys keep their slot; new keys append"
+        );
+    }
+
+    #[test]
+    fn nested_objects_recurse() {
+        let mut a = obj(vec![("cache", obj(vec![("misses", Value::UInt(5))]))]);
+        let b = obj(vec![(
+            "cache",
+            obj(vec![
+                ("misses", Value::UInt(2)),
+                ("disk_hits", Value::UInt(1)),
+            ]),
+        )]);
+        merge_counter_values(&mut a, &b).expect("merge");
+        assert_eq!(
+            a.get("cache").and_then(|c| c.get("misses")),
+            Some(&Value::UInt(7))
+        );
+        assert_eq!(
+            a.get("cache").and_then(|c| c.get("disk_hits")),
+            Some(&Value::UInt(1))
+        );
+    }
+
+    #[test]
+    fn shape_mismatches_name_the_dotted_path() {
+        let mut a = obj(vec![("runner", obj(vec![("jobs", Value::UInt(1))]))]);
+        let b = obj(vec![(
+            "runner",
+            obj(vec![("jobs", Value::Str("three".into()))]),
+        )]);
+        let err = merge_counter_values(&mut a, &b).expect_err("string is not a counter");
+        assert!(err.contains("runner.jobs"), "path in error: {err}");
+    }
+
+    #[test]
+    fn fragment_fold_merges_left_to_right() {
+        let fragments = vec![
+            obj(vec![("jobs", Value::UInt(1))]),
+            obj(vec![("jobs", Value::UInt(2))]),
+            obj(vec![("jobs", Value::UInt(3))]),
+        ];
+        let merged = merge_counter_fragments(&fragments).expect("merge");
+        assert_eq!(merged.get("jobs"), Some(&Value::UInt(6)));
+        assert!(
+            merge_counter_fragments(&[]).is_err(),
+            "empty set has no schema"
+        );
+    }
+}
