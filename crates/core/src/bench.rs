@@ -18,6 +18,9 @@
 //! * `fig10-gpu-campaign` — the full GPU design x kernel sweep
 //!   (figures 10/11/12), same runner mode;
 //! * `fig14-dvfs` — the DVFS / process-variation evaluation loop;
+//! * `explore-frontier` — the `repro explore` adaptive search over the
+//!   fig7 design space at the golden's pinned budget, pinning the
+//!   wave-loop + Pareto machinery on top of the multicore simulations;
 //! * `micro-cpu-step` — one single-core CPU simulation;
 //! * `micro-gpu-step` — one GPU kernel simulation;
 //! * `micro-mem-hierarchy` — raw cache-hierarchy accesses, no core;
@@ -54,11 +57,12 @@ pub const DEFAULT_REPEATS: u32 = 3;
 /// The pinned scenario names, menu order. Compare joins dumps on these
 /// names, so renaming one orphans its perf trajectory — add, don't
 /// rename.
-pub const SCENARIOS: [&str; 9] = [
+pub const SCENARIOS: [&str; 10] = [
     "fig7-cpu-campaign",
     "fig7-sharded",
     "fig10-gpu-campaign",
     "fig14-dvfs",
+    "explore-frontier",
     "micro-cpu-step",
     "micro-gpu-step",
     "micro-mem-hierarchy",
@@ -205,6 +209,27 @@ fn run_fig14(cfg: &BenchConfig) -> u64 {
     points * 2 * 6 * (cfg.insts / 4)
 }
 
+/// The `repro explore` adaptive search at the golden's pinned budget,
+/// on cache-bypassing runners (an exploration benchmark must time the
+/// search + simulation, never warm-cache lookups). The instruction
+/// budget is a quarter of the per-app budget: the search evaluates 12
+/// candidates x 4 apps = 48 multicore jobs, so the quarter keeps this
+/// scenario within the same wall-clock band as the campaign scenarios.
+/// Returns total committed instructions across all evaluations.
+fn run_explore_frontier(cfg: &BenchConfig) -> u64 {
+    let space = crate::explore::DesignSpace::fig7();
+    let ecfg = crate::explore::ExploreConfig {
+        budget: 12,
+        seed: cfg.seed,
+        insts: (cfg.insts / 4).max(1),
+        jobs: cfg.jobs.max(1),
+        cache_bypass: true,
+        ..crate::explore::ExploreConfig::default()
+    };
+    let result = crate::explore::explore(&space, &ecfg).expect("pinned space is valid");
+    result.total_committed()
+}
+
 /// One single-core AdvHet simulation; returns committed instructions.
 fn run_micro_cpu(cfg: &BenchConfig) -> u64 {
     let app = apps::profile("fft").expect("pinned app exists");
@@ -290,6 +315,7 @@ fn run_scenario(name: &str, cfg: &BenchConfig) -> u64 {
         "fig7-sharded" => run_fig7_sharded(cfg),
         "fig10-gpu-campaign" => run_fig10(cfg),
         "fig14-dvfs" => run_fig14(cfg),
+        "explore-frontier" => run_explore_frontier(cfg),
         "micro-cpu-step" => run_micro_cpu(cfg),
         "micro-gpu-step" => run_micro_gpu(cfg),
         "micro-mem-hierarchy" => run_micro_mem(cfg),

@@ -90,6 +90,7 @@ use hetcore::campaign::traced_campaign;
 use hetcore::check::{
     fuzz_round, perturbation_from_env, validate_cpu_outcome, validate_dump, validate_gpu_outcome,
 };
+use hetcore::explore::{explore, DesignSpace, ExploreConfig, DEFAULT_EXPLORE_INSTS};
 use hetcore::regression::{diff_dumps, DiffPolicy, DumpDoc};
 use hetcore::report::Report;
 use hetcore::suite::{CpuCampaign, Experiment, Extension, GpuCampaign, Suite};
@@ -197,6 +198,9 @@ fn usage() -> String {
          \x20      repro bench [--quick] [--insts N] [--seed S] [--warmup N] [--repeats N] \
          [--jobs N] [--out BENCH.json] [--format table|json] \
          [--compare BASELINE.json [CANDIDATE.json]] [--rel-tol X | --ratchet]\n\
+         \x20      repro explore [--space fig7] [--budget N] [--seed S] [--insts N] \
+         [--jobs N] [--shards N] [--cache-dir PATH] [--sweep AXIS=V1,V2...]... \
+         [--format table|json|csv] [--frontier-out PATH]\n\
          \x20      repro trace-export IN.jsonl [IN2.jsonl]... OUT.json\n\
          experiments: all, ext, {}\n\
          extensions:  {}",
@@ -1544,6 +1548,23 @@ fn cmd_ci_gate(args: &[String]) -> ExitCode {
                 continue;
             }
         };
+        // Frontier dumps carry their own schema tag and replay through
+        // the exploration engine instead of the campaign path.
+        if base_doc.tags.iter().any(|(p, _)| p == "schema.explore") {
+            match replay_frontier(file, &base_doc, jobs, &cache_dir, &policy) {
+                Ok(report) => {
+                    print!("[{name}] {}", report.to_table());
+                    if !report.is_clean() {
+                        failed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {}: {e}", file.display());
+                    failed = true;
+                }
+            }
+            continue;
+        }
         let Some(run) = &base_doc.run else {
             eprintln!(
                 "error: {} has no `run` section; regenerate it with `repro baseline`",
@@ -1615,6 +1636,63 @@ fn cmd_ci_gate(args: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Replays the exploration a frontier baseline records (its `explore`
+/// section names the space, budget, seed and insts) and diffs the fresh
+/// dump against it under `policy`. The replay always runs the built-in
+/// space — a baseline recorded under `--sweep` overrides diffs against
+/// different `explore.axes.*` tags, which is exactly the "regenerate
+/// the baseline" signal the gate exists to raise.
+fn replay_frontier(
+    file: &std::path::Path,
+    base_doc: &DumpDoc,
+    jobs: usize,
+    cache_dir: &Option<PathBuf>,
+    policy: &DiffPolicy,
+) -> Result<hetcore::regression::DiffReport, String> {
+    use serde::value::Value;
+    let text =
+        std::fs::read_to_string(file).map_err(|e| format!("cannot read the baseline: {e}"))?;
+    let value: Value = serde_json::from_str(&text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let section = value
+        .get("explore")
+        .ok_or("frontier dump has no `explore` section; regenerate it with `repro explore`")?;
+    let space_name = section
+        .get("space")
+        .and_then(Value::as_str)
+        .ok_or("`explore` section has no `space` name")?;
+    if space_name != "fig7" {
+        return Err(format!("unknown design space '{space_name}'"));
+    }
+    let field = |name: &str| -> Result<u64, String> {
+        section
+            .get(name)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("`explore` section has no integer `{name}`"))
+    };
+    let cfg = ExploreConfig {
+        budget: field("budget")? as usize,
+        seed: field("seed")?,
+        insts: field("insts")?,
+        jobs,
+        shards: 1,
+        cache_dir: cache_dir.clone(),
+        cache_bypass: false,
+    };
+    eprintln!(
+        "[ci-gate] {}: replaying explore --budget {} --seed {} --insts {}",
+        file.file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| file.display().to_string()),
+        cfg.budget,
+        cfg.seed,
+        cfg.insts
+    );
+    let result = explore(&DesignSpace::fig7(), &cfg)?;
+    let cand_doc = DumpDoc::parse(&result.to_json())
+        .map_err(|e| format!("fresh exploration produced an unparsable dump: {e}"))?;
+    Ok(diff_dumps(base_doc, &cand_doc, policy))
 }
 
 /// The experiments `repro check` sweeps in its invariant phase: the two
@@ -2165,6 +2243,172 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `repro explore` — design-space exploration over the fig7 grid: a
+/// budget-capped Pareto-frontier search (see `hetcore::explore`).
+/// Prints the frontier in the requested format; `--frontier-out PATH`
+/// additionally writes the full frontier dump (unless `--format json`,
+/// which already prints that dump on stdout).
+fn cmd_explore(args: &[String]) -> ExitCode {
+    let mut space = DesignSpace::fig7();
+    let mut budget: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut insts: Option<u64> = None;
+    let mut jobs: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut format = Format::Table;
+    let mut format_set = false;
+    let mut frontier_out: Option<PathBuf> = None;
+    let mut errors = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let (name, inline) = match arg.split_once('=') {
+            Some((n, v)) if n.starts_with("--") => (n, Some(v.to_string())),
+            _ => (arg, None),
+        };
+        let mut value = |errors: &mut Vec<String>| -> Option<String> {
+            if let Some(v) = inline.clone() {
+                return Some(v);
+            }
+            i += 1;
+            match args.get(i) {
+                Some(v) => Some(v.clone()),
+                None => {
+                    errors.push(format!("{name} requires a value"));
+                    None
+                }
+            }
+        };
+        match name {
+            "--space" => {
+                if let Some(v) = value(&mut errors) {
+                    if v != "fig7" {
+                        errors.push(format!("--space expects fig7, got '{v}'"));
+                    }
+                }
+            }
+            "--budget" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => budget = Some(n),
+                        _ => errors.push(format!("--budget expects an integer >= 1, got '{v}'")),
+                    }
+                }
+            }
+            "--seed" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<u64>() {
+                        Ok(n) => seed = Some(n),
+                        _ => errors.push(format!("--seed expects an integer, got '{v}'")),
+                    }
+                }
+            }
+            "--insts" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<u64>() {
+                        Ok(n) if n >= 1 => insts = Some(n),
+                        _ => errors.push(format!("--insts expects an integer >= 1, got '{v}'")),
+                    }
+                }
+            }
+            "--jobs" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => jobs = Some(n),
+                        _ => errors.push(format!("--jobs expects an integer >= 1, got '{v}'")),
+                    }
+                }
+            }
+            "--shards" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => shards = Some(n),
+                        _ => errors.push(format!("--shards expects an integer >= 1, got '{v}'")),
+                    }
+                }
+            }
+            "--cache-dir" => {
+                if let Some(v) = value(&mut errors) {
+                    cache_dir = Some(PathBuf::from(v));
+                }
+            }
+            "--sweep" => {
+                if let Some(v) = value(&mut errors) {
+                    if let Err(e) = space.apply_sweep(&v) {
+                        errors.push(e);
+                    }
+                }
+            }
+            "--format" => {
+                if let Some(v) = value(&mut errors) {
+                    match parse_format(&v) {
+                        Ok(f) => {
+                            format = f;
+                            format_set = true;
+                        }
+                        Err(e) => errors.push(e),
+                    }
+                }
+            }
+            "--frontier-out" => {
+                if let Some(v) = value(&mut errors) {
+                    frontier_out = Some(PathBuf::from(v));
+                }
+            }
+            other => errors.push(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    if format_set && format == Format::Json && frontier_out.is_some() {
+        errors.push(
+            "--format json writes the frontier dump to stdout; it cannot be combined with \
+             --frontier-out (pick one destination)"
+                .to_string(),
+        );
+    }
+    // Cross-axis constraints (DVFS reachability, ROB vs. issue width)
+    // are validated with the sweeps applied, before anything runs.
+    if let Err(e) = space.validate() {
+        errors.push(e);
+    }
+    if !errors.is_empty() {
+        return fail(&errors);
+    }
+
+    let cfg = ExploreConfig {
+        budget: budget.unwrap_or(hetcore::explore::DEFAULT_BUDGET),
+        seed: seed.unwrap_or(42),
+        insts: insts.unwrap_or(DEFAULT_EXPLORE_INSTS),
+        jobs: jobs.unwrap_or_else(default_jobs),
+        shards: shards.unwrap_or(1),
+        cache_dir,
+        cache_bypass: false,
+    };
+    let result = match explore(&space, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &frontier_out {
+        if let Err(e) = result.write_to(path) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote frontier dump to {}", path.display());
+    }
+    match format {
+        Format::Table => print!("{}", result.frontier_report()),
+        Format::Csv => print!("{}", result.frontier_report().to_csv()),
+        Format::Json => println!("{}", result.to_json()),
+    }
+    ExitCode::SUCCESS
+}
+
 /// `repro trace-export IN.jsonl OUT.json` — convert a recorded JSONL
 /// trace into Chrome trace-event JSON, loadable in Perfetto
 /// (<https://ui.perfetto.dev>) or `chrome://tracing`.
@@ -2237,6 +2481,7 @@ fn main() -> ExitCode {
         Some("ci-gate") => cmd_ci_gate(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("explore") => cmd_explore(&args[1..]),
         Some("trace-export") => cmd_trace_export(&args[1..]),
         // Hidden: the worker half of `--shards` (see `cmd_shard_worker`).
         Some("shard-worker") => cmd_shard_worker(&args[1..]),

@@ -126,8 +126,26 @@ pub fn run_cpu_multicore(
     total_insts: u64,
 ) -> CpuOutcome {
     let cfg = design.core_config();
-    let mc: MulticoreResult = run_multicore(&cfg, cores, app, seed, total_insts);
     let model = design.energy_model();
+    run_cpu_multicore_configured(design, &cfg, &model, cores, app, seed, total_insts)
+}
+
+/// [`run_cpu_multicore`] with the timing configuration and energy model
+/// supplied explicitly instead of derived from the design's Table IV
+/// defaults. The design-space exploration engine uses this to evaluate
+/// off-nominal candidates — a design at a scaled clock and V_dd
+/// operating point — without minting a new [`CpuDesign`] variant per
+/// grid cell; `design` still labels the outcome.
+pub fn run_cpu_multicore_configured(
+    design: CpuDesign,
+    cfg: &hetsim_cpu::config::CoreConfig,
+    model: &hetsim_power::account::CpuEnergyModel,
+    cores: u32,
+    app: &WorkloadProfile,
+    seed: u64,
+    total_insts: u64,
+) -> CpuOutcome {
+    let mc: MulticoreResult = run_multicore(cfg, cores, app, seed, total_insts);
 
     let mut energy = EnergyBreakdown::default();
     // Serial phase: core 0 active, the rest leaking.

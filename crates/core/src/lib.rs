@@ -57,6 +57,7 @@ pub mod campaign;
 pub mod check;
 pub mod config;
 pub mod experiment;
+pub mod explore;
 pub mod migration;
 pub mod regression;
 pub mod report;
@@ -66,8 +67,10 @@ pub mod telemetry;
 pub use campaign::{cpu_job, cpu_job_key, gpu_job, gpu_job_key, CPU_SCHEMA, GPU_SCHEMA};
 pub use config::{CpuDesign, GpuDesign};
 pub use experiment::{
-    run_cpu, run_cpu_multicore, run_gpu, run_gpu_scheduled, CpuOutcome, GpuOutcome,
+    run_cpu, run_cpu_multicore, run_cpu_multicore_configured, run_gpu, run_gpu_scheduled,
+    CpuOutcome, GpuOutcome,
 };
+pub use explore::{explore, DesignSpace, ExploreConfig, ExploreResult, EXPLORE_SCHEMA};
 pub use migration::{iso_area_comparison, run_migration_cmp, MigrationConfig};
 pub use regression::{diff_dumps, DiffPolicy, DiffReport, DumpDoc};
 pub use report::Report;

@@ -128,6 +128,79 @@ fn trace_export_rejects_wrong_path_count_and_unknown_flags() {
 }
 
 #[test]
+fn explore_rejects_zero_budget_and_bad_counts() {
+    assert_rejected(
+        &["explore", "--budget", "0"],
+        "--budget expects an integer >= 1, got '0'",
+    );
+    assert_rejected(
+        &["explore", "--shards", "0"],
+        "--shards expects an integer >= 1, got '0'",
+    );
+    assert_rejected(
+        &["explore", "--insts", "many"],
+        "--insts expects an integer >= 1, got 'many'",
+    );
+}
+
+#[test]
+fn explore_rejects_conflicting_output_destinations() {
+    // --format json already streams the dump to stdout; adding a file
+    // destination would silently pick one. Refuse instead.
+    assert_rejected(
+        &["explore", "--format", "json", "--frontier-out", "f.json"],
+        "--format json writes the frontier dump to stdout; it cannot be combined with",
+    );
+}
+
+#[test]
+fn explore_rejects_unknown_sweep_axes_and_values() {
+    assert_rejected(
+        &["explore", "--sweep", "depth=5"],
+        "--sweep axis 'depth' is not in the fig7 design space (axes: design, cores, vdd, rob)",
+    );
+    assert_rejected(
+        &["explore", "--sweep", "design=Imaginary"],
+        "--sweep design value 'Imaginary' is not a Table IV design",
+    );
+    assert_rejected(
+        &["explore", "--sweep", "cores"],
+        "--sweep expects AXIS=V1[,V2,...], got 'cores'",
+    );
+    assert_rejected(
+        &["explore", "--sweep", "rob="],
+        "--sweep rob= lists no values",
+    );
+}
+
+#[test]
+fn explore_rejects_unknown_arguments_and_spaces() {
+    assert_rejected(
+        &["explore", "--space", "fig13"],
+        "--space expects fig7, got 'fig13'",
+    );
+    assert_rejected(&["explore", "fig7"], "unknown argument 'fig7'");
+    assert_rejected(
+        &["explore", "--frontier-out"],
+        "--frontier-out requires a value",
+    );
+}
+
+#[test]
+fn explore_collects_every_error_not_just_the_first() {
+    let out = repro(&["explore", "--budget", "0", "--sweep", "depth=5", "--bogus"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success());
+    for expected in [
+        "--budget expects an integer >= 1",
+        "--sweep axis 'depth' is not in the fig7 design space",
+        "unknown argument '--bogus'",
+    ] {
+        assert!(stderr.contains(expected), "missing '{expected}': {stderr}");
+    }
+}
+
+#[test]
 fn diff_rejects_wrong_file_count() {
     assert_rejected(
         &["diff", "only-one.json"],

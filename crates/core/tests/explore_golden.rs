@@ -1,0 +1,110 @@
+//! Golden-frontier regression test: the pinned small search reproduces
+//! the checked-in `baselines/frontier-fig7.json` byte-for-byte.
+//!
+//! The exploration engine promises that the same seed + budget produce
+//! a byte-identical frontier dump. This test holds the real `repro`
+//! binary to that promise against the repository's checked-in golden
+//! (the same file the CI `explore-smoke` job and `repro ci-gate`
+//! replay), and then proves the content-addressed cache makes a warm
+//! rerun free: the second run must execute **zero** simulations, with
+//! the dump differing only in its `runner` counters.
+//!
+//! If an intentional change moves the frontier, regenerate the golden:
+//!
+//! ```text
+//! cargo run --release --bin repro -- explore \
+//!     --budget 12 --seed 42 --insts 2000 \
+//!     --frontier-out baselines/frontier-fig7.json
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use serde::value::Value;
+
+/// The golden's pinned search: small enough for CI, big enough that
+/// refinement waves actually run after the stride sample.
+const PINNED: [&str; 6] = ["--budget", "12", "--seed", "42", "--insts", "2000"];
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../baselines/frontier-fig7.json")
+}
+
+fn scratch() -> PathBuf {
+    std::env::temp_dir().join(format!("hetcore-explore-golden-{}", std::process::id()))
+}
+
+fn run_explore(cache: &Path, out: &Path) {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("explore")
+        .args(PINNED)
+        .args(["--cache-dir", &cache.to_string_lossy()])
+        .args(["--frontier-out", &out.to_string_lossy()])
+        .output()
+        .expect("repro runs");
+    assert!(
+        output.status.success(),
+        "explore fails: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+fn runner_counter(dump: &Value, name: &str) -> u64 {
+    dump.get("runner")
+        .and_then(|r| r.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("dump has runner.{name}"))
+}
+
+#[test]
+fn pinned_search_matches_the_golden_and_reruns_warm() {
+    let base = scratch();
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("scratch dir");
+    let cache = base.join("cache");
+
+    // ---- cold run: byte-identical to the checked-in golden ----
+    let cold_out = base.join("cold.json");
+    run_explore(&cache, &cold_out);
+    let golden = std::fs::read_to_string(golden_path())
+        .expect("baselines/frontier-fig7.json exists (regenerate per the module docs if missing)");
+    let cold = std::fs::read_to_string(&cold_out).expect("cold dump written");
+    assert_eq!(
+        golden, cold,
+        "cold frontier dump must be byte-identical to baselines/frontier-fig7.json \
+         (regenerate the golden per the module docs if this change is intentional)"
+    );
+
+    // ---- warm rerun: zero simulations, everything from cache ----
+    let warm_out = base.join("warm.json");
+    run_explore(&cache, &warm_out);
+    let warm: Value = serde_json::from_str(&std::fs::read_to_string(&warm_out).expect("warm dump"))
+        .expect("warm dump parses");
+    let cold: Value = serde_json::from_str(&cold).expect("cold dump parses");
+    assert_eq!(
+        runner_counter(&warm, "executed"),
+        0,
+        "warm rerun simulates nothing"
+    );
+    assert_eq!(
+        runner_counter(&warm, "cache_hits"),
+        runner_counter(&cold, "jobs"),
+        "every job answered from cache"
+    );
+
+    // Outside the schema-exempt `runner` section the two dumps agree
+    // exactly — cache hits are invisible in the results.
+    let strip = |v: &Value| match v {
+        Value::Object(entries) => Value::Object(
+            entries
+                .iter()
+                .filter(|(k, _)| k != "runner")
+                .cloned()
+                .collect(),
+        ),
+        other => other.clone(),
+    };
+    assert_eq!(strip(&cold), strip(&warm));
+
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -1,0 +1,141 @@
+//! Property tests of the Pareto machinery the exploration engine
+//! reports through.
+//!
+//! The frontier is the engine's *contract*: whatever the search
+//! evaluated, the dump's `frontier` section must be exactly the
+//! non-dominated subset, independent of how the evaluation happened to
+//! be ordered, with duplicates collapsed. These properties pin that
+//! contract over arbitrary objective sets — the unit tests in
+//! `hetsim_stats::pareto` cover hand-picked edges, this file covers the
+//! space between them — plus one end-to-end check that a real (tiny)
+//! search run upholds the same invariants.
+
+use hetsim_stats::pareto::{dominates, frontier_indices};
+use proptest::prelude::*;
+
+/// Arbitrary objective sets: three finite non-negative objectives per
+/// point, drawn coarse enough that exact duplicates actually occur.
+fn points() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..8).prop_map(|v| f64::from(v) * 0.5), 3),
+        0..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// No frontier point dominates another frontier point: the frontier
+    /// is an antichain of the dominance order.
+    #[test]
+    fn frontier_points_are_mutually_non_dominating(pts in points()) {
+        let frontier = frontier_indices(&pts);
+        for &a in &frontier {
+            for &b in &frontier {
+                if a != b {
+                    prop_assert!(
+                        !dominates(&pts[a], &pts[b]),
+                        "frontier point {a} dominates frontier point {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every evaluated point off the frontier is dominated by (or an
+    /// exact duplicate of) some frontier point: nothing worth keeping
+    /// is dropped.
+    #[test]
+    fn non_frontier_points_are_covered_by_the_frontier(pts in points()) {
+        let frontier = frontier_indices(&pts);
+        let on_frontier: std::collections::HashSet<usize> = frontier.iter().copied().collect();
+        for (i, p) in pts.iter().enumerate() {
+            if on_frontier.contains(&i) {
+                continue;
+            }
+            let covered = frontier
+                .iter()
+                .any(|&f| dominates(&pts[f], p) || pts[f] == *p);
+            prop_assert!(covered, "point {i} is neither dominated nor duplicated");
+        }
+    }
+
+    /// Frontier membership is invariant under evaluation order: any
+    /// permutation of the input selects the same multiset of points.
+    #[test]
+    fn frontier_is_invariant_under_evaluation_order(
+        pts in points(),
+        rotation in 0usize..40,
+    ) {
+        if pts.is_empty() {
+            return Ok(());
+        }
+        let mut canonical: Vec<Vec<f64>> = frontier_indices(&pts)
+            .into_iter()
+            .map(|i| pts[i].clone())
+            .collect();
+        // A rotation composed with a reversal reaches orders a simple
+        // shuffle seed couldn't reproduce deterministically.
+        let mut permuted = pts.clone();
+        let turn = rotation % permuted.len();
+        permuted.rotate_left(turn);
+        permuted.reverse();
+        let mut from_permuted: Vec<Vec<f64>> = frontier_indices(&permuted)
+            .into_iter()
+            .map(|i| permuted[i].clone())
+            .collect();
+        let key = |p: &Vec<f64>| p.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        canonical.sort_by_key(key);
+        from_permuted.sort_by_key(key);
+        prop_assert_eq!(canonical, from_permuted);
+    }
+
+    /// Duplicate designs collapse to one entry: however many copies of
+    /// a point the input holds, the frontier never lists it twice.
+    #[test]
+    fn duplicates_collapse_to_one_frontier_entry(pts in points(), copies in 1usize..4) {
+        let mut duplicated = pts.clone();
+        for _ in 0..copies {
+            duplicated.extend(pts.iter().cloned());
+        }
+        let frontier = frontier_indices(&duplicated);
+        let mut seen = std::collections::HashSet::new();
+        for &i in &frontier {
+            let key: Vec<u64> = duplicated[i].iter().map(|x| x.to_bits()).collect();
+            prop_assert!(seen.insert(key), "frontier lists a duplicate point");
+        }
+        // And the deduplicated frontier is the original one.
+        prop_assert_eq!(frontier.len(), frontier_indices(&pts).len());
+    }
+}
+
+/// The same invariants must hold end-to-end through a real search: the
+/// dump's frontier section is the non-dominated subset of its evaluated
+/// section. One tiny space keeps this fast; the property tests above
+/// carry the generality.
+#[test]
+fn a_real_search_reports_exactly_the_non_dominated_subset() {
+    let mut space = hetcore::DesignSpace::fig7();
+    space.apps = vec!["radix".to_string()];
+    space
+        .apply_sweep("design=BaseCMOS,BaseTFET")
+        .expect("valid sweep");
+    space.apply_sweep("cores=2,4").expect("valid sweep");
+    space.apply_sweep("vdd=2.0").expect("valid sweep");
+    space.apply_sweep("rob=160").expect("valid sweep");
+    let cfg = hetcore::ExploreConfig {
+        budget: 16,
+        seed: 3,
+        insts: 2_000,
+        jobs: 2,
+        ..hetcore::ExploreConfig::default()
+    };
+    let result = hetcore::explore(&space, &cfg).expect("search runs");
+    assert_eq!(result.evaluated.len(), 4, "budget covers the whole grid");
+    let objectives: Vec<Vec<f64>> = result.evaluated.iter().map(|p| p.objectives()).collect();
+    let mut expected = frontier_indices(&objectives);
+    expected.sort_unstable();
+    let mut reported = result.frontier.clone();
+    reported.sort_unstable();
+    assert_eq!(reported, expected);
+}

@@ -113,3 +113,52 @@ fn sharded_runs_match_single_process_byte_for_byte() {
 
     let _ = std::fs::remove_dir_all(&base);
 }
+
+/// The exploration engine makes a stronger promise than the campaign
+/// path: its in-process shards feed deterministic counters, so the
+/// frontier dump — `runner` section included — is byte-identical at
+/// any shard count. Cold caches per shard count keep the comparison
+/// honest (no run reads another's results).
+#[test]
+fn explore_frontier_dumps_match_across_shard_counts() {
+    let base = scratch().with_file_name(format!("hetcore-shard-eq-explore-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("scratch dir");
+
+    let dump_for = |shards: &str| -> String {
+        let cache = base.join(format!("cache-{shards}"));
+        let out_path = base.join(format!("frontier-{shards}.json"));
+        let out = repro(&[
+            "explore",
+            "--budget",
+            "12",
+            "--seed",
+            "42",
+            "--insts",
+            INSTS,
+            "--shards",
+            shards,
+            "--cache-dir",
+            &cache.to_string_lossy(),
+            "--frontier-out",
+            &out_path.to_string_lossy(),
+        ]);
+        assert!(
+            out.status.success(),
+            "explore --shards {shards} fails: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(&out_path).expect("frontier dump written")
+    };
+
+    let reference = dump_for("1");
+    for shards in ["2", "4"] {
+        assert_eq!(
+            reference,
+            dump_for(shards),
+            "frontier dump must be byte-identical at --shards {shards}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -78,9 +78,11 @@ pub use serde;
 pub mod diff;
 pub mod histogram;
 pub mod merge;
+pub mod pareto;
 
 pub use histogram::Histogram;
 pub use merge::{merge_counter_fragments, merge_counter_values};
+pub use pareto::{dominates, frontier_indices};
 
 /// Defines one counter struct with derived `merge`, `minus`,
 /// enumeration and serde support.

@@ -1,0 +1,168 @@
+//! Pareto-dominance primitives for multi-objective minimization.
+//!
+//! The design-space exploration engine (`hetcore::explore`) ranks
+//! candidate designs by several simultaneous objectives — execution
+//! time, energy, ED² — none of which can be traded for another by a
+//! scalar weight without baking a policy into the tool. The standard
+//! alternative is the Pareto frontier: the set of evaluated points no
+//! other point beats on *every* objective at once.
+//!
+//! This module holds the two primitives the engine (and its property
+//! tests) build on:
+//!
+//! * [`dominates`] — the textbook partial order: `a` dominates `b` when
+//!   `a` is no worse on every objective and strictly better on at least
+//!   one. All objectives are minimized; callers negate anything they
+//!   want maximized.
+//! * [`frontier_indices`] — indices of the non-dominated points of a
+//!   set, deduplicated (exact objective ties keep the earliest index)
+//!   and returned in input order.
+//!
+//! Both are deliberately tiny and total: no floats are compared through
+//! tolerances (the simulators are deterministic, so equal means equal),
+//! and NaN objectives are rejected loudly rather than silently
+//! poisoning the order.
+
+/// Returns `true` when `a` Pareto-dominates `b`: `a` is ≤ `b` on every
+/// objective and < on at least one. Objectives are minimized.
+///
+/// Identical vectors do not dominate each other (the relation is
+/// irreflexive), so mutual non-dominance — not a panic or an arbitrary
+/// winner — is the outcome for exact ties.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths or either contains a
+/// NaN: an incomparable objective would make the "frontier" depend on
+/// evaluation order, which the exploration engine's determinism
+/// guarantee cannot absorb.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dominance requires equal objective arity ({} vs {})",
+        a.len(),
+        b.len()
+    );
+    let mut strictly_better = false;
+    for (&x, &y) in a.iter().zip(b) {
+        assert!(!x.is_nan() && !y.is_nan(), "NaN objective is not orderable");
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Indices of the Pareto-optimal points of `points`, in input order.
+///
+/// A point is on the frontier when no other point dominates it *and* no
+/// earlier point has exactly the same objective vector — duplicates
+/// collapse to their first occurrence, so the frontier is a set even
+/// when the input is not. The result is invariant under permutation of
+/// the input (up to the index relabeling the permutation itself
+/// implies): membership depends only on the multiset of points.
+///
+/// O(n²) pairwise scan — exploration budgets are tens to thousands of
+/// points, far below where divide-and-conquer frontiers pay off.
+///
+/// # Panics
+///
+/// Panics on mixed objective arities or NaN objectives, as
+/// [`dominates`] does.
+pub fn frontier_indices(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut frontier = Vec::new();
+    'candidate: for (i, p) in points.iter().enumerate() {
+        for (j, q) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if dominates(q, p) {
+                continue 'candidate;
+            }
+            // Exact duplicate: only the earliest occurrence survives.
+            if j < i && q == p {
+                continue 'candidate;
+            }
+        }
+        frontier.push(i);
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominates_requires_strict_improvement_somewhere() {
+        assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]), "ties never dominate");
+        assert!(
+            !dominates(&[1.0, 3.0], &[2.0, 2.0]),
+            "trade-offs never dominate"
+        );
+        assert!(!dominates(&[2.0, 2.0], &[1.0, 2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal objective arity")]
+    fn mismatched_arity_panics() {
+        dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN objective")]
+    fn nan_objective_panics() {
+        dominates(&[f64::NAN], &[1.0]);
+    }
+
+    #[test]
+    fn frontier_drops_dominated_points_and_keeps_trade_offs() {
+        let points = vec![
+            vec![1.0, 4.0], // frontier (best first objective)
+            vec![2.0, 2.0], // frontier (trade-off)
+            vec![3.0, 3.0], // dominated by [2,2]
+            vec![4.0, 1.0], // frontier (best second objective)
+        ];
+        assert_eq!(frontier_indices(&points), [0, 1, 3]);
+    }
+
+    #[test]
+    fn frontier_collapses_exact_duplicates_to_the_first() {
+        let points = vec![vec![1.0, 1.0], vec![2.0, 0.5], vec![1.0, 1.0]];
+        assert_eq!(frontier_indices(&points), [0, 1]);
+    }
+
+    #[test]
+    fn frontier_membership_is_order_invariant() {
+        let points = vec![
+            vec![1.0, 4.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+            vec![4.0, 1.0],
+        ];
+        let baseline: Vec<Vec<f64>> = frontier_indices(&points)
+            .into_iter()
+            .map(|i| points[i].clone())
+            .collect();
+        let mut reversed = points.clone();
+        reversed.reverse();
+        let mut from_reversed: Vec<Vec<f64>> = frontier_indices(&reversed)
+            .into_iter()
+            .map(|i| reversed[i].clone())
+            .collect();
+        from_reversed.reverse();
+        assert_eq!(baseline, from_reversed);
+    }
+
+    #[test]
+    fn single_point_and_empty_inputs_are_trivial_frontiers() {
+        assert!(frontier_indices(&[]).is_empty());
+        assert_eq!(frontier_indices(&[vec![5.0, 5.0]]), [0]);
+    }
+}
