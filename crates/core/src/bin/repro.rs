@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! repro [--quick] [--insts N] [--format table|json|csv] [--stats-out PATH]
-//!       [--trace-out PATH] [--jobs N] [--cache-dir PATH]
+//!       [--trace-out PATH] [--profile-out PATH] [--jobs N] [--cache-dir PATH]
 //!       [--progress[=stderr|dashboard]]
 //!       [table1|fig1..fig14|all|ext|ext-migration|ext-partrf|ext-sched]...
 //! repro baseline DIR [--insts N] [--jobs N] [--cache-dir PATH] [TARGET]...
@@ -15,8 +15,11 @@
 //! repro check [--fuzz N] [--seed S] [--insts N] [--format table|json]
 //!       [--jobs N] [--cache-dir PATH] [--progress] [--trace-in PATH]
 //! repro bench [--quick] [--insts N] [--seed S] [--warmup N] [--repeats N]
-//!       [--jobs N] [--out BENCH.json] [--format table|json]
+//!       [--jobs N] [--out BENCH.json] [--format table|json] [--trend]
 //!       [--compare BASELINE.json [CANDIDATE.json]] [--rel-tol X | --ratchet]
+//! repro profile [--quick] [--insts N] [--seed S] [--jobs N] [--shards N]
+//!       [--format table|json|folded] [--out PATH] [--counters-out PATH]
+//!       [EXPERIMENT]...
 //! repro trace-export IN.jsonl OUT.json
 //! ```
 //!
@@ -76,6 +79,21 @@
 //! re-validates a trace file's structure. Tracing only adds output —
 //! reports on stdout are byte-identical with and without it.
 //!
+//! Cycle attribution (see `hetsim_obs::profile`): `profile` runs the
+//! campaign experiments with top-down cycle attribution enabled —
+//! every simulated cycle of every core/CU charged to one class
+//! (retire, frontend, branch-redirect, rob-full, issue-bound,
+//! mem-latency, idle-skipped) — and renders the per-design roll-up as
+//! a table, the raw `hetsim-profile-v1` document (`--format json`), or
+//! folded stacks for flamegraph tools (`--format folded`);
+//! `--counters-out` additionally writes Perfetto counter tracks.
+//! `--profile-out PATH` on a plain run opts the same attribution into
+//! any campaign and writes the document to `PATH` (on `--shards` runs
+//! the per-worker fragments are merged, like traces are stitched).
+//! Like tracing it is strictly additive: headline stdout stays
+//! byte-identical, and with profiling off the simulators skip all
+//! histogram work.
+//!
 //! Arguments are validated up front: any unknown argument (or any flag
 //! missing its value) fails the run before any experiment starts, no
 //! matter where it appears on the command line.
@@ -96,15 +114,18 @@ use hetcore::report::Report;
 use hetcore::suite::{CpuCampaign, Experiment, Extension, GpuCampaign, Suite};
 use hetcore::telemetry::StatsDump;
 use hetsim_check::Checker;
+use hetsim_obs::profile::collector;
 use hetsim_obs::{
-    chrome_trace, parse_jsonl, stitch_traces, validate_events, MonotonicClock, TraceRecorder,
+    chrome_trace, parse_jsonl, stitch_traces, validate_events, CycleProfile, MonotonicClock,
+    TraceRecorder,
 };
 use hetsim_runner::{
     design_of, fragment_path, manifest_path, supervise, trace_path, write_atomic, DashboardSink,
     MultiSink, NullSink, ProgressEvent, ProgressSink, Runner, RunnerStats, ShardEventSink,
     ShardManifest, ShardPolicy, StderrSink, TraceEventSink, WorkerEvent, SHARD_SCHEMA,
 };
-use serde::Serialize as _;
+use hetsim_stats::attribution::{self, CycleClass};
+use serde::{Deserialize as _, Serialize as _};
 
 /// How reports are rendered on stdout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -187,7 +208,7 @@ fn progress_sink(mode: Progress, recorder: Option<&Arc<TraceRecorder>>) -> Arc<d
 fn usage() -> String {
     format!(
         "usage: repro [--quick] [--insts N] [--format table|json|csv] [--stats-out PATH] \
-         [--trace-out PATH] [--jobs N] [--shards N] [--cache-dir PATH] \
+         [--trace-out PATH] [--profile-out PATH] [--jobs N] [--shards N] [--cache-dir PATH] \
          [--progress[=stderr|dashboard]] [EXPERIMENT]...\n\
          \x20      repro baseline DIR [--insts N] [--jobs N] [--cache-dir PATH] [TARGET]...\n\
          \x20      repro diff BASELINE.json CANDIDATE.json [--format F] [--rel-tol X] \
@@ -196,8 +217,10 @@ fn usage() -> String {
          \x20      repro check [--fuzz N] [--seed S] [--insts N] [--format table|json] \
          [--jobs N] [--cache-dir PATH] [--progress] [--trace-in PATH]\n\
          \x20      repro bench [--quick] [--insts N] [--seed S] [--warmup N] [--repeats N] \
-         [--jobs N] [--out BENCH.json] [--format table|json] \
+         [--jobs N] [--out BENCH.json] [--format table|json] [--trend] \
          [--compare BASELINE.json [CANDIDATE.json]] [--rel-tol X | --ratchet]\n\
+         \x20      repro profile [--quick] [--insts N] [--seed S] [--jobs N] [--shards N] \
+         [--format table|json|folded] [--out PATH] [--counters-out PATH] [EXPERIMENT]...\n\
          \x20      repro explore [--space fig7] [--budget N] [--seed S] [--insts N] \
          [--jobs N] [--shards N] [--cache-dir PATH] [--sweep AXIS=V1,V2...]... \
          [--format table|json|csv] [--frontier-out PATH]\n\
@@ -226,6 +249,7 @@ struct Options {
     format: Format,
     stats_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
+    profile_out: Option<PathBuf>,
     jobs: usize,
     shards: Option<usize>,
     cache_dir: Option<PathBuf>,
@@ -245,6 +269,7 @@ fn parse(args: &[String]) -> Result<Options, Vec<String>> {
     let mut insts = None;
     let mut stats_out = None;
     let mut trace_out = None;
+    let mut profile_out = None;
     let mut jobs = None;
     let mut shards = None;
     let mut cache_dir = None;
@@ -300,6 +325,11 @@ fn parse(args: &[String]) -> Result<Options, Vec<String>> {
             "--trace-out" => {
                 if let Some(v) = value(&mut errors) {
                     trace_out = Some(PathBuf::from(v));
+                }
+            }
+            "--profile-out" => {
+                if let Some(v) = value(&mut errors) {
+                    profile_out = Some(PathBuf::from(v));
                 }
             }
             "--progress" => match parse_progress(inline.as_deref()) {
@@ -358,6 +388,7 @@ fn parse(args: &[String]) -> Result<Options, Vec<String>> {
         format,
         stats_out,
         trace_out,
+        profile_out,
         jobs,
         shards,
         cache_dir,
@@ -624,7 +655,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
     // The recorder exists only when a trace was requested; without it
     // the run takes exactly the untraced code path, so headline output
-    // stays byte-identical.
+    // stays byte-identical. Attribution is the same shape of opt-in:
+    // the process-global flag stays off (and the simulators skip all
+    // histogram work) unless --profile-out asked for it.
+    if opts.profile_out.is_some() {
+        attribution::set_enabled(true);
+    }
     let recorder = opts
         .trace_out
         .is_some()
@@ -644,12 +680,19 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Drained exactly once per run; with profiling off the collector
+    // was never touched and stays empty.
+    let profile = opts.profile_out.is_some().then(collector::take);
+    let mut dump = execution.dump;
+    if let Some(p) = &profile {
+        dump = dump.with_profile(p.to_value());
+    }
     if let Err(e) = print_reports(&execution.reports, opts.format) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
     }
     if let Some(path) = opts.stats_out {
-        if let Err(e) = execution.dump.write_to(&path) {
+        if let Err(e) = dump.write_to(&path) {
             eprintln!("error: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
@@ -666,7 +709,34 @@ fn cmd_run(args: &[String]) -> ExitCode {
             path.display()
         );
     }
+    if let (Some(path), Some(profile)) = (&opts.profile_out, &profile) {
+        if let Err(e) = write_profile(path, profile) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Writes a `hetsim-profile-v1` document to `path`, narrating on
+/// stderr. A warm-cache run legitimately yields an empty document
+/// (cache replay skips simulation), so emptiness is reported, not
+/// failed.
+fn write_profile(path: &std::path::Path, profile: &CycleProfile) -> Result<(), String> {
+    let json =
+        serde_json::to_string_pretty(&profile.to_value()).expect("value trees always serialize");
+    write_atomic(path, &json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    eprintln!(
+        "wrote cycle profile ({} unit(s)) to {}{}",
+        profile.rows().len(),
+        path.display(),
+        if profile.is_empty() {
+            " (empty: all jobs replayed from cache)"
+        } else {
+            ""
+        }
+    );
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -744,7 +814,13 @@ fn cmd_run_sharded(opts: Options, shards: usize) -> ExitCode {
         eprintln!("error: cannot create {}: {e}", out_dir.display());
         return ExitCode::FAILURE;
     }
-    if let Err(e) = run_sharded(&opts, shards, &cache_dir, &out_dir) {
+    if let Err(e) = run_sharded(
+        &opts,
+        shards,
+        &cache_dir,
+        &out_dir,
+        opts.profile_out.is_some(),
+    ) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
@@ -752,7 +828,13 @@ fn cmd_run_sharded(opts: Options, shards: usize) -> ExitCode {
     // The merge pass: the unchanged single-process path, answered
     // entirely from the warm cache, so stdout and the stats dump are
     // byte-for-byte what `--jobs` alone produces. Progress stays quiet
-    // here — the shard phase already narrated the batch.
+    // here — the shard phase already narrated the batch. Attribution
+    // stays on here too: campaign jobs replay from cache (publishing
+    // nothing), but the inline extension studies simulate in this
+    // process and their rows merge with the worker fragments below.
+    if opts.profile_out.is_some() {
+        attribution::set_enabled(true);
+    }
     let recorder = opts
         .trace_out
         .is_some()
@@ -773,12 +855,29 @@ fn cmd_run_sharded(opts: Options, shards: usize) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let profile = match opts.profile_out.is_some() {
+        true => match merge_profile_fragments(&out_dir, shards) {
+            Ok(mut merged) => {
+                merged.merge(&collector::take());
+                Some(merged)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        false => None,
+    };
+    let mut dump = execution.dump;
+    if let Some(p) = &profile {
+        dump = dump.with_profile(p.to_value());
+    }
     if let Err(e) = print_reports(&execution.reports, opts.format) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
     }
     if let Some(path) = &opts.stats_out {
-        if let Err(e) = execution.dump.write_to(path) {
+        if let Err(e) = dump.write_to(path) {
             eprintln!("error: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
@@ -822,8 +921,40 @@ fn cmd_run_sharded(opts: Options, shards: usize) -> ExitCode {
             path.display()
         );
     }
+    if let (Some(path), Some(profile)) = (&opts.profile_out, &profile) {
+        if let Err(e) = write_profile(path, profile) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     drop(cleanup);
     ExitCode::SUCCESS
+}
+
+/// The per-shard cycle-profile fragment, next to the shard's manifest
+/// and trace log.
+fn profile_fragment_path(dir: &std::path::Path, shard: usize) -> PathBuf {
+    dir.join(format!("profile-{shard}.json"))
+}
+
+/// Reads and merges every worker's profile fragment — the profile
+/// analogue of stitching the per-worker trace logs.
+fn merge_profile_fragments(
+    out_dir: &std::path::Path,
+    shards: usize,
+) -> Result<CycleProfile, String> {
+    let mut merged = CycleProfile::new();
+    for shard in 0..shards {
+        let path = profile_fragment_path(out_dir, shard);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let value: serde::value::Value =
+            serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let fragment =
+            CycleProfile::from_value(&value).map_err(|e| format!("{}: {e}", path.display()))?;
+        merged.merge(&fragment);
+    }
+    Ok(merged)
 }
 
 /// The supervisor phase: spawn `shards` workers over the shared cache,
@@ -834,6 +965,7 @@ fn run_sharded(
     shards: usize,
     cache_dir: &std::path::Path,
     out_dir: &std::path::Path,
+    profile: bool,
 ) -> Result<(), String> {
     use serde::value::Value;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -920,6 +1052,9 @@ fn run_sharded(
             if opts.trace_out.is_some() {
                 cmd.arg("--trace");
             }
+            if profile {
+                cmd.arg("--profile");
+            }
             cmd.args(&words);
             cmd
         },
@@ -993,6 +1128,9 @@ fn run_sharded(
         merged.merge(&stats);
     }
     sink.event(&ProgressEvent::BatchFinished { stats: merged });
+    // The supervisor fans worker events into rate-limited sinks by
+    // hand (no Runner in this process), so it settles them by hand too.
+    sink.flush();
     Ok(())
 }
 
@@ -1012,6 +1150,7 @@ fn cmd_shard_worker(args: &[String]) -> ExitCode {
     let mut seed: Option<u64> = None;
     let mut jobs = 1usize;
     let mut trace = false;
+    let mut profile = false;
     let mut words: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -1033,6 +1172,7 @@ fn cmd_shard_worker(args: &[String]) -> ExitCode {
                 "--seed" => seed = Some(value()?.parse::<u64>().map_err(|e| e.to_string())?),
                 "--jobs" => jobs = value()?.parse::<usize>().map_err(|e| e.to_string())?,
                 "--trace" => trace = true,
+                "--profile" => profile = true,
                 word if !word.starts_with("--") => words.push(word.to_string()),
                 other => return Err(format!("unknown shard-worker flag '{other}'")),
             }
@@ -1071,6 +1211,9 @@ fn cmd_shard_worker(args: &[String]) -> ExitCode {
 
     let sink: Arc<dyn ProgressSink> = Arc::new(ShardEventSink::stdout());
     let recorder = trace.then(|| Arc::new(TraceRecorder::new(Arc::new(MonotonicClock::new()))));
+    if profile {
+        attribution::set_enabled(true);
+    }
 
     // This shard's slice of the canonical batch, by key — every worker
     // and the supervisor compute the same partition independently.
@@ -1166,6 +1309,20 @@ fn cmd_shard_worker(args: &[String]) -> ExitCode {
     if let Some(rec) = &recorder {
         if let Err(e) = write_atomic(&trace_path(&out_dir, shard), &rec.to_jsonl()) {
             eprintln!("error: shard {shard}: cannot write trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if profile {
+        // Only the simulated slice publishes rows; cache replays (a
+        // healed retry re-covering a crashed attempt's work) publish
+        // nothing, so the merged document undercounts exactly what was
+        // never re-simulated. Best-effort by design — the supervisor's
+        // diff policy exempts profile.* for the same reason.
+        let doc = collector::take();
+        let json =
+            serde_json::to_string_pretty(&doc.to_value()).expect("value trees always serialize");
+        if let Err(e) = write_atomic(&profile_fragment_path(&out_dir, shard), &json) {
+            eprintln!("error: shard {shard}: cannot write profile fragment: {e}");
             return ExitCode::FAILURE;
         }
     }
@@ -2005,6 +2162,144 @@ fn bench_comparable(
     Ok(())
 }
 
+/// `repro bench --trend` — the perf trajectory across every pinned
+/// `BENCH_*.json` dump in the current directory, ordered by the
+/// numeric suffix (the PR sequence that pinned them). One row per
+/// scenario, one column per dump, insts/sec throughout, and a final
+/// latest/first ratio column.
+fn cmd_bench_trend(format: Format) -> ExitCode {
+    use serde::value::Value;
+
+    let entries = match std::fs::read_dir(".") {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: cannot read the current directory: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut files: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(n) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            files.push((n, PathBuf::from(name)));
+        }
+    }
+    files.sort();
+    if files.is_empty() {
+        eprintln!("error: no BENCH_*.json dumps in the current directory");
+        return ExitCode::FAILURE;
+    }
+    let mut dumps: Vec<(String, hetsim_bench::BenchDump)> = Vec::new();
+    for (_, path) in &files {
+        match load_bench_dump(path) {
+            Ok(d) => dumps.push((path.display().to_string(), d)),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Dumps pin the same workload across the sequence; if one diverged
+    // (a budget change), the ratios still render but mean less.
+    let uniform = dumps
+        .windows(2)
+        .all(|w| w[0].1.insts == w[1].1.insts && w[0].1.seed == w[1].1.seed);
+    if !uniform {
+        eprintln!(
+            "warning: dumps measured different work (--insts/--seed differ); \
+             ratios are indicative only"
+        );
+    }
+    // Scenario rows in order of first appearance across the sequence.
+    let mut scenarios: Vec<String> = Vec::new();
+    for (_, dump) in &dumps {
+        for s in &dump.scenarios {
+            if !scenarios.contains(&s.name) {
+                scenarios.push(s.name.clone());
+            }
+        }
+    }
+    let rate = |dump: &hetsim_bench::BenchDump, name: &str| {
+        dump.scenarios
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.insts_per_sec)
+    };
+
+    if format == Format::Json {
+        let doc = Value::Object(vec![
+            ("schema".into(), Value::Str("hetsim-bench-trend-v1".into())),
+            (
+                "dumps".into(),
+                Value::Array(
+                    dumps
+                        .iter()
+                        .map(|(file, d)| {
+                            Value::Object(vec![
+                                ("file".into(), Value::Str(file.clone())),
+                                ("insts".into(), Value::UInt(d.insts)),
+                                ("seed".into(), Value::UInt(d.seed)),
+                                (
+                                    "scenarios".into(),
+                                    Value::Object(
+                                        d.scenarios
+                                            .iter()
+                                            .map(|s| {
+                                                (s.name.clone(), Value::Float(s.insts_per_sec))
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("value trees always serialize")
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "bench trend: {} pinned dump(s) ({} .. {}), insts/sec",
+        dumps.len(),
+        dumps.first().expect("nonempty").0,
+        dumps.last().expect("nonempty").0
+    );
+    print!("{:<22}", "scenario");
+    for (file, _) in &dumps {
+        print!(" {file:>14}");
+    }
+    println!(" {:>14}", "latest/first");
+    for name in &scenarios {
+        print!("{name:<22}");
+        let mut first = None;
+        let mut last = None;
+        for (_, dump) in &dumps {
+            match rate(dump, name) {
+                Some(r) => {
+                    first.get_or_insert(r);
+                    last = Some(r);
+                    print!(" {r:>14.0}");
+                }
+                None => print!(" {:>14}", "-"),
+            }
+        }
+        match (first, last) {
+            (Some(f), Some(l)) if f > 0.0 => println!(" {:>13.2}x", l / f),
+            _ => println!(" {:>14}", "-"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn load_bench_dump(path: &PathBuf) -> Result<hetsim_bench::BenchDump, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -2030,6 +2325,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let mut candidate: Option<PathBuf> = None;
     let mut rel_tol: Option<f64> = None;
     let mut ratchet = false;
+    let mut trend = false;
     let mut format = Format::Table;
     let mut errors = Vec::new();
 
@@ -2114,6 +2410,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 }
             }
             "--ratchet" => ratchet = true,
+            "--trend" => trend = true,
             "--format" => {
                 if let Some(v) = value(&mut errors) {
                     match parse_format(&v) {
@@ -2149,8 +2446,30 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             "--ratchet pins the CI tolerance; it cannot be combined with --rel-tol".to_string(),
         );
     }
+    if trend
+        && (quick
+            || insts.is_some()
+            || seed.is_some()
+            || warmup.is_some()
+            || repeats.is_some()
+            || jobs.is_some()
+            || out.is_some()
+            || compare_base.is_some()
+            || candidate.is_some()
+            || rel_tol.is_some()
+            || ratchet)
+    {
+        errors.push(
+            "--trend reads the existing BENCH_*.json dumps and runs nothing; it cannot \
+             be combined with measurement or comparison flags"
+                .to_string(),
+        );
+    }
     if !errors.is_empty() {
         return fail(&errors);
+    }
+    if trend {
+        return cmd_bench_trend(format);
     }
 
     let mut policy = hetsim_bench::ComparePolicy::default();
@@ -2409,6 +2728,292 @@ fn cmd_explore(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// How `repro profile` renders the attribution document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum ProfileFormat {
+    /// The per-design roll-up table (the default).
+    #[default]
+    Table,
+    /// The raw `hetsim-profile-v1` document.
+    Json,
+    /// Folded stacks (`design;unit;class count`) for flamegraph tools.
+    Folded,
+}
+
+/// The per-design roll-up: units merged per `(design, unit kind)` —
+/// `core` and `cu` stay separate rows because CPU chips and GPU
+/// designs share names — with total attributed cycles and each
+/// top-down class as a percentage of them.
+fn render_profile_table(profile: &CycleProfile, insts: u64, seed: u64) -> String {
+    use std::fmt::Write as _;
+    let kind_of = |unit: &str| {
+        unit.trim_end_matches(|c: char| c.is_ascii_digit())
+            .to_string()
+    };
+    let mut groups: Vec<(
+        String,
+        String,
+        u64,
+        u64,
+        hetsim_stats::attribution::ClassCounts,
+    )> = Vec::new();
+    for row in profile.rows() {
+        let kind = kind_of(&row.unit);
+        match groups
+            .iter_mut()
+            .find(|(d, k, ..)| d == &row.design && k == &kind)
+        {
+            Some((_, _, units, cycles, classes)) => {
+                *units += 1;
+                *cycles += row.cycles;
+                classes.merge(&row.classes);
+            }
+            None => groups.push((row.design.clone(), kind, 1, row.cycles, row.classes)),
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile: {} unit(s) across {} design row(s), --insts {insts}, seed {seed}",
+        profile.rows().len(),
+        groups.len()
+    );
+    let _ = write!(
+        out,
+        "{:<12} {:<5} {:>5} {:>14}",
+        "design", "unit", "n", "cycles"
+    );
+    for class in CycleClass::ALL {
+        let _ = write!(out, " {:>15}", class.name());
+    }
+    out.push('\n');
+    for (design, kind, units, cycles, classes) in &groups {
+        let _ = write!(out, "{design:<12} {kind:<5} {units:>5} {cycles:>14}");
+        for class in CycleClass::ALL {
+            let pct = if *cycles > 0 {
+                100.0 * classes.get(class) as f64 / *cycles as f64
+            } else {
+                0.0
+            };
+            let _ = write!(out, " {:>14.1}%", pct);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// `repro profile` — run campaign experiments (default: fig7 + fig10,
+/// the CPU and GPU campaigns) with top-down cycle attribution enabled
+/// and render the per-design roll-up, the raw document, or folded
+/// stacks. The cache is never consulted, so every job simulates and
+/// the document covers the whole campaign; with `--shards N` the
+/// workers simulate and their fragments merge, exactly like sharded
+/// trace logs stitch.
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let mut suite = Suite::default();
+    let mut quick = false;
+    let mut insts: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut jobs: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut format = ProfileFormat::default();
+    let mut out: Option<PathBuf> = None;
+    let mut counters_out: Option<PathBuf> = None;
+    let mut requested: Vec<Experiment> = Vec::new();
+    let mut errors = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let (name, inline) = match arg.split_once('=') {
+            Some((n, v)) if n.starts_with("--") => (n, Some(v.to_string())),
+            _ => (arg, None),
+        };
+        let mut value = |errors: &mut Vec<String>| -> Option<String> {
+            if let Some(v) = inline.clone() {
+                return Some(v);
+            }
+            i += 1;
+            match args.get(i) {
+                Some(v) => Some(v.clone()),
+                None => {
+                    errors.push(format!("{name} requires a value"));
+                    None
+                }
+            }
+        };
+        match name {
+            "--quick" => quick = true,
+            "--insts" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<u64>() {
+                        Ok(n) if n >= 1 => insts = Some(n),
+                        _ => errors.push(format!("--insts expects an integer >= 1, got '{v}'")),
+                    }
+                }
+            }
+            "--seed" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<u64>() {
+                        Ok(n) => seed = Some(n),
+                        _ => errors.push(format!("--seed expects an integer, got '{v}'")),
+                    }
+                }
+            }
+            "--jobs" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => jobs = Some(n),
+                        _ => errors.push(format!("--jobs expects an integer >= 1, got '{v}'")),
+                    }
+                }
+            }
+            "--shards" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => shards = Some(n),
+                        _ => errors.push(format!("--shards expects an integer >= 1, got '{v}'")),
+                    }
+                }
+            }
+            "--format" => {
+                if let Some(v) = value(&mut errors) {
+                    match v.as_str() {
+                        "table" => format = ProfileFormat::Table,
+                        "json" => format = ProfileFormat::Json,
+                        "folded" => format = ProfileFormat::Folded,
+                        other => errors.push(format!(
+                            "--format expects table, json or folded, got '{other}'"
+                        )),
+                    }
+                }
+            }
+            "--out" => {
+                if let Some(v) = value(&mut errors) {
+                    out = Some(PathBuf::from(v));
+                }
+            }
+            "--counters-out" => {
+                if let Some(v) = value(&mut errors) {
+                    counters_out = Some(PathBuf::from(v));
+                }
+            }
+            other if other.starts_with("--") => errors.push(format!("unknown flag '{other}'")),
+            word => match Experiment::from_cli_name(word) {
+                Some(e) => requested.push(e),
+                None => errors.push(format!("unknown experiment '{word}'")),
+            },
+        }
+        i += 1;
+    }
+    if !errors.is_empty() {
+        return fail(&errors);
+    }
+    if quick {
+        suite.insts_per_app = 60_000;
+    }
+    if let Some(n) = insts {
+        // An explicit budget wins over --quick wherever it appears.
+        suite.insts_per_app = n;
+    }
+    if let Some(s) = seed {
+        suite.seed = s;
+    }
+    if requested.is_empty() {
+        requested = vec![Experiment::Fig7, Experiment::Fig10];
+    }
+    let jobs = jobs.unwrap_or_else(default_jobs);
+    let (table_insts, table_seed) = (suite.insts_per_app, suite.seed);
+
+    attribution::set_enabled(true);
+    let profile = match shards {
+        Some(n) => {
+            // The sharded path: workers simulate the cold shared cache
+            // and write per-shard fragments; no merge pass is needed —
+            // the fragments *are* the result.
+            let opts = Options {
+                suite,
+                requested,
+                extensions: Vec::new(),
+                format: Format::Table,
+                stats_out: None,
+                trace_out: None,
+                profile_out: None,
+                jobs,
+                shards: Some(n),
+                cache_dir: None,
+                progress: Progress::Quiet,
+            };
+            let cache_dir =
+                std::env::temp_dir().join(format!("hetsim-profile-run-{}", std::process::id()));
+            let cleanup = EphemeralDir(Some(cache_dir.clone()));
+            let out_dir = cache_dir.join("shards");
+            if let Err(e) = std::fs::create_dir_all(&out_dir) {
+                eprintln!("error: cannot create {}: {e}", out_dir.display());
+                return ExitCode::FAILURE;
+            }
+            let result = run_sharded(&opts, n, &cache_dir, &out_dir, true)
+                .and_then(|()| merge_profile_fragments(&out_dir, n));
+            drop(cleanup);
+            match result {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => {
+            // No cache directory: every job simulates, so the document
+            // covers the whole campaign (a warm cache would replay
+            // jobs without attributing anything).
+            if let Err(e) = execute(&suite, &requested, &[], jobs, &None, Progress::Quiet, None) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            collector::take()
+        }
+    };
+
+    if let Some(path) = &counters_out {
+        let json = serde_json::to_string_pretty(&profile.counter_track_doc())
+            .expect("value trees always serialize");
+        if let Err(e) = write_atomic(path, &json) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote Perfetto counter tracks to {} — load in Perfetto or chrome://tracing",
+            path.display()
+        );
+    }
+    let rendered = match format {
+        ProfileFormat::Table => render_profile_table(&profile, table_insts, table_seed),
+        ProfileFormat::Json => {
+            let mut s = serde_json::to_string_pretty(&profile.to_value())
+                .expect("value trees always serialize");
+            s.push('\n');
+            s
+        }
+        ProfileFormat::Folded => profile.folded(),
+    };
+    match &out {
+        Some(path) => {
+            if let Err(e) = write_atomic(path, &rendered) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote cycle profile ({} unit(s)) to {}",
+                profile.rows().len(),
+                path.display()
+            );
+        }
+        None => print!("{rendered}"),
+    }
+    ExitCode::SUCCESS
+}
+
 /// `repro trace-export IN.jsonl OUT.json` — convert a recorded JSONL
 /// trace into Chrome trace-event JSON, loadable in Perfetto
 /// (<https://ui.perfetto.dev>) or `chrome://tracing`.
@@ -2482,6 +3087,7 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("explore") => cmd_explore(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("trace-export") => cmd_trace_export(&args[1..]),
         // Hidden: the worker half of `--shards` (see `cmd_shard_worker`).
         Some("shard-worker") => cmd_shard_worker(&args[1..]),

@@ -85,6 +85,7 @@ pub fn validate_cpu_outcome(outcome: &CpuOutcome, checker: &mut Checker) {
             stats: outcome.stats,
             mem: outcome.mem,
             clock_hz: cfg.clock_hz,
+            profile: Default::default(),
         };
         validate_run(&cfg, &result, outcome_slack_runs(outcome.cores), c);
         validate_energy_breakdown(&outcome.energy, c);
@@ -219,6 +220,7 @@ pub fn validate_dump(
                         stats,
                         mem,
                         clock_hz: cfg.clock_hz,
+                        profile: Default::default(),
                     };
                     // A column merges `apps` outcomes, each of which
                     // merges up to `cores + 1` measurement windows.

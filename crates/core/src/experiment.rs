@@ -13,8 +13,11 @@ use hetsim_cpu::stats::CoreStats;
 use hetsim_gpu::gpu::Gpu;
 use hetsim_gpu::stats::GpuStats;
 use hetsim_mem::stats::MemStats;
+use hetsim_obs::profile::collector;
+use hetsim_obs::ProfileRow;
 use hetsim_power::account::{EnergyBreakdown, GpuActivity, GpuEnergy, GpuEnergyModel};
 use hetsim_runner::SimMetrics;
+use hetsim_stats::attribution;
 use hetsim_trace::WorkloadProfile;
 use serde::{Deserialize, Serialize};
 
@@ -99,6 +102,9 @@ pub fn run_cpu(design: CpuDesign, app: &WorkloadProfile, seed: u64, insts: u64) 
     // memoized trace instead of regenerating it per design.
     let trace = hetsim_trace::cache::replay(app, seed, 0, warmup + insts + window + 1);
     let result = core.run_warmed(trace, warmup, insts);
+    if attribution::enabled() {
+        publish_core_profile(design, "core0", &result.profile);
+    }
     let seconds = result.seconds();
     let energy = design
         .energy_model()
@@ -146,6 +152,16 @@ pub fn run_cpu_multicore_configured(
     total_insts: u64,
 ) -> CpuOutcome {
     let mc: MulticoreResult = run_multicore(cfg, cores, app, seed, total_insts);
+    if attribution::enabled() {
+        // The serial phase runs on core 0, so its attribution folds
+        // into the same unit row as core 0's parallel phase.
+        if let Some(serial) = &mc.serial {
+            publish_core_profile(design, "core0", &serial.profile);
+        }
+        for (t, r) in mc.parallel.iter().enumerate() {
+            publish_core_profile(design, &format!("core{t}"), &r.profile);
+        }
+    }
 
     let mut energy = EnergyBreakdown::default();
     // Serial phase: core 0 active, the rest leaking.
@@ -264,6 +280,15 @@ fn price_gpu_run(
         seconds,
     };
     let energy = GpuEnergyModel::new(design.assignment()).energy(&activity);
+    if attribution::enabled() {
+        for (cu, p) in result.profiles.iter().enumerate() {
+            let mut row = ProfileRow::new(design.name(), format!("cu{cu}"));
+            row.classes = p.classes;
+            row.cycles = p.cycles;
+            row.add_histogram("residency", &p.residency);
+            collector::record(row);
+        }
+    }
     GpuOutcome {
         design,
         kernel: kernel.name.to_string(),
@@ -272,6 +297,21 @@ fn price_gpu_run(
         compute_units: result.compute_units,
         stats: result.stats,
     }
+}
+
+/// Publishes one core run's attribution into the process-wide profile
+/// collector. Only called while profiling is enabled, so plain runs
+/// never touch the collector lock.
+fn publish_core_profile(design: CpuDesign, unit: &str, p: &hetsim_cpu::CoreProfile) {
+    let mut row = ProfileRow::new(design.name(), unit);
+    row.classes = p.classes;
+    row.cycles = p.cycles;
+    row.add_histogram("rob", &p.occupancy.rob);
+    row.add_histogram("iq", &p.occupancy.iq);
+    row.add_histogram("lsq", &p.occupancy.lsq);
+    row.add_histogram("mem_hit_latency", &p.mem_hit_latency);
+    row.add_histogram("mem_miss_latency", &p.mem_miss_latency);
+    collector::record(row);
 }
 
 #[cfg(test)]

@@ -233,6 +233,11 @@ impl Default for DiffPolicy {
         if !RunnerStats::DETERMINISTIC {
             ignored.push("runner.".to_string());
         }
+        // The cycle-attribution profile is opt-in telemetry: which jobs
+        // simulate fresh (vs. replay from the warm job cache) varies
+        // between runs, so its totals carry the same run-to-run
+        // variability as the runner section.
+        ignored.push("profile.".to_string());
         DiffPolicy {
             // Deterministic simulators: the tolerance only absorbs
             // float shortest-round-trip formatting noise.

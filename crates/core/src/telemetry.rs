@@ -51,6 +51,7 @@ pub struct StatsDump {
     gpu: Option<Value>,
     runner: Vec<(String, RunnerStats)>,
     timing: Vec<(String, RunnerTiming)>,
+    profile: Option<Value>,
     reports: Vec<Report>,
 }
 
@@ -174,6 +175,17 @@ impl StatsDump {
         self
     }
 
+    /// Adds the cycle-attribution profile document (the
+    /// `hetsim-profile-v1` value from `hetsim_obs::profile`). Like the
+    /// `runner` section, `profile.*` counters are exempt from the
+    /// regression diff: which runs simulate fresh (vs. replay from the
+    /// job cache) varies run to run, so attribution totals are not
+    /// byte-stable even though each individual simulation is.
+    pub fn with_profile(mut self, profile: Value) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
     /// Pretty-printed JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(&self.to_value()).expect("value trees always serialize")
@@ -231,6 +243,9 @@ impl Serialize for StatsDump {
             ));
         }
         fields.push(("runner".into(), Value::Object(runner)));
+        if let Some(profile) = &self.profile {
+            fields.push(("profile".into(), profile.clone()));
+        }
         if !self.reports.is_empty() {
             fields.push(("reports".into(), self.reports.to_value()));
         }

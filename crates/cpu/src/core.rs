@@ -54,9 +54,12 @@ use hetsim_mem::hierarchy::Hierarchy;
 use hetsim_mem::stats::MemStats;
 use hetsim_trace::isa::{BranchInfo, Inst, OpClass};
 
+use hetsim_stats::attribution;
+
 use crate::config::{CoreConfig, SteeringPolicy};
 use crate::fu::FuPool;
 use crate::predictor::TournamentPredictor;
+use crate::profile::{CoreProfile, CycleClass};
 use crate::stats::CoreStats;
 use crate::telemetry;
 
@@ -354,6 +357,10 @@ pub struct RunResult {
     pub mem: MemStats,
     /// The clock the core ran at (Hz).
     pub clock_hz: f64,
+    /// Top-down cycle attribution for the measured window. Class counts
+    /// always sum to `stats.cycles`; empty (all zero) in contexts that
+    /// reconstruct results from frozen dumps.
+    pub profile: CoreProfile,
 }
 
 impl RunResult {
@@ -483,6 +490,11 @@ impl Core {
         } else {
             None
         };
+        // Top-down attribution: class counts are always maintained (they
+        // must sum to the measured cycles), the histograms only under
+        // the process-wide profiling switch, read once per run.
+        let profiling = attribution::enabled();
+        let mut profile = CoreProfile::default();
 
         while committed < total || !rob.is_empty() {
             // ---- Commit (in order, up to issue_width) ----
@@ -570,6 +582,14 @@ impl Core {
                         let done = match op {
                             OpClass::Load => {
                                 let mem = self.hierarchy.load(rob.addr[slot]);
+                                if profiling && snapshot.is_some() {
+                                    let h = if mem.level.is_dl1_miss() {
+                                        &mut profile.mem_miss_latency
+                                    } else {
+                                        &mut profile.mem_hit_latency
+                                    };
+                                    h.record(u64::from(mem.latency));
+                                }
                                 cycle + u64::from(issued.latency) + u64::from(mem.latency)
                             }
                             _ => cycle + u64::from(issued.latency),
@@ -751,6 +771,7 @@ impl Core {
                 last_verified_cycle = Some(cycle);
             }
 
+            let mut iter_cycles: u64 = 1;
             cycle += 1;
             assert!(
                 cycle - last_progress_cycle < 1_000_000,
@@ -787,7 +808,50 @@ impl Core {
                     }
                     skipped_cycles += skipped;
                     wakeup_jumps += 1;
+                    iter_cycles += skipped;
                     cycle = target;
+                }
+            }
+
+            // ---- Top-down cycle attribution ----
+            // Charge this iteration's cycle — plus any skipped dead
+            // cycles, whose classification is frozen along with the rest
+            // of the pipeline state — to exactly one class. Iterations
+            // before the warmup snapshot are outside the measured window
+            // and stay uncharged, so the classes sum to `stats.cycles`.
+            if snapshot.is_some() {
+                let class = if committed_now > 0 {
+                    CycleClass::Retire
+                } else if dispatched_now > 0 {
+                    CycleClass::Frontend
+                } else if !dispatch_open {
+                    CycleClass::BranchRedirect
+                } else if !rob.is_empty() && {
+                    let hs = rob.slot(rob.head_seq);
+                    rob.flags[hs] & F_ISSUED != 0 && rob.op[hs].is_mem()
+                } {
+                    // The oldest in-flight instruction is an outstanding
+                    // load/store: everything behind it (including any
+                    // dispatch stall) is waiting on memory.
+                    CycleClass::MemLatency
+                } else if stall != Stall::None {
+                    CycleClass::RobFull
+                } else if !rob.is_empty() {
+                    CycleClass::IssueBound
+                } else {
+                    CycleClass::IdleSkipped
+                };
+                profile.classes.charge(class, iter_cycles);
+                if profiling {
+                    profile.occupancy.rob.record_n(rob.len(), iter_cycles);
+                    profile
+                        .occupancy
+                        .iq
+                        .record_n(u64::from(rob.pending_count), iter_cycles);
+                    profile
+                        .occupancy
+                        .lsq
+                        .record_n(u64::from(lsq_occ), iter_cycles);
                 }
             }
         }
@@ -800,10 +864,17 @@ impl Core {
         let mut stats = self.stats.minus(&snap_stats);
         stats.cycles = cycle - snap_cycle;
         stats.committed = committed - warmup.min(committed);
+        profile.cycles = cycle - snap_cycle;
+        debug_assert_eq!(
+            profile.classes.total(),
+            profile.cycles,
+            "every measured cycle is charged to exactly one class"
+        );
         RunResult {
             stats,
             mem: self.hierarchy.stats().minus(&snap_mem),
             clock_hz: self.cfg.clock_hz,
+            profile,
         }
     }
 
@@ -1096,6 +1167,22 @@ pub fn validate_run(cfg: &CoreConfig, result: &RunResult, slack_runs: u64, check
                 ls + slack_runs * u64::from(cfg.lsq_entries),
             ),
         );
+        // Top-down attribution conservation: every measured cycle is
+        // charged to exactly one class. Skipped for contexts that carry
+        // no profile (results reconstructed from frozen dumps, merged
+        // outcomes).
+        if !result.profile.is_empty() {
+            c.eq_u64(
+                "cpu.profile_class_conservation",
+                ("class_cycles", result.profile.classes.total()),
+                ("profile_cycles", result.profile.cycles),
+            );
+            c.eq_u64(
+                "cpu.profile_cycles_match",
+                ("profile_cycles", result.profile.cycles),
+                ("cycles", s.cycles),
+            );
+        }
     });
     hetsim_mem::stats::validate_mem_stats(m, checker);
 }
@@ -1306,10 +1393,9 @@ mod tests {
         let run = |depth: u32| {
             let mut cfg = CoreConfig::default();
             cfg.frontend_delay = depth;
-            let trace = std::iter::repeat(alu)
-                .take(40)
+            let trace = std::iter::repeat_n(alu, 40)
                 .chain(std::iter::once(ret))
-                .chain(std::iter::repeat(alu).take(40));
+                .chain(std::iter::repeat_n(alu, 40));
             let mut core = Core::new(cfg, 0);
             core.run(trace, 81)
         };

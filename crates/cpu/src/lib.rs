@@ -37,9 +37,11 @@ pub mod core;
 pub mod fu;
 pub mod multicore;
 pub mod predictor;
+pub mod profile;
 pub mod stats;
 pub mod telemetry;
 
 pub use config::CoreConfig;
 pub use core::{Core, RunResult};
+pub use profile::CoreProfile;
 pub use stats::CoreStats;

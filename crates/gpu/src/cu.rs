@@ -9,9 +9,12 @@
 //! emerges: while one wavefront waits on memory or a deep TFET FMA
 //! pipeline, others issue.
 
+use hetsim_stats::attribution;
+
 use crate::config::{GpuConfig, WAVEFRONT_THREADS};
 use crate::kernel::{GpuInst, GpuOp, KernelProfile};
 use crate::partitioned::FastRegSet;
+use crate::profile::{CuProfile, CycleClass};
 use crate::rfcache::RfCache;
 use crate::stats::GpuStats;
 
@@ -60,11 +63,31 @@ pub fn run_cu(
     wave_count: u32,
     seed: u64,
 ) -> GpuStats {
+    run_cu_profiled(cfg, kernel, profile, wave_count, seed).0
+}
+
+/// Like [`run_cu`], but also returns the top-down cycle attribution:
+/// every cycle charged to exactly one class (summing to
+/// `GpuStats::cycles`), plus the wave-residency histogram when
+/// process-wide profiling is enabled.
+///
+/// # Panics
+///
+/// As for [`run_cu`].
+pub fn run_cu_profiled(
+    cfg: &GpuConfig,
+    kernel: &[GpuInst],
+    profile: &KernelProfile,
+    wave_count: u32,
+    seed: u64,
+) -> (GpuStats, CuProfile) {
     cfg.validate().expect("valid GPU config");
     let mut stats = GpuStats::default();
+    let mut attrib = CuProfile::default();
     if wave_count == 0 || kernel.is_empty() {
-        return stats;
+        return (stats, attrib);
     }
+    let profiling = attribution::enabled();
     let threads = u64::from(WAVEFRONT_THREADS);
     let issue_occupancy = u64::from(cfg.issue_cycles_per_wavefront());
     // Static fast-register allocation for a partitioned RF (per kernel,
@@ -105,6 +128,7 @@ pub fn run_cu(
             // needs no second pass over the pool.
             let mut issued = false;
             let mut next_ready = u64::MAX;
+            let mut next_blocked_on_mem = false;
             for k in 0..n {
                 let mut i = rr + k;
                 if i >= n {
@@ -122,7 +146,18 @@ pub fn run_cu(
                 };
                 let ready = pool.next_issue[i].max(dep);
                 if ready > cycle {
-                    next_ready = next_ready.min(ready);
+                    if ready < next_ready {
+                        next_ready = ready;
+                        // Attribution for the idle gap below: the binding
+                        // constraint of the wave that wakes *first*. A
+                        // scoreboard dependence on a memory instruction
+                        // means the whole CU is waiting on memory;
+                        // anything else is issue bandwidth or an ALU
+                        // dependence chain. `dep > next_issue` implies
+                        // the wave issued before, so `pc - 1` is valid.
+                        next_blocked_on_mem =
+                            dep > pool.next_issue[i] && kernel[(pc - 1) as usize].op == GpuOp::Mem;
+                    }
                     continue;
                 }
                 // ---- Issue this wavefront instruction ----
@@ -196,19 +231,47 @@ pub fn run_cu(
                 let next = next_ready.max(cycle + 1);
                 skipped_cycles += next - (cycle + 1);
                 wakeup_jumps += 1;
+                let gap = next - cycle;
+                let class = if next_blocked_on_mem {
+                    CycleClass::MemLatency
+                } else {
+                    CycleClass::IssueBound
+                };
+                attrib.classes.charge(class, gap);
+                if profiling {
+                    attrib.residency.record_n(remaining as u64, gap);
+                }
                 cycle = next;
                 continue;
+            }
+            attrib.classes.charge(CycleClass::Retire, 1);
+            if profiling {
+                attrib.residency.record_n(remaining as u64, 1);
             }
             cycle += 1;
         }
         // Drain the batch: the batch ends when its slowest wavefront's
         // last instruction completes.
         let drain = pool.prev_done.iter().copied().max().unwrap_or(cycle);
-        cycle = cycle.max(drain);
+        if drain > cycle {
+            attrib
+                .classes
+                .charge(CycleClass::IdleSkipped, drain - cycle);
+            if profiling {
+                attrib.residency.record_n(0, drain - cycle);
+            }
+            cycle = drain;
+        }
     }
     crate::telemetry::record(skipped_cycles, wakeup_jumps);
     stats.cycles = cycle;
-    stats
+    attrib.cycles = cycle;
+    debug_assert_eq!(
+        attrib.classes.total(),
+        attrib.cycles,
+        "every CU cycle is charged to exactly one class"
+    );
+    (stats, attrib)
 }
 
 /// Reads an instruction's sources through the RF cache (if present),

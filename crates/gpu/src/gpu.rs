@@ -9,8 +9,9 @@
 use hetsim_check::{CheckConfig, Checker, Violation};
 
 use crate::config::GpuConfig;
-use crate::cu::run_cu;
+use crate::cu::run_cu_profiled;
 use crate::kernel::KernelProfile;
+use crate::profile::CuProfile;
 use crate::stats::{validate_gpu_stats, GpuStats};
 
 /// Result of a GPU kernel launch.
@@ -22,6 +23,9 @@ pub struct GpuRunResult {
     pub clock_hz: f64,
     /// Compute units that participated.
     pub compute_units: u32,
+    /// Per-CU top-down cycle attribution (one entry per CU, in CU
+    /// order). Each entry's classes sum to that CU's own cycle count.
+    pub profiles: Vec<CuProfile>,
 }
 
 impl GpuRunResult {
@@ -135,6 +139,25 @@ impl Gpu {
                     ("0", 0),
                 );
             }
+            // Top-down attribution conservation, per CU: every cycle is
+            // charged to exactly one class, and the slowest CU's cycles
+            // are the launch's cycles.
+            let mut slowest = 0u64;
+            for (cu, p) in result.profiles.iter().enumerate() {
+                c.eq_u64(
+                    "gpu.profile_class_conservation",
+                    (&format!("cu{cu} class_cycles"), p.classes.total()),
+                    (&format!("cu{cu} profile_cycles"), p.cycles),
+                );
+                slowest = slowest.max(p.cycles);
+            }
+            if !result.profiles.is_empty() {
+                c.eq_u64(
+                    "gpu.profile_cycles_match",
+                    ("slowest cu profile_cycles", slowest),
+                    ("cycles", s.cycles),
+                );
+            }
         });
     }
 
@@ -149,9 +172,10 @@ impl Gpu {
         let base = kernel.wavefronts / cus;
         let extra = kernel.wavefronts % cus;
         let mut stats = GpuStats::default();
+        let mut profiles = Vec::with_capacity(cus as usize);
         for cu in 0..cus {
             let waves = base + u32::from(cu < extra);
-            let cu_stats = run_cu(
+            let (cu_stats, cu_profile) = run_cu_profiled(
                 &self.cfg,
                 insts,
                 kernel,
@@ -159,11 +183,13 @@ impl Gpu {
                 seed.wrapping_add(0x9E37 * u64::from(cu) + 1),
             );
             stats.merge(&cu_stats);
+            profiles.push(cu_profile);
         }
         GpuRunResult {
             stats,
             clock_hz: self.cfg.clock_hz,
             compute_units: cus,
+            profiles,
         }
     }
 }

@@ -46,6 +46,7 @@ pub mod gpu;
 pub mod kernel;
 pub mod kernels;
 pub mod partitioned;
+pub mod profile;
 pub mod rfcache;
 pub mod schedule;
 pub mod stats;
@@ -54,4 +55,5 @@ pub mod telemetry;
 pub use config::GpuConfig;
 pub use gpu::{Gpu, GpuRunResult};
 pub use kernel::KernelProfile;
+pub use profile::CuProfile;
 pub use stats::GpuStats;

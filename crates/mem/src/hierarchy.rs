@@ -38,6 +38,17 @@ pub enum HitLevel {
     Dram,
 }
 
+impl HitLevel {
+    /// `true` when the access missed the DL1 (either partition) and had
+    /// to go at least to the private L2. The cycle-attribution profiler
+    /// splits demand-load latency histograms on this boundary: DL1 hits
+    /// are pipeline-absorbing, everything deeper shows up as
+    /// `mem-latency` cycles.
+    pub fn is_dl1_miss(self) -> bool {
+        !matches!(self, HitLevel::Dl1Fast | HitLevel::Dl1)
+    }
+}
+
 /// Outcome of one data access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DataAccess {

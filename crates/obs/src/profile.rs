@@ -1,0 +1,439 @@
+//! The `hetsim-profile-v1` cycle-attribution document.
+//!
+//! The simulators charge every cycle of every core/CU to one top-down
+//! [`CycleClass`]; this module is where those per-unit counts become an
+//! exportable artifact:
+//!
+//! * [`CycleProfile`] — the document itself: rows keyed by
+//!   `(design, unit)`, merged deterministically so per-shard fragments
+//!   combine like [`crate::stitch_traces`] combines trace logs;
+//! * [`CycleProfile::folded`] — folded-stack text
+//!   (`design;unit;class count`), directly consumable by standard
+//!   flamegraph tooling (`flamegraph.pl`, inferno, speedscope);
+//! * [`CycleProfile::counter_track_doc`] — Perfetto counter tracks
+//!   (`"ph": "C"`) in the same Chrome trace-event document shape as
+//!   [`crate::chrome_trace`], one track per design with one counter
+//!   series per class;
+//! * [`collector`] — a process-wide accumulation point the experiment
+//!   layer publishes rows into while profiling is enabled.
+
+use std::sync::Mutex;
+
+use hetsim_stats::attribution::ClassCounts;
+use hetsim_stats::Histogram;
+use serde::value::Value;
+use serde::{Deserialize, Error, Serialize};
+
+pub use hetsim_stats::attribution::CycleClass;
+
+/// Schema tag of the profile document.
+pub const PROFILE_SCHEMA: &str = "hetsim-profile-v1";
+
+/// One unit's attribution inside a [`CycleProfile`]: the design it ran
+/// under, the unit name (`core0`, `cu3`, ...), its class totals, and
+/// any named histograms (occupancy, latency distributions) the
+/// simulator recorded for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Design column name (e.g. `AdvHet`).
+    pub design: String,
+    /// Unit within the design (`core0`, `cu3`, ...).
+    pub unit: String,
+    /// Cycles per top-down class; sums to [`ProfileRow::cycles`].
+    pub classes: ClassCounts,
+    /// Total attributed cycles for this unit.
+    pub cycles: u64,
+    /// Named histograms (e.g. `rob`, `iq`, `lsq`, `residency`,
+    /// `mem_hit_latency`), kept sorted by name; merged name-wise.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl ProfileRow {
+    /// A row with no cycles and no histograms.
+    pub fn new(design: impl Into<String>, unit: impl Into<String>) -> Self {
+        ProfileRow {
+            design: design.into(),
+            unit: unit.into(),
+            classes: ClassCounts::new(),
+            cycles: 0,
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Adds a named histogram (merging if the name already exists),
+    /// skipping empty histograms so profiling-off runs stay lean.
+    pub fn add_histogram(&mut self, name: &str, h: &Histogram) {
+        if h.count() == 0 {
+            return;
+        }
+        match self
+            .histograms
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        {
+            Ok(i) => self.histograms[i].1.merge(h),
+            Err(i) => self.histograms.insert(i, (name.to_string(), *h)),
+        }
+    }
+
+    /// Folds another row for the same `(design, unit)` key in.
+    fn merge(&mut self, other: &ProfileRow) {
+        self.classes.merge(&other.classes);
+        self.cycles = self.cycles.saturating_add(other.cycles);
+        for (name, h) in &other.histograms {
+            self.add_histogram(name, h);
+        }
+    }
+}
+
+impl Serialize for ProfileRow {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("design".into(), Value::Str(self.design.clone())),
+            ("unit".into(), Value::Str(self.unit.clone())),
+            ("cycles".into(), Value::UInt(self.cycles)),
+            ("classes".into(), self.classes.to_value()),
+            (
+                "histograms".into(),
+                Value::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(n, h)| (n.clone(), h.to_value()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for ProfileRow {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let str_field = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| Error::custom(format!("ProfileRow has no string `{name}`")))
+        };
+        let mut histograms = Vec::new();
+        if let Some(hs) = v.get("histograms").and_then(Value::as_object) {
+            for (name, hv) in hs {
+                histograms.push((name.clone(), Histogram::from_value(hv)?));
+            }
+        }
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(ProfileRow {
+            design: str_field("design")?,
+            unit: str_field("unit")?,
+            cycles: v
+                .get("cycles")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| Error::custom("ProfileRow has no `cycles`"))?,
+            classes: ClassCounts::from_value(
+                v.get("classes")
+                    .ok_or_else(|| Error::custom("ProfileRow has no `classes`"))?,
+            )?,
+            histograms,
+        })
+    }
+}
+
+/// The cycle-attribution document: per-`(design, unit)` rows, kept
+/// sorted by key so serialization and shard merges are deterministic
+/// regardless of completion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CycleProfile {
+    rows: Vec<ProfileRow>,
+}
+
+impl CycleProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        CycleProfile::default()
+    }
+
+    /// The rows, sorted by `(design, unit)`.
+    pub fn rows(&self) -> &[ProfileRow] {
+        &self.rows
+    }
+
+    /// `true` when no row has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Folds `row` in: merged into the existing `(design, unit)` row if
+    /// one exists, inserted in sorted position otherwise.
+    pub fn merge_row(&mut self, row: ProfileRow) {
+        let key = (row.design.clone(), row.unit.clone());
+        match self
+            .rows
+            .binary_search_by(|r| (r.design.as_str(), r.unit.as_str()).cmp(&(&key.0, &key.1)))
+        {
+            Ok(i) => self.rows[i].merge(&row),
+            Err(i) => self.rows.insert(i, row),
+        }
+    }
+
+    /// Folds a whole fragment in — the profile analogue of
+    /// [`crate::stitch_traces`] for per-shard outputs.
+    pub fn merge(&mut self, other: &CycleProfile) {
+        for row in &other.rows {
+            self.merge_row(row.clone());
+        }
+    }
+
+    /// Folded-stack export: one `design;unit;class count` line per
+    /// nonzero class, consumable by standard flamegraph tools.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            for (class, cycles) in row.classes.iter() {
+                if cycles > 0 {
+                    out.push_str(&format!(
+                        "{};{};{} {}\n",
+                        row.design,
+                        row.unit,
+                        class.name(),
+                        cycles
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Perfetto counter-track export in the Chrome trace-event document
+    /// shape of [`crate::chrome_trace`]: one lane (`tid`) per design
+    /// with a `thread_name` metadata record, and per unit one `"C"`
+    /// (counter) event at `ts = unit index` whose args carry every
+    /// class's cycle count — Perfetto renders each design as a stacked
+    /// multi-series counter track over its units.
+    pub fn counter_track_doc(&self) -> Value {
+        let mut designs: Vec<&str> = self.rows.iter().map(|r| r.design.as_str()).collect();
+        designs.dedup(); // rows are sorted by design already
+        let mut events: Vec<Value> = Vec::new();
+        for (tid, design) in designs.iter().enumerate() {
+            events.push(Value::Object(vec![
+                ("name".into(), Value::Str("thread_name".into())),
+                ("ph".into(), Value::Str("M".into())),
+                ("pid".into(), Value::UInt(0)),
+                ("tid".into(), Value::UInt(tid as u64)),
+                (
+                    "args".into(),
+                    Value::Object(vec![(
+                        "name".into(),
+                        Value::Str(format!("{design} cycle classes")),
+                    )]),
+                ),
+            ]));
+            for (ts, row) in self.rows.iter().filter(|r| r.design == *design).enumerate() {
+                events.push(Value::Object(vec![
+                    ("name".into(), Value::Str(format!("{design} cycles"))),
+                    ("cat".into(), Value::Str("profile".into())),
+                    ("ph".into(), Value::Str("C".into())),
+                    ("ts".into(), Value::UInt(ts as u64)),
+                    ("pid".into(), Value::UInt(0)),
+                    ("tid".into(), Value::UInt(tid as u64)),
+                    ("args".into(), row.classes.to_value()),
+                ]));
+            }
+        }
+        Value::Object(vec![
+            ("displayTimeUnit".into(), Value::Str("ms".into())),
+            ("traceEvents".into(), Value::Array(events)),
+        ])
+    }
+}
+
+impl Serialize for CycleProfile {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("schema".into(), Value::Str(PROFILE_SCHEMA.into())),
+            (
+                "rows".into(),
+                Value::Array(self.rows.iter().map(Serialize::to_value).collect()),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for CycleProfile {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.get("schema").and_then(Value::as_str) {
+            Some(PROFILE_SCHEMA) => {}
+            other => {
+                return Err(Error::custom(format!(
+                    "expected schema {PROFILE_SCHEMA:?}, found {other:?}"
+                )))
+            }
+        }
+        let rows = v
+            .get("rows")
+            .and_then(Value::as_array)
+            .ok_or_else(|| Error::custom("CycleProfile has no `rows`"))?;
+        let mut profile = CycleProfile::new();
+        for row in rows {
+            profile.merge_row(ProfileRow::from_value(row)?);
+        }
+        Ok(profile)
+    }
+}
+
+/// Process-wide accumulation point for attribution rows.
+///
+/// The experiment layer publishes one [`ProfileRow`] per simulated unit
+/// while profiling is enabled; the CLI drains the accumulated document
+/// once at the end of the run. Recording is strictly observational —
+/// nothing here feeds back into simulation or headline output.
+pub mod collector {
+    use super::{CycleProfile, Mutex, ProfileRow};
+
+    static COLLECTOR: Mutex<Option<CycleProfile>> = Mutex::new(None);
+
+    /// Publishes one unit's attribution row.
+    pub fn record(row: ProfileRow) {
+        let mut guard = COLLECTOR.lock().expect("profile collector poisoned");
+        guard.get_or_insert_with(CycleProfile::new).merge_row(row);
+    }
+
+    /// Drains the accumulated profile, leaving the collector empty.
+    pub fn take() -> CycleProfile {
+        COLLECTOR
+            .lock()
+            .expect("profile collector poisoned")
+            .take()
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(design: &str, unit: &str, retire: u64, mem: u64) -> ProfileRow {
+        let mut r = ProfileRow::new(design, unit);
+        r.classes.charge(CycleClass::Retire, retire);
+        r.classes.charge(CycleClass::MemLatency, mem);
+        r.cycles = retire + mem;
+        r
+    }
+
+    #[test]
+    fn rows_merge_by_key_and_stay_sorted() {
+        let mut p = CycleProfile::new();
+        p.merge_row(row("Conv", "core0", 10, 2));
+        p.merge_row(row("AdvHet", "core1", 5, 0));
+        p.merge_row(row("Conv", "core0", 1, 1));
+        let keys: Vec<(&str, &str)> = p
+            .rows()
+            .iter()
+            .map(|r| (r.design.as_str(), r.unit.as_str()))
+            .collect();
+        assert_eq!(keys, vec![("AdvHet", "core1"), ("Conv", "core0")]);
+        assert_eq!(p.rows()[1].cycles, 14, "same-key rows merged");
+        assert_eq!(p.rows()[1].classes.get(CycleClass::Retire), 11);
+    }
+
+    #[test]
+    fn fragment_merge_equals_row_by_row() {
+        let mut a = CycleProfile::new();
+        a.merge_row(row("Conv", "core0", 3, 4));
+        let mut b = CycleProfile::new();
+        b.merge_row(row("Conv", "core0", 1, 0));
+        b.merge_row(row("Conv", "cu0", 9, 9));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut direct = CycleProfile::new();
+        direct.merge_row(row("Conv", "core0", 3, 4));
+        direct.merge_row(row("Conv", "core0", 1, 0));
+        direct.merge_row(row("Conv", "cu0", 9, 9));
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn folded_lines_carry_all_nonzero_classes() {
+        let mut p = CycleProfile::new();
+        p.merge_row(row("AdvHet", "core0", 7, 3));
+        let folded = p.folded();
+        assert!(folded.contains("AdvHet;core0;retire 7\n"));
+        assert!(folded.contains("AdvHet;core0;mem-latency 3\n"));
+        assert!(
+            !folded.contains("frontend"),
+            "zero classes are omitted: {folded}"
+        );
+        // Every line parses back: `stack count`.
+        for line in folded.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("stack count");
+            assert_eq!(stack.split(';').count(), 3);
+            count.parse::<u64>().expect("count is a number");
+        }
+    }
+
+    #[test]
+    fn counter_doc_has_one_lane_per_design() {
+        let mut p = CycleProfile::new();
+        p.merge_row(row("AdvHet", "core0", 1, 0));
+        p.merge_row(row("AdvHet", "core1", 2, 0));
+        p.merge_row(row("Conv", "core0", 3, 0));
+        let doc = p.counter_track_doc();
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents");
+        let counters: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 3);
+        let metas = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .count();
+        assert_eq!(metas, 2, "one thread_name per design");
+        // AdvHet's two units land on the same tid at ts 0 and 1.
+        assert_eq!(counters[0].get("tid"), counters[1].get("tid"));
+        assert_eq!(
+            counters[1].get("ts").and_then(Value::as_u64),
+            Some(1),
+            "units enumerate the counter x-axis"
+        );
+        assert_eq!(
+            counters[0]
+                .get("args")
+                .and_then(|a| a.get("retire"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn document_serde_round_trips() {
+        let mut p = CycleProfile::new();
+        let mut r = row("AdvHet", "core0", 100, 20);
+        let mut h = Histogram::new();
+        h.record_n(32, 120);
+        r.add_histogram("rob", &h);
+        p.merge_row(r);
+        let v = p.to_value();
+        assert_eq!(
+            v.get("schema").and_then(Value::as_str),
+            Some(PROFILE_SCHEMA)
+        );
+        let back = CycleProfile::from_value(&v).expect("round trip");
+        assert_eq!(back, p);
+        assert!(CycleProfile::from_value(&Value::Object(vec![(
+            "schema".into(),
+            Value::Str("bogus".into())
+        )]))
+        .is_err());
+    }
+
+    #[test]
+    fn collector_drains_to_empty() {
+        collector::record(row("Conv", "coreX", 1, 0));
+        collector::record(row("Conv", "coreX", 2, 0));
+        let p = collector::take();
+        assert_eq!(p.rows().len(), 1);
+        assert_eq!(p.rows()[0].cycles, 3);
+        assert!(collector::take().is_empty(), "take drains");
+    }
+}

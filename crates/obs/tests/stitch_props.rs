@@ -1,0 +1,149 @@
+//! Property tests for [`stitch_traces`]: merging per-worker trace logs
+//! must never corrupt the timeline.
+//!
+//! A sharded run hands the supervisor one event log per worker, each
+//! numbering its tracks from 0. Three properties make the stitched log
+//! trustworthy:
+//!
+//! 1. **lane disjointness** — no two workers ever share an output
+//!    track, for any combination of worker count, per-worker track
+//!    usage and empty inputs;
+//! 2. **shift-only relabeling** — within one worker the track ids are
+//!    relabeled by a constant shift (event order and relative lane
+//!    structure untouched), so per-worker nesting survives verbatim;
+//! 3. **structural validity** — stitching well-formed inputs yields a
+//!    log that [`validate_events`] accepts, i.e. `repro check
+//!    --trace-in` never rejects a trace merely because it was sharded.
+
+use proptest::prelude::*;
+
+use hetsim_obs::{stitch_traces, validate_events, EventKind, TraceEvent};
+
+/// One generated event: `(track, start_us, len_us, instant?)`.
+type RawEvent = (u64, u64, u64, bool);
+
+/// A worker's event log: spans laid out back-to-back per track (so
+/// they trivially nest) plus instants, on a handful of tracks.
+fn worker_events() -> impl Strategy<Value = Vec<RawEvent>> {
+    proptest::collection::vec((0u64..4, 0u64..1_000, 0u64..50, any::<bool>()), 0..12)
+}
+
+/// Materializes a raw log for `worker`, tagging every event name with
+/// the worker index and its original track so the stitched output can
+/// be attributed back. Span starts are spread out so spans on one
+/// track are disjoint (disjoint intervals always nest properly).
+fn materialize(worker: usize, raw: &[RawEvent]) -> Vec<TraceEvent> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(track, start, len, instant))| {
+            let start = start + (i as u64) * 2_000;
+            TraceEvent {
+                name: format!("w{worker}-t{track}-e{i}"),
+                cat: "prop".into(),
+                track,
+                kind: if instant {
+                    EventKind::Instant { at_us: start }
+                } else {
+                    EventKind::Span {
+                        start_us: start,
+                        end_us: start + len,
+                    }
+                },
+                args: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+/// The worker index an output event originated from, recovered from
+/// the name tag.
+fn worker_of(event: &TraceEvent) -> usize {
+    event.name[1..event.name.find('-').expect("tagged name")]
+        .parse()
+        .expect("worker tag")
+}
+
+/// The original track the event was recorded on.
+fn original_track(event: &TraceEvent) -> u64 {
+    let rest = &event.name[event.name.find("-t").expect("tagged name") + 2..];
+    rest[..rest.find('-').expect("tagged name")]
+        .parse()
+        .expect("track tag")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No output track is ever shared by two workers, and each
+    /// worker's relabeling is a constant shift of its original ids.
+    #[test]
+    fn workers_never_share_a_lane(raws in proptest::collection::vec(worker_events(), 1..5)) {
+        let inputs: Vec<Vec<TraceEvent>> = raws
+            .iter()
+            .enumerate()
+            .map(|(w, raw)| materialize(w, raw))
+            .collect();
+        let total: usize = inputs.iter().map(Vec::len).sum();
+        let stitched = stitch_traces(inputs);
+        prop_assert_eq!(stitched.len(), total, "no event dropped or invented");
+
+        // Group output tracks by originating worker.
+        let mut lanes: Vec<std::collections::BTreeSet<u64>> =
+            vec![std::collections::BTreeSet::new(); raws.len()];
+        let mut shifts: Vec<Option<u64>> = vec![None; raws.len()];
+        for event in &stitched {
+            let w = worker_of(event);
+            lanes[w].insert(event.track);
+            let shift = event.track - original_track(event);
+            match shifts[w] {
+                None => shifts[w] = Some(shift),
+                Some(s) => prop_assert_eq!(
+                    s, shift,
+                    "worker {}'s tracks must be relabeled by one constant shift", w
+                ),
+            }
+        }
+        for a in 0..lanes.len() {
+            for b in a + 1..lanes.len() {
+                prop_assert!(
+                    lanes[a].is_disjoint(&lanes[b]),
+                    "workers {} and {} share a lane: {:?} vs {:?}",
+                    a, b, lanes[a], lanes[b]
+                );
+            }
+        }
+    }
+
+    /// Stitching well-formed inputs yields a structurally valid trace:
+    /// per-track span nesting survives the relabeling.
+    #[test]
+    fn stitched_traces_stay_structurally_valid(
+        raws in proptest::collection::vec(worker_events(), 1..5),
+    ) {
+        let inputs: Vec<Vec<TraceEvent>> = raws
+            .iter()
+            .enumerate()
+            .map(|(w, raw)| materialize(w, raw))
+            .collect();
+        for input in &inputs {
+            prop_assert!(
+                validate_events(input).is_empty(),
+                "generator must produce valid inputs"
+            );
+        }
+        let stitched = stitch_traces(inputs);
+        let violations = validate_events(&stitched);
+        prop_assert!(violations.is_empty(), "stitched trace invalid: {:?}", violations);
+    }
+
+    /// Empty inputs anywhere in the list consume no lane space and
+    /// shift nothing.
+    #[test]
+    fn empty_inputs_are_transparent(raw in worker_events(), gaps in 0usize..3) {
+        let worker = materialize(0, &raw);
+        let mut padded: Vec<Vec<TraceEvent>> = vec![Vec::new(); gaps];
+        padded.push(worker.clone());
+        let stitched = stitch_traces(padded);
+        prop_assert_eq!(stitched, worker, "leading empty inputs must not rebase anything");
+    }
+}

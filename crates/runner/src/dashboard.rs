@@ -243,6 +243,18 @@ impl ProgressSink for DashboardSink {
             }
         }
     }
+
+    /// Forces a final redraw so the last rate-limited frame never
+    /// leaves the TTY showing stale mid-run state: a burst of
+    /// completions inside one redraw interval would otherwise end the
+    /// campaign with the block frozen at an earlier count.
+    fn flush(&self) {
+        let now_us = self.clock.now_us();
+        let mut out = self.out.lock().expect("dashboard lock");
+        if out.1.started_us.is_some() {
+            DashboardSink::redraw(&mut out, now_us, true);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -404,5 +416,36 @@ mod tests {
         sink.event(&finished(50, "gpu/matmul/HetGPU", Provenance::MemoryCache));
         let text = buf.text();
         assert!(text.contains("51/100 jobs"), "{text}");
+    }
+
+    #[test]
+    fn final_flush_settles_a_rate_limited_block() {
+        let clock = Arc::new(ManualClock::new());
+        let buf = SharedBuf::default();
+        let sink = DashboardSink::with_writer(clock.clone(), Box::new(buf.clone()));
+        sink.event(&ProgressEvent::BatchStarted {
+            total: 4,
+            workers: 2,
+            columns: Vec::new(),
+        });
+        // Every completion lands inside the redraw interval, so the
+        // block still shows the count from `BatchStarted`...
+        for i in 0..4 {
+            clock.advance(10);
+            sink.event(&finished(i, "gpu/matmul/HetGPU", Provenance::MemoryCache));
+        }
+        assert!(!buf.text().contains("4/4 jobs"), "{}", buf.text());
+        // ...until the campaign driver flushes on completion.
+        sink.flush();
+        assert!(buf.text().contains("4/4 jobs"), "{}", buf.text());
+    }
+
+    #[test]
+    fn flush_before_any_batch_draws_nothing() {
+        let clock = Arc::new(ManualClock::new());
+        let buf = SharedBuf::default();
+        let sink = DashboardSink::with_writer(clock, Box::new(buf.clone()));
+        sink.flush();
+        assert!(buf.text().is_empty(), "{}", buf.text());
     }
 }

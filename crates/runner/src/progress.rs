@@ -213,6 +213,13 @@ pub trait ProgressSink: Send + Sync {
     /// Receives one event. Called from worker threads; implementations
     /// should be quick and must not panic.
     fn event(&self, event: &ProgressEvent);
+
+    /// Forces any buffered or rate-limited output out *now*. The
+    /// campaign driver calls this once on completion so sinks that
+    /// throttle redraws (the dashboard) never leave a stale mid-run
+    /// frame on screen. The default is a no-op — line-oriented sinks
+    /// already emit eagerly.
+    fn flush(&self) {}
 }
 
 /// Discards every event (the default sink).

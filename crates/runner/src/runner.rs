@@ -348,6 +348,9 @@ where
             wall: Duration::from_micros(end_us.saturating_sub(started_us)),
         };
         self.sink.event(&ProgressEvent::BatchFinished { stats });
+        // Settle rate-limited sinks (the dashboard) so the final frame
+        // always reflects the completed batch.
+        self.sink.flush();
         *self.last.lock().expect("stats lock") = stats;
         self.total.lock().expect("stats lock").merge(&stats);
         results

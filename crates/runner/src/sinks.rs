@@ -32,6 +32,12 @@ impl ProgressSink for MultiSink {
             sink.event(event);
         }
     }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
 }
 
 /// Records progress events into a [`TraceRecorder`] as instants.

@@ -70,9 +70,20 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
-        self.counts[bucket_of(value)] = self.counts[bucket_of(value)].saturating_add(1);
-        self.count = self.count.saturating_add(1);
-        self.sum = self.sum.saturating_add(value);
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples in one update — what a bulk
+    /// accounting step needs (e.g. "the ROB held 40 entries for the
+    /// next 900 skipped cycles") without `n` individual `record` calls.
+    /// `n == 0` is a no-op.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_of(value)] = self.counts[bucket_of(value)].saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
         self.max = self.max.max(value);
     }
 
@@ -124,11 +135,13 @@ impl Histogram {
     /// Buckets are power-of-two wide, so the estimate can overshoot the
     /// true sample by at most 2x; it never undershoots, and it is
     /// clamped to [`Histogram::max`] (exact for the overflow bucket and
-    /// for any quantile landing in the top occupied bucket). Returns 0
-    /// when the histogram is empty.
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// for any quantile landing in the top occupied bucket). Returns
+    /// `None` when the histogram is empty — there is no sample to
+    /// estimate, and 0 would be indistinguishable from a real all-zero
+    /// distribution.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         // The rank of the q-quantile sample, 1-based, clamped into
         // [1, count] so q=0 means "first sample" and q=1 "last".
@@ -144,25 +157,28 @@ impl Histogram {
                     i if i == BUCKETS - 1 => self.max,
                     i => (1u64 << i) - 1,
                 };
-                return bound.min(self.max);
+                return Some(bound.min(self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 
-    /// Median estimate (see [`Histogram::quantile`]).
+    /// Median estimate (see [`Histogram::quantile`]); 0 when empty, so
+    /// serialized summaries stay plain integers.
     pub fn p50(&self) -> u64 {
-        self.quantile(0.50)
+        self.quantile(0.50).unwrap_or(0)
     }
 
-    /// 95th-percentile estimate (see [`Histogram::quantile`]).
+    /// 95th-percentile estimate (see [`Histogram::quantile`]); 0 when
+    /// empty.
     pub fn p95(&self) -> u64 {
-        self.quantile(0.95)
+        self.quantile(0.95).unwrap_or(0)
     }
 
-    /// 99th-percentile estimate (see [`Histogram::quantile`]).
+    /// 99th-percentile estimate (see [`Histogram::quantile`]); 0 when
+    /// empty.
     pub fn p99(&self) -> u64 {
-        self.quantile(0.99)
+        self.quantile(0.99).unwrap_or(0)
     }
 
     /// `true` when no sample has been recorded.
@@ -283,12 +299,17 @@ mod tests {
         assert_eq!(h.p50(), 15, "median lands in the [8,16) bucket");
         assert_eq!(h.p95(), 15);
         assert_eq!(h.p99(), 15, "rank 99 of 100 is still a 10");
-        assert_eq!(h.quantile(1.0), 1000, "top quantile clamps to max");
+        assert_eq!(h.quantile(1.0), Some(1000), "top quantile clamps to max");
     }
 
     #[test]
     fn quantiles_handle_edge_shapes() {
-        assert_eq!(Histogram::new().p50(), 0, "empty");
+        assert_eq!(Histogram::new().p50(), 0, "empty summary stays 0");
+        assert_eq!(
+            Histogram::new().quantile(0.5),
+            None,
+            "empty has no quantile"
+        );
         let mut zeros = Histogram::new();
         zeros.record(0);
         zeros.record(0);
@@ -296,7 +317,28 @@ mod tests {
         let mut one = Histogram::new();
         one.record(u64::MAX);
         assert_eq!(one.p50(), u64::MAX, "overflow bucket reports max");
-        assert_eq!(one.quantile(0.0), u64::MAX, "single sample at any q");
+        assert_eq!(one.quantile(0.0), Some(u64::MAX), "single sample at any q");
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = Histogram::new();
+        bulk.record_n(10, 5);
+        bulk.record_n(0, 2);
+        bulk.record_n(99, 0);
+        let mut loop_h = Histogram::new();
+        for _ in 0..5 {
+            loop_h.record(10);
+        }
+        for _ in 0..2 {
+            loop_h.record(0);
+        }
+        assert_eq!(bulk, loop_h);
+        // Bulk sums saturate like single records.
+        let mut sat = Histogram::new();
+        sat.record_n(u64::MAX, 3);
+        assert_eq!(sat.sum(), u64::MAX);
+        assert_eq!(sat.count(), 3);
     }
 
     #[test]

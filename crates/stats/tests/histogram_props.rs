@@ -120,4 +120,54 @@ proptest! {
         prop_assert_eq!(h.max(), u64::MAX);
         prop_assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
     }
+
+    /// Quantiles are monotone in `q` (p50 ≤ p95 ≤ p99 ≤ max), defined
+    /// exactly when the histogram is non-empty, and never undershoot
+    /// below the 0-quantile.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(a in samples()) {
+        let h = hist_of(&a);
+        if a.is_empty() {
+            prop_assert!(h.quantile(0.0).is_none(), "empty has no quantiles");
+            prop_assert!(h.quantile(1.0).is_none());
+            prop_assert_eq!((h.p50(), h.p95(), h.p99()), (0, 0, 0));
+        } else {
+            let p50 = h.quantile(0.50).expect("non-empty");
+            let p95 = h.quantile(0.95).expect("non-empty");
+            let p99 = h.quantile(0.99).expect("non-empty");
+            prop_assert!(p50 <= p95, "p50 {p50} <= p95 {p95}");
+            prop_assert!(p95 <= p99, "p95 {p95} <= p99 {p99}");
+            prop_assert!(p99 <= h.max(), "p99 {p99} clamps to max {}", h.max());
+            prop_assert!(
+                h.quantile(0.0).expect("non-empty") <= p50,
+                "q is monotone from the bottom too"
+            );
+        }
+    }
+
+    /// A single-sample histogram reports that sample's bucket bound
+    /// (clamped to the sample itself) at every quantile.
+    #[test]
+    fn single_sample_quantiles_collapse(v in any::<u64>()) {
+        let mut h = Histogram::new();
+        h.record(v);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            let est = h.quantile(q).expect("one sample");
+            prop_assert_eq!(est, h.max(), "one sample: every quantile is it");
+            prop_assert!(est <= v.saturating_mul(2).max(1), "bucket bound overshoot ≤ 2x");
+        }
+    }
+
+    /// `record_n(v, n)` is exactly `n` times `record(v)` — the bulk
+    /// path the cycle-attribution profiler uses for dead-cycle skips.
+    #[test]
+    fn record_n_equals_repeated_record(v in any::<u64>(), n in 0u64..200) {
+        let mut bulk = Histogram::new();
+        bulk.record_n(v, n);
+        let mut single = Histogram::new();
+        for _ in 0..n {
+            single.record(v);
+        }
+        prop_assert_eq!(bulk, single);
+    }
 }
